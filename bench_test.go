@@ -1,0 +1,300 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at Quick quality. Each benchmark runs complete simulation sweeps, so one
+// iteration is heavy by design; custom metrics attach the headline numbers
+// of the corresponding figure (speedups, waiting times, sustained loads) to
+// the benchmark output so `go test -bench=.` doubles as a miniature
+// reproduction report.
+package physched
+
+import (
+	"fmt"
+	"testing"
+
+	"physched/internal/experiments"
+)
+
+const benchSeed = 1
+
+// reportCurve attaches a curve's peak speedup and the highest sustained
+// load to the benchmark output.
+func reportCurve(b *testing.B, f Figure, label, prefix string) {
+	b.Helper()
+	for _, c := range f.Curves {
+		if c.Label != label {
+			continue
+		}
+		bestSpeedup, maxLoad := 0.0, 0.0
+		for _, r := range c.Results {
+			if r.Overloaded {
+				continue
+			}
+			if r.AvgSpeedup > bestSpeedup {
+				bestSpeedup = r.AvgSpeedup
+			}
+			if r.Load > maxLoad {
+				maxLoad = r.Load
+			}
+		}
+		b.ReportMetric(bestSpeedup, prefix+"_speedup")
+		b.ReportMetric(maxLoad, prefix+"_maxload_j/h")
+	}
+}
+
+// BenchmarkFig2_FCFSPolicies regenerates Figure 2: processing farm, job
+// splitting and cache-oriented splitting (50/100/200 GB) over 0.7-1.4 j/h.
+func BenchmarkFig2_FCFSPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig2(experiments.Quick, benchSeed)
+		reportCurve(b, f, "Processing farm", "farm")
+		reportCurve(b, f, "Job splitting", "split")
+		reportCurve(b, f, "Cache oriented - 200 GB", "cache200")
+	}
+}
+
+// BenchmarkFig3_OutOfOrder regenerates Figure 3: cache-oriented vs
+// out-of-order for three cache sizes over 0.8-2.6 j/h.
+func BenchmarkFig3_OutOfOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig3(experiments.Quick, benchSeed)
+		reportCurve(b, f, "Cache oriented - 100 GB", "cache100")
+		reportCurve(b, f, "Out of order - 100 GB", "ooo100")
+		reportCurve(b, f, "Out of order - 200 GB", "ooo200")
+	}
+}
+
+// BenchmarkFig4_WaitingDistribution regenerates Figure 4: the waiting-time
+// distribution of out-of-order near its maximal sustainable load.
+func BenchmarkFig4_WaitingDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := experiments.Fig4(experiments.Quick, benchSeed)
+		for _, d := range ds {
+			if d.Result.Overloaded {
+				continue
+			}
+			if d.Label[len(d.Label)-len("1.7 jobs/hour"):] == "1.7 jobs/hour" {
+				b.ReportMetric(d.Result.MaxWaiting/3600, "cache100_maxwait_h")
+			} else {
+				b.ReportMetric(d.Result.MaxWaiting/3600, "cache50_maxwait_h")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5_DelayedPeriods regenerates Figure 5: delayed scheduling
+// with 11 h / 2 day / 1 week periods vs out-of-order.
+func BenchmarkFig5_DelayedPeriods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig5(experiments.Quick, benchSeed)
+		reportCurve(b, f, "Delayed (delay 11h)", "d11h")
+		reportCurve(b, f, "Delayed (delay 1 week)", "d1w")
+		reportCurve(b, f, "Out of order scheduling", "ooo")
+	}
+}
+
+// BenchmarkFig6_DelayedStripes regenerates Figure 6: delayed scheduling
+// with stripe sizes 200/1K/5K/25K events.
+func BenchmarkFig6_DelayedStripes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig6(experiments.Quick, benchSeed)
+		reportCurve(b, f, "Delayed, stripe 200 events", "s200")
+		reportCurve(b, f, "Delayed, stripe 25K events", "s25k")
+	}
+}
+
+// BenchmarkFig7_AdaptiveDelay regenerates Figure 7: adaptive delay (stripe
+// 200 and 5000) vs out-of-order, waiting delay-included.
+func BenchmarkFig7_AdaptiveDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig7(experiments.Quick, benchSeed)
+		reportCurve(b, f, "Adaptive delay (stripe 200 events)", "a200")
+		reportCurve(b, f, "Out of order scheduling", "ooo")
+	}
+}
+
+// BenchmarkTableReplication regenerates the §4.2 comparison: out-of-order
+// with vs without data replication.
+func BenchmarkTableReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Replication(experiments.Quick, benchSeed)
+		var maxShare, worstGap float64
+		for _, r := range rows {
+			if r.ReplicatedShare > maxShare {
+				maxShare = r.ReplicatedShare
+			}
+			if !r.Plain.Overloaded && !r.Replicate.Overloaded {
+				gap := r.Replicate.AvgSpeedup - r.Plain.AvgSpeedup
+				if gap < 0 {
+					gap = -gap
+				}
+				if r.Plain.AvgSpeedup > 0 && gap/r.Plain.AvgSpeedup > worstGap {
+					worstGap = gap / r.Plain.AvgSpeedup
+				}
+			}
+		}
+		b.ReportMetric(1000*maxShare, "replicated_permille")
+		b.ReportMetric(100*worstGap, "speedup_gap_pct")
+	}
+}
+
+// BenchmarkTableMaxLoad regenerates the §5.2 limit experiment: delayed
+// scheduling with 200 GB caches, 1-week delay, stripe 200.
+func BenchmarkTableMaxLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.MaxLoad(experiments.Quick, benchSeed)
+		sustained, speedup := 0.0, 0.0
+		for _, r := range rows {
+			if !r.Result.Overloaded && r.Load > sustained {
+				sustained, speedup = r.Load, r.Result.AvgSpeedup
+			}
+		}
+		b.ReportMetric(sustained, "sustained_j/h")
+		b.ReportMetric(speedup, "speedup_at_max")
+	}
+}
+
+// BenchmarkAblationEviction compares LRU with FIFO cache eviction — an
+// ablation of the paper's fixed LRU choice (DESIGN.md §5).
+func BenchmarkAblationEviction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationEviction(experiments.Quick, benchSeed)
+		report := func(variant, metric string) {
+			best := 0.0
+			for _, r := range rows {
+				if r.Variant == variant && !r.Result.Overloaded && r.Result.AvgSpeedup > best {
+					best = r.Result.AvgSpeedup
+				}
+			}
+			b.ReportMetric(best, metric)
+		}
+		report("LRU eviction", "lru_speedup")
+		report("FIFO eviction", "fifo_speedup")
+	}
+}
+
+// BenchmarkAblationStealSource compares remote reads against tape re-reads
+// for stolen subjobs (§4.2 design choice).
+func BenchmarkAblationStealSource(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationStealSource(experiments.Quick, benchSeed)
+		best := map[string]float64{}
+		for _, r := range rows {
+			if !r.Result.Overloaded && r.Result.AvgSpeedup > best[r.Variant] {
+				best[r.Variant] = r.Result.AvgSpeedup
+			}
+		}
+		b.ReportMetric(best["steal reads remote"], "remote_speedup")
+		b.ReportMetric(best["steal re-reads tape"], "tape_speedup")
+	}
+}
+
+// BenchmarkAblationHotspot varies the workload skew that makes caching pay.
+func BenchmarkAblationHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationHotspot(experiments.Quick, benchSeed)
+		best := map[string]float64{}
+		for _, r := range rows {
+			if !r.Result.Overloaded && r.Result.AvgSpeedup > best[r.Variant] {
+				best[r.Variant] = r.Result.AvgSpeedup
+			}
+		}
+		b.ReportMetric(best["hot weight 0%"], "uniform_speedup")
+		b.ReportMetric(best["hot weight 50%"], "paper_speedup")
+	}
+}
+
+// BenchmarkFutureWorkPipelining measures the paper's §7 future-work item:
+// overlapping transfers with computation.
+func BenchmarkFutureWorkPipelining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.FutureWorkPipelining(experiments.Quick, benchSeed)
+		best := map[string]float64{}
+		sustained := map[string]float64{}
+		for _, r := range rows {
+			if !r.Result.Overloaded {
+				if r.Result.AvgSpeedup > best[r.Variant] {
+					best[r.Variant] = r.Result.AvgSpeedup
+				}
+				if r.Load > sustained[r.Variant] {
+					sustained[r.Variant] = r.Load
+				}
+			}
+		}
+		b.ReportMetric(best["paper model (no overlap)"], "paper_speedup")
+		b.ReportMetric(best["pipelined transfers"], "pipelined_speedup")
+		b.ReportMetric(sustained["pipelined transfers"], "pipelined_maxload_j/h")
+	}
+}
+
+// BenchmarkNodeCountScaling checks the §2.4 claim that 5/10/20-node
+// clusters behave similarly at equal utilisation.
+func BenchmarkNodeCountScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.NodeCountStudy(experiments.Quick, benchSeed)
+		for _, r := range rows {
+			if !r.Result.Overloaded && r.Utilisation == 0.3 {
+				b.ReportMetric(r.Efficiency, fmt.Sprintf("efficiency_%dnodes", r.Nodes))
+			}
+		}
+	}
+}
+
+// BenchmarkBaselines compares the repo's added baselines (static
+// partitioning, cache-affine farm) with the paper's dynamic policies.
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.BaselineComparison(experiments.Quick, benchSeed)
+		best := map[string]float64{}
+		for _, r := range rows {
+			if !r.Result.Overloaded && r.Result.AvgSpeedup > best[r.Variant] {
+				best[r.Variant] = r.Result.AvgSpeedup
+			}
+		}
+		b.ReportMetric(best["partitioned (static ownership)"], "partitioned_speedup")
+		b.ReportMetric(best["affine farm (caching, no splitting)"], "affinefarm_speedup")
+		b.ReportMetric(best["out-of-order"], "outoforder_speedup")
+	}
+}
+
+// BenchmarkHeterogeneity measures how the farm and out-of-order policies
+// absorb mixed node speeds at equal aggregate capacity.
+func BenchmarkHeterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.HeterogeneityStudy(experiments.Quick, benchSeed)
+		sustained := map[string]float64{}
+		for _, r := range rows {
+			if !r.Result.Overloaded && r.Load > sustained[r.Variant] {
+				sustained[r.Variant] = r.Load
+			}
+		}
+		b.ReportMetric(sustained["farm, identical nodes"], "farm_ident_maxload")
+		b.ReportMetric(sustained["farm, mixed speeds"], "farm_mixed_maxload")
+		b.ReportMetric(sustained["out-of-order, mixed speeds"], "ooo_mixed_maxload")
+	}
+}
+
+// BenchmarkTableFarmVsMErM regenerates the §3.1 validation of the farm
+// against the analytic M/Er/m model.
+func BenchmarkTableFarmVsMErM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.FarmVsMErM(experiments.Quick, benchSeed)
+		var sum float64
+		var n int
+		for _, r := range rows {
+			// Compare only mid-utilisation points: below, waits are
+			// seconds-scale and relative error is noise; above, the
+			// quick-scale window underestimates the near-critical queue.
+			if r.Overloaded || r.Utilisation < 0.6 || r.Utilisation >= 0.85 || r.ModelWaiting < 300 {
+				continue
+			}
+			rel := (r.SimWaiting - r.ModelWaiting) / r.ModelWaiting
+			if rel < 0 {
+				rel = -rel
+			}
+			sum += rel
+			n++
+		}
+		if n > 0 {
+			b.ReportMetric(100*sum/float64(n), "mean_model_gap_pct")
+		}
+	}
+}

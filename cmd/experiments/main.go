@@ -1,0 +1,126 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section, printing text tables and ASCII plots and optionally
+// writing CSV files.
+//
+// Usage:
+//
+//	experiments [-fig all|fig2|fig3|fig4|fig5|fig6|fig7|rep|max|farm]
+//	            [-quality quick|full] [-seed N] [-csv DIR] [-plots]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"physched/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		figFlag = flag.String("fig", "all", "experiment to run: all, fig2..fig7, rep, max, farm")
+		quality = flag.String("quality", "quick", "quick (benchmark scale) or full (report scale)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
+		plots   = flag.Bool("plots", true, "render ASCII plots for figure experiments")
+	)
+	flag.Parse()
+
+	var q experiments.Quality
+	switch *quality {
+	case "quick":
+		q = experiments.Quick
+	case "full":
+		q = experiments.Full
+	default:
+		log.Fatalf("unknown -quality %q (want quick or full)", *quality)
+	}
+
+	ids := []string{*figFlag}
+	if *figFlag == "all" {
+		ids = experiments.AllFigureIDs()
+	}
+	for _, id := range ids {
+		if err := run(id, q, *seed, *csvDir, *plots); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+	}
+}
+
+func run(id string, q experiments.Quality, seed int64, csvDir string, plots bool) error {
+	switch id {
+	case "fig2", "fig3", "fig5", "fig6", "fig7":
+		var f experiments.Figure
+		switch id {
+		case "fig2":
+			f = experiments.Fig2(q, seed)
+		case "fig3":
+			f = experiments.Fig3(q, seed)
+		case "fig5":
+			f = experiments.Fig5(q, seed)
+		case "fig6":
+			f = experiments.Fig6(q, seed)
+		case "fig7":
+			f = experiments.Fig7(q, seed)
+		}
+		fmt.Println(f.Table())
+		if plots {
+			fmt.Println(f.Plots())
+		}
+		if csvDir != "" {
+			path := filepath.Join(csvDir, f.ID+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	case "fig4":
+		fmt.Println(experiments.RenderDistributions(experiments.Fig4(q, seed)))
+	case "rep":
+		fmt.Println(experiments.RenderReplication(experiments.Replication(q, seed)))
+	case "max":
+		fmt.Println(experiments.RenderMaxLoad(experiments.MaxLoad(q, seed)))
+	case "farm":
+		fmt.Println(experiments.RenderFarm(experiments.FarmVsMErM(q, seed)))
+	case "ab-eviction":
+		fmt.Println(experiments.RenderAblation(
+			"Ablation: LRU vs FIFO cache eviction (out-of-order policy)",
+			experiments.AblationEviction(q, seed)))
+	case "ab-steal":
+		fmt.Println(experiments.RenderAblation(
+			"Ablation: stolen subjobs read remotely vs re-read from tape",
+			experiments.AblationStealSource(q, seed)))
+	case "ab-replication":
+		fmt.Println(experiments.RenderAblation(
+			"Ablation: replication threshold (remote accesses before replicating)",
+			experiments.AblationReplicationThreshold(q, seed)))
+	case "ab-hotspot":
+		fmt.Println(experiments.RenderAblation(
+			"Ablation: workload hot-region weight",
+			experiments.AblationHotspot(q, seed)))
+	case "nodes":
+		fmt.Println(experiments.RenderNodeCount(experiments.NodeCountStudy(q, seed)))
+	case "pipeline":
+		fmt.Println(experiments.RenderAblation(
+			"Future work (§7): pipelining data transfers with computation",
+			experiments.FutureWorkPipelining(q, seed)))
+	case "baselines":
+		fmt.Println(experiments.RenderAblation(
+			"Baselines: static partitioning and affine farm vs the paper's dynamic policies",
+			experiments.BaselineComparison(q, seed)))
+	case "hetero":
+		fmt.Println(experiments.RenderAblation(
+			"Extension: heterogeneous node speeds (equal aggregate capacity)",
+			experiments.HeterogeneityStudy(q, seed)))
+	default:
+		return fmt.Errorf("unknown experiment %q (known: %s)",
+			id, strings.Join(experiments.AllFigureIDs(), ", "))
+	}
+	return nil
+}

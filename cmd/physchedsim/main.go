@@ -1,0 +1,168 @@
+// Command physchedsim runs a single cluster-scheduling simulation and
+// prints its metrics, optionally with the waiting-time histogram.
+//
+// Usage:
+//
+//	physchedsim -policy outoforder -load 1.5 [-nodes 10] [-cache-gb 100]
+//	            [-delay-hours 48] [-stripe 5000] [-jobs 600] [-seed 1]
+//	            [-histogram]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"physched/internal/config"
+	"physched/internal/model"
+	"physched/internal/runner"
+	"physched/internal/sched"
+	"physched/internal/stats"
+	"physched/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("physchedsim: ")
+	var (
+		policy    = flag.String("policy", "outoforder", "farm | splitting | cacheoriented | outoforder | replication | delayed | adaptive | partitioned | affinefarm")
+		load      = flag.Float64("load", 1.5, "arrival rate in jobs per hour")
+		nodes     = flag.Int("nodes", 10, "number of processing nodes")
+		cacheGB   = flag.Int64("cache-gb", 100, "per-node disk cache in GB")
+		delayH    = flag.Float64("delay-hours", 48, "period delay for the delayed policy, hours")
+		stripe    = flag.Int64("stripe", 5000, "stripe size in events (delayed/adaptive)")
+		jobs      = flag.Int("jobs", 600, "measured jobs")
+		warmup    = flag.Int("warmup", 150, "warm-up jobs")
+		seed      = flag.Int64("seed", 1, "random seed")
+		histogram = flag.Bool("histogram", false, "print the waiting-time histogram")
+		stated    = flag.Bool("stated-params", false, "use the paper's stated raw constants instead of the calibrated preset")
+		cfgPath   = flag.String("config", "", "JSON scenario file (overrides the other scenario flags)")
+		tracePath = flag.String("trace", "", "write a JSONL execution trace to this file")
+	)
+	flag.Parse()
+
+	if *cfgPath != "" {
+		runFromConfig(*cfgPath, *tracePath, *histogram)
+		return
+	}
+
+	params := model.PaperCalibrated()
+	if *stated {
+		params = model.PaperStated()
+	}
+	params.Nodes = *nodes
+	params.CacheBytes = *cacheGB * model.GB
+
+	mk, err := policyFactory(*policy, *delayH, *stripe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := runner.Scenario{
+		Params:      params,
+		NewPolicy:   mk,
+		Load:        *load,
+		Seed:        *seed,
+		WarmupJobs:  *warmup,
+		MeasureJobs: *jobs,
+	}
+	if *policy == "delayed" || *policy == "adaptive" {
+		s.OverloadBacklog = int64(3**load*(*delayH)) + int64(25*params.Nodes)
+	}
+	res := runSimulation(s, *tracePath)
+	report(res, params, *histogram)
+}
+
+// report prints the run's metrics.
+func report(res runner.Result, params model.Params, histogram bool) {
+	fmt.Printf("policy            %s\n", res.PolicyName)
+	fmt.Printf("load              %.3f jobs/hour (theoretical max %.2f, farm max %.2f)\n",
+		res.Load, params.MaxTheoreticalLoad(), params.FarmMaxLoad())
+	if res.Overloaded {
+		fmt.Println("state             OVERLOADED (queues grow without bound)")
+		return
+	}
+	fmt.Printf("state             steady (%d jobs measured over %s simulated)\n",
+		res.MeasuredJobs, stats.FormatDuration(res.SimTime))
+	fmt.Printf("avg speedup       %.2f (max possible %.1f)\n", res.AvgSpeedup, params.MaxSpeedup())
+	fmt.Printf("avg waiting       %s\n", stats.FormatDuration(res.AvgWaiting))
+	fmt.Printf("p99 waiting       %s\n", stats.FormatDuration(res.P99Waiting))
+	fmt.Printf("max waiting       %s\n", stats.FormatDuration(res.MaxWaiting))
+	fmt.Printf("avg processing    %s (single-node no-cache reference %s)\n",
+		stats.FormatDuration(res.AvgProc), stats.FormatDuration(params.SingleNodeNoCacheTime()))
+	st := res.Cluster
+	total := st.EventsFromCache + st.EventsFromRemote + st.EventsFromTape
+	if total > 0 {
+		fmt.Printf("data sources      cache %.1f%%  remote %.1f%%  tape %.1f%%  (replicated %.3f%%)\n",
+			pct(st.EventsFromCache, total), pct(st.EventsFromRemote, total),
+			pct(st.EventsFromTape, total), pct(st.EventsReplicated, total))
+	}
+	fmt.Printf("dispatches        %d (%d preemptions)\n", st.Dispatches, st.Preemptions)
+	if histogram {
+		fmt.Println("\nwaiting-time distribution:")
+		fmt.Print(res.Collector.WaitingHistogram().String())
+	}
+}
+
+// runFromConfig executes a scenario loaded from a JSON file.
+func runFromConfig(path, tracePath string, histogram bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := config.Parse(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := cfg.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := runSimulation(s, tracePath)
+	report(res, s.Params, histogram)
+}
+
+// runSimulation runs s, streaming a trace to tracePath when set.
+func runSimulation(s runner.Scenario, tracePath string) runner.Result {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace written to %s\n", tracePath)
+		}()
+		s.Trace = trace.New(1, f) // stream everything, keep memory flat
+	}
+	return runner.Run(s)
+}
+
+func pct(a, b int64) float64 { return 100 * float64(a) / float64(b) }
+
+func policyFactory(name string, delayHours float64, stripe int64) (func() sched.Policy, error) {
+	switch name {
+	case "farm":
+		return func() sched.Policy { return sched.NewFarm() }, nil
+	case "splitting":
+		return func() sched.Policy { return sched.NewSplitting() }, nil
+	case "cacheoriented":
+		return func() sched.Policy { return sched.NewCacheOriented() }, nil
+	case "outoforder":
+		return func() sched.Policy { return sched.NewOutOfOrder() }, nil
+	case "replication":
+		return func() sched.Policy { return sched.NewReplication() }, nil
+	case "delayed":
+		return func() sched.Policy { return sched.NewDelayed(delayHours*model.Hour, stripe) }, nil
+	case "adaptive":
+		return func() sched.Policy { return sched.NewAdaptive(stripe) }, nil
+	case "partitioned":
+		return func() sched.Policy { return sched.NewPartitioned() }, nil
+	case "affinefarm":
+		return func() sched.Policy { return sched.NewAffineFarm() }, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}

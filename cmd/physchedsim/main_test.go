@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"physched/internal/model"
+	"physched/internal/runner"
+)
+
+func TestPolicyFactoryKnownNames(t *testing.T) {
+	names := map[string]string{
+		"farm":          "farm",
+		"splitting":     "splitting",
+		"cacheoriented": "cacheoriented",
+		"outoforder":    "outoforder",
+		"replication":   "outoforder+replication",
+		"delayed":       "delayed",
+		"adaptive":      "adaptive",
+		"partitioned":   "partitioned",
+		"affinefarm":    "affinefarm",
+	}
+	for flag, want := range names {
+		mk, err := policyFactory(flag, 11, 200)
+		if err != nil {
+			t.Errorf("policyFactory(%q): %v", flag, err)
+			continue
+		}
+		if got := mk().Name(); got != want {
+			t.Errorf("policyFactory(%q).Name() = %q, want %q", flag, got, want)
+		}
+	}
+}
+
+func TestPolicyFactoryUnknownName(t *testing.T) {
+	if _, err := policyFactory("bogus", 0, 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunSimulationWithoutTrace(t *testing.T) {
+	p := model.PaperCalibrated()
+	p.Nodes = 3
+	p.MeanJobEvents = 1_000
+	p.DataspaceBytes = 60 * model.GB
+	p.CacheBytes = 6 * model.GB
+	mk, err := policyFactory("outoforder", 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSimulation(runner.Scenario{
+		Params: p, NewPolicy: mk, Load: 0.5 * p.FarmMaxLoad(),
+		Seed: 1, WarmupJobs: 10, MeasureJobs: 50,
+	}, "")
+	if res.Overloaded || res.MeasuredJobs != 50 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	// report must not panic on either outcome.
+	report(res, p, true)
+	res.Overloaded = true
+	report(res, p, false)
+}

@@ -1,0 +1,66 @@
+package physched_test
+
+import (
+	"fmt"
+
+	"physched"
+)
+
+// ExampleRun simulates the paper's cluster under the out-of-order policy
+// at a moderate load. Simulations are deterministic for a fixed seed.
+func ExampleRun() {
+	params := physched.PaperCalibrated()
+	res := physched.Run(physched.Scenario{
+		Params:      params,
+		NewPolicy:   physched.OutOfOrder,
+		Load:        1.0, // jobs per hour
+		Seed:        1,
+		WarmupJobs:  50,
+		MeasureJobs: 200,
+	})
+	fmt.Printf("overloaded: %v\n", res.Overloaded)
+	fmt.Printf("speedup above farm: %v\n", res.AvgSpeedup > 5)
+	fmt.Printf("waiting under an hour: %v\n", res.AvgWaiting < physched.Hour)
+	// Output:
+	// overloaded: false
+	// speedup above farm: true
+	// waiting under an hour: true
+}
+
+// ExampleParams_derived shows the calibrated preset reproducing the
+// paper's derived reference quantities.
+func ExampleParams_derived() {
+	p := physched.PaperCalibrated()
+	fmt.Printf("reference job: %.0f s\n", p.SingleNodeNoCacheTime())
+	fmt.Printf("theoretical max load: %.2f jobs/hour\n", p.MaxTheoreticalLoad())
+	fmt.Printf("caching gain: %.2f\n", p.CachingGain())
+	fmt.Printf("farm max load: %.2f jobs/hour\n", p.FarmMaxLoad())
+	// Output:
+	// reference job: 32000 s
+	// theoretical max load: 3.46 jobs/hour
+	// caching gain: 3.08
+	// farm max load: 1.12 jobs/hour
+}
+
+// ExampleSustainableLoad finds the saturation point of the processing farm
+// on a reduced cluster, matching the analytic bound.
+func ExampleSustainableLoad() {
+	p := physched.PaperCalibrated()
+	p.Nodes = 4
+	p.MeanJobEvents = 2_000
+	p.DataspaceBytes = 200 * physched.GB
+	p.CacheBytes = 10 * physched.GB
+
+	farmMax := p.FarmMaxLoad()
+	loads := []float64{0.5 * farmMax, 0.9 * farmMax, 1.5 * farmMax}
+	got := physched.SustainableLoad(physched.Scenario{
+		Params:      p,
+		NewPolicy:   physched.Farm,
+		Seed:        1,
+		WarmupJobs:  30,
+		MeasureJobs: 150,
+	}, loads)
+	fmt.Printf("farm sustains 0.9×max: %v\n", got == loads[1])
+	// Output:
+	// farm sustains 0.9×max: true
+}

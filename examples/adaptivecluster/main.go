@@ -1,0 +1,58 @@
+// Adaptivecluster demonstrates the §6 trade-off: the out-of-order policy
+// gives the best response times but collapses beyond ~half the theoretical
+// maximal load, the delayed policy sustains nearly the maximum at terrible
+// response times, and the adaptive-delay policy follows the better of the
+// two at every load.
+package main
+
+import (
+	"fmt"
+
+	"physched"
+)
+
+func main() {
+	params := physched.PaperCalibrated()
+	theoMax := params.MaxTheoreticalLoad()
+
+	base := physched.Scenario{
+		Params:      params,
+		Seed:        3,
+		WarmupJobs:  100,
+		MeasureJobs: 300,
+		// Delayed policies legitimately accumulate large batches; allow for
+		// a week's worth of arrivals before calling the run overloaded.
+		OverloadBacklog: int64(3.5*7*24) + 250,
+		DelayIncluded:   true, // compare end-user waiting, delay included
+	}
+	variants := []physched.Variant{
+		{Label: "out-of-order", NewPolicy: physched.OutOfOrder},
+		{Label: "delayed 1w/200", NewPolicy: func() physched.Policy {
+			return physched.Delayed(physched.Week, 200)
+		}},
+		{Label: "adaptive/200", NewPolicy: func() physched.Policy {
+			return physched.Adaptive(200)
+		}},
+	}
+	loads := []float64{0.3 * theoMax, 0.45 * theoMax, 0.6 * theoMax, 0.75 * theoMax, 0.87 * theoMax}
+	curves := physched.SweepCurves(base, loads, variants)
+
+	fmt.Printf("theoretical maximal load: %.2f jobs/hour\n\n", theoMax)
+	fmt.Printf("%-16s", "policy")
+	for _, l := range loads {
+		fmt.Printf("  %12s", fmt.Sprintf("%.0f%% of max", 100*l/theoMax))
+	}
+	fmt.Println()
+	for _, c := range curves {
+		fmt.Printf("%-16s", c.Label)
+		for _, r := range c.Results {
+			cell := "overload"
+			if !r.Overloaded {
+				cell = fmt.Sprintf("%.1fh wait", r.AvgWaiting/physched.Hour)
+			}
+			fmt.Printf("  %12s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nwaiting times are end-to-end (scheduling delay included, as in Figure 7)")
+}

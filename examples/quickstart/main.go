@@ -1,0 +1,37 @@
+// Quickstart: simulate the paper's 10-node cluster under the out-of-order
+// scheduling policy at a moderate load and print the headline metrics.
+package main
+
+import (
+	"fmt"
+
+	"physched"
+)
+
+func main() {
+	params := physched.PaperCalibrated()
+
+	res := physched.Run(physched.Scenario{
+		Params:      params,
+		NewPolicy:   physched.OutOfOrder,
+		Load:        1.5, // jobs per hour
+		Seed:        1,
+		WarmupJobs:  100,
+		MeasureJobs: 400,
+	})
+
+	fmt.Printf("cluster: %d nodes, %d GB cache/node, theoretical max load %.2f jobs/h\n",
+		params.Nodes, params.CacheBytes/physched.GB, params.MaxTheoreticalLoad())
+	if res.Overloaded {
+		fmt.Println("the cluster is overloaded at this arrival rate")
+		return
+	}
+	fmt.Printf("policy %q at %.2f jobs/hour:\n", res.PolicyName, res.Load)
+	fmt.Printf("  average speedup     %.1f (vs single node without cache)\n", res.AvgSpeedup)
+	fmt.Printf("  average waiting     %.1f minutes\n", res.AvgWaiting/physched.Minute)
+	fmt.Printf("  average processing  %.1f hours (reference job: %.1f hours)\n",
+		res.AvgProc/physched.Hour, params.SingleNodeNoCacheTime()/physched.Hour)
+	st := res.Cluster
+	total := st.EventsFromCache + st.EventsFromRemote + st.EventsFromTape
+	fmt.Printf("  events from cache   %.0f%%\n", 100*float64(st.EventsFromCache)/float64(total))
+}

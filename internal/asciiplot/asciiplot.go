@@ -1,0 +1,150 @@
+// Package asciiplot renders simple multi-series line charts as terminal
+// text, close enough to the paper's figures to eyeball speedup and waiting
+// time curves without leaving the shell. The Y axis can be linear (speedup
+// plots) or logarithmic (waiting time plots, which the paper draws from
+// seconds to a week on a log scale).
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	Marker rune
+}
+
+// Options control the chart rendering.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot area width in columns (default 64)
+	Height int  // plot area height in rows (default 18)
+	LogY   bool // logarithmic Y axis
+	YMin   float64
+	YMax   float64 // both zero = autoscale
+}
+
+var defaultMarkers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func Render(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 18
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if opt.LogY && y <= 0 {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return opt.Title + "\n(no data)\n"
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	yc := func(y float64) float64 {
+		if opt.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := yc(ymin), yc(ymax)
+
+	grid := make([][]rune, opt.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if opt.LogY && y <= 0 {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(opt.Width-1))
+			row := opt.Height - 1 - int((yc(y)-lo)/(hi-lo)*float64(opt.Height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= opt.Height {
+				row = opt.Height - 1
+			}
+			grid[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	labelW := 10
+	for r, row := range grid {
+		frac := float64(opt.Height-1-r) / float64(opt.Height-1)
+		val := lo + frac*(hi-lo)
+		if opt.LogY {
+			val = math.Pow(10, val)
+		}
+		label := ""
+		if r%3 == 0 || r == opt.Height-1 {
+			label = trimNum(val)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", labelW, label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", labelW, "", opt.Width-len(trimNum(xmax)), trimNum(xmin), trimNum(xmax))
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", labelW, "", opt.XLabel, opt.YLabel)
+	}
+	var labels []string
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		labels = append(labels, fmt.Sprintf("%c %s", marker, s.Label))
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(&b, "%*s  %s\n", labelW, "", strings.Join(labels, "   "))
+	return b.String()
+}
+
+func trimNum(v float64) string {
+	switch {
+	case math.Abs(v) >= 100_000:
+		return fmt.Sprintf("%.2g", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

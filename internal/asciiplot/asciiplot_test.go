@@ -1,0 +1,82 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render([]Series{
+		{Label: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+	}, Options{Title: "test", XLabel: "x", YLabel: "y"})
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "linear") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data points plotted")
+	}
+	if !strings.Contains(out, "x: x") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	out := Render([]Series{
+		{Label: "a", X: []float64{0, 1}, Y: []float64{1, 2}},
+		{Label: "b", X: []float64{0, 1}, Y: []float64{3, 4}},
+	}, Options{})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series should use distinct markers")
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	out := Render([]Series{
+		{Label: "wide", X: []float64{0, 1, 2}, Y: []float64{1, 1000, 1_000_000}},
+	}, Options{LogY: true, Height: 12, Width: 40})
+	if out == "" || !strings.Contains(out, "*") {
+		t.Error("log plot empty")
+	}
+	// Non-positive values must be skipped, not crash.
+	out = Render([]Series{
+		{Label: "zeros", X: []float64{0, 1}, Y: []float64{0, 10}},
+	}, Options{LogY: true})
+	if !strings.Contains(out, "*") {
+		t.Error("positive point not plotted")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(nil, Options{Title: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("want no-data message, got %q", out)
+	}
+	out = Render([]Series{{Label: "allzero", Y: []float64{0}, X: []float64{0}}}, Options{LogY: true})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("all-nonpositive log plot should say no data, got %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out := Render([]Series{
+		{Label: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}},
+	}, Options{})
+	if !strings.Contains(out, "*") {
+		t.Error("flat series not plotted")
+	}
+}
+
+func TestMarkersRespectBounds(t *testing.T) {
+	out := Render([]Series{
+		{Label: "s", X: []float64{0, 100}, Y: []float64{-5, 1e9}},
+	}, Options{Width: 30, Height: 8})
+	for _, line := range strings.Split(out, "\n") {
+		if len([]rune(line)) > 30+14+40 {
+			t.Errorf("line too long: %q", line)
+		}
+	}
+}

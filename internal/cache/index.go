@@ -1,0 +1,99 @@
+package cache
+
+import "physched/internal/dataspace"
+
+// Index is the master node's view of all node disk caches. The paper's
+// scheduler "maintains the job and subjob queues as well as the state of
+// all disk caches in the cluster"; Index is that state.
+type Index struct {
+	caches []*LRU
+}
+
+// NewIndex builds an index over n node caches, each with the given
+// capacity in events and eviction policy.
+func NewIndex(n int, capacityEvents int64, policy EvictPolicy) *Index {
+	ix := &Index{caches: make([]*LRU, n)}
+	for i := range ix.caches {
+		ix.caches[i] = NewLRU(capacityEvents, policy)
+	}
+	return ix
+}
+
+// Nodes returns the number of node caches.
+func (ix *Index) Nodes() int { return len(ix.caches) }
+
+// Node returns the cache of node i.
+func (ix *Index) Node(i int) *LRU { return ix.caches[i] }
+
+// CachedAnywhere returns the parts of iv cached on at least one node.
+func (ix *Index) CachedAnywhere(iv dataspace.Interval) dataspace.Set {
+	var s dataspace.Set
+	for _, c := range ix.caches {
+		s = s.Union(c.CachedPart(iv))
+	}
+	return s
+}
+
+// NodePiece is a maximal run of an interval attributed to a single node's
+// cache, or to no cache (Node == -1).
+type NodePiece struct {
+	Interval dataspace.Interval
+	Node     int // -1 when the piece is cached nowhere
+}
+
+// PartitionByNode splits iv into contiguous pieces such that each piece is
+// either fully cached on the designated node or cached nowhere. When
+// several nodes cache the same events, the piece goes to the node caching
+// the longest run starting at the piece's first event, which keeps the
+// attribution deterministic and favours large fully-cached subjobs (the
+// paper's splitting rule: "data processed by a given subjob should always
+// either be fully cached on a node or not cached at all").
+func (ix *Index) PartitionByNode(iv dataspace.Interval) []NodePiece {
+	var out []NodePiece
+	pos := iv.Start
+	for pos < iv.End {
+		rest := dataspace.Iv(pos, iv.End)
+		bestNode, bestEnd := -1, pos
+		var nearestStart int64 = iv.End
+		for n, c := range ix.caches {
+			part := c.CachedPart(rest)
+			ivs := part.Intervals()
+			if len(ivs) == 0 {
+				continue
+			}
+			first := ivs[0]
+			if first.Start == pos {
+				if first.End > bestEnd {
+					bestNode, bestEnd = n, first.End
+				}
+			} else if first.Start < nearestStart {
+				nearestStart = first.Start
+			}
+		}
+		if bestNode >= 0 {
+			out = append(out, NodePiece{dataspace.Iv(pos, bestEnd), bestNode})
+			pos = bestEnd
+			continue
+		}
+		out = append(out, NodePiece{dataspace.Iv(pos, nearestStart), -1})
+		pos = nearestStart
+	}
+	return out
+}
+
+// CachedOn returns how many events of iv are cached on node n.
+func (ix *Index) CachedOn(n int, iv dataspace.Interval) int64 {
+	return ix.caches[n].CachedPart(iv).Len()
+}
+
+// BestNodeFor returns the node caching the largest part of iv and that
+// amount; (-1, 0) when no node caches any of it.
+func (ix *Index) BestNodeFor(iv dataspace.Interval) (int, int64) {
+	best, bestAmt := -1, int64(0)
+	for n, c := range ix.caches {
+		if amt := c.CachedPart(iv).Len(); amt > bestAmt {
+			best, bestAmt = n, amt
+		}
+	}
+	return best, bestAmt
+}

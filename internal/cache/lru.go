@@ -1,0 +1,257 @@
+// Package cache implements the node disk caches of the simulated cluster:
+// a per-node LRU cache of event-data segments (the paper's scheduler
+// "deallocates the least recently used cached segments" when space is
+// needed), a cluster-wide index answering "which node caches which part of
+// this range", and an interval counter used by the data-replication policy
+// of §4.2 (replicate a segment on its third remote access).
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"physched/internal/dataspace"
+)
+
+// EvictPolicy selects which cached segment to evict when space is needed.
+type EvictPolicy int
+
+const (
+	// EvictLRU evicts the least recently used segment (the paper's choice).
+	EvictLRU EvictPolicy = iota
+	// EvictFIFO evicts the oldest inserted segment regardless of use.
+	EvictFIFO
+)
+
+// LRU is a disk cache holding event-index segments with a capacity in
+// events. The zero value is unusable; construct with NewLRU. A capacity of
+// zero yields a valid cache that never holds anything (the paper's
+// no-caching policies).
+type LRU struct {
+	capacity int64
+	used     int64
+	policy   EvictPolicy
+	order    *list.List // *segment; front = most recently used
+	segs     []*segment // sorted by interval start, disjoint
+	set      dataspace.Set
+
+	inserted int64 // cumulative events ever inserted
+	evicted  int64 // cumulative events ever evicted
+}
+
+type segment struct {
+	iv   dataspace.Interval
+	last float64
+	el   *list.Element
+}
+
+// NewLRU returns a cache with the given capacity in events.
+func NewLRU(capacityEvents int64, policy EvictPolicy) *LRU {
+	if capacityEvents < 0 {
+		panic("cache: negative capacity")
+	}
+	return &LRU{capacity: capacityEvents, policy: policy, order: list.New()}
+}
+
+// Capacity returns the capacity in events.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Used returns the number of currently cached events.
+func (c *LRU) Used() int64 { return c.used }
+
+// InsertedTotal and EvictedTotal return lifetime counters, for cache
+// churn statistics.
+func (c *LRU) InsertedTotal() int64 { return c.inserted }
+func (c *LRU) EvictedTotal() int64  { return c.evicted }
+
+// Cached returns the set of cached events. The returned set shares no
+// storage with the cache's mutable state but must be treated as read-only.
+func (c *LRU) Cached() dataspace.Set { return c.set }
+
+// Contains reports whether iv is entirely cached.
+func (c *LRU) Contains(iv dataspace.Interval) bool { return c.set.ContainsInterval(iv) }
+
+// CachedPart returns the parts of iv that are cached.
+func (c *LRU) CachedPart(iv dataspace.Interval) dataspace.Set {
+	return c.set.IntersectInterval(iv)
+}
+
+// Insert adds iv to the cache at time now, evicting according to the
+// eviction policy if needed. Parts of iv already cached are refreshed
+// (treated as used now). If iv exceeds the whole capacity, only its tail
+// (the most recently streamed events) is kept.
+func (c *LRU) Insert(iv dataspace.Interval, now float64) {
+	if c.capacity == 0 || iv.Empty() {
+		return
+	}
+	if iv.Len() > c.capacity {
+		iv = dataspace.Iv(iv.End-c.capacity, iv.End)
+	}
+	c.Touch(iv, now)
+	for _, part := range c.set.SubtractFrom(iv).Intervals() {
+		c.makeRoom(part.Len(), iv)
+		c.inserted += part.Len()
+		c.used += part.Len()
+		c.set = c.set.Add(part)
+		c.addSegment(&segment{iv: part, last: now}, true)
+	}
+}
+
+// Touch marks the cached parts of iv as used at time now, refreshing their
+// LRU position.
+func (c *LRU) Touch(iv dataspace.Interval, now float64) {
+	if iv.Empty() {
+		return
+	}
+	for _, s := range c.overlapping(iv) {
+		c.splitOut(s, iv)
+		s.last = now
+		if c.policy == EvictLRU {
+			c.order.MoveToFront(s.el)
+		}
+	}
+}
+
+// Evict removes iv from the cache regardless of recency (used by tests and
+// by failure-injection scenarios).
+func (c *LRU) Evict(iv dataspace.Interval) {
+	for _, s := range c.overlapping(iv) {
+		c.splitOut(s, iv)
+		c.dropSegment(s)
+	}
+}
+
+// makeRoom evicts segments until need events fit. Segments overlapping
+// protect are never evicted (they belong to the insertion in progress).
+func (c *LRU) makeRoom(need int64, protect dataspace.Interval) {
+	for c.used+need > c.capacity {
+		victim := c.victim(protect)
+		if victim == nil {
+			return // everything left is protected; insert over capacity
+		}
+		over := c.used + need - c.capacity
+		if victim.iv.Len() > over {
+			// Partial eviction: drop just enough of the victim.
+			evict := dataspace.Iv(victim.iv.Start, victim.iv.Start+over)
+			c.set = c.set.Remove(evict)
+			c.used -= evict.Len()
+			c.evicted += evict.Len()
+			c.removeFromSlice(victim)
+			victim.iv = dataspace.Iv(evict.End, victim.iv.End)
+			c.insertIntoSlice(victim)
+			return
+		}
+		c.dropSegment(victim)
+	}
+}
+
+// victim returns the next segment to evict, or nil if only protected
+// segments remain.
+func (c *LRU) victim(protect dataspace.Interval) *segment {
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		s := el.Value.(*segment)
+		if !s.iv.Overlaps(protect) {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *LRU) dropSegment(s *segment) {
+	c.set = c.set.Remove(s.iv)
+	c.used -= s.iv.Len()
+	c.evicted += s.iv.Len()
+	c.order.Remove(s.el)
+	c.removeFromSlice(s)
+}
+
+// splitOut shrinks s so it lies entirely within iv, creating sibling
+// segments (same recency) for the parts outside iv.
+func (c *LRU) splitOut(s *segment, iv dataspace.Interval) {
+	in := s.iv.Intersect(iv)
+	if in == s.iv {
+		return
+	}
+	c.removeFromSlice(s)
+	if left := dataspace.Iv(s.iv.Start, in.Start); !left.Empty() {
+		c.addSibling(s, left)
+	}
+	if right := dataspace.Iv(in.End, s.iv.End); !right.Empty() {
+		c.addSibling(s, right)
+	}
+	s.iv = in
+	c.insertIntoSlice(s)
+}
+
+func (c *LRU) addSibling(of *segment, iv dataspace.Interval) {
+	sib := &segment{iv: iv, last: of.last}
+	sib.el = c.order.InsertAfter(sib, of.el)
+	c.insertIntoSlice(sib)
+}
+
+func (c *LRU) addSegment(s *segment, front bool) {
+	if front {
+		s.el = c.order.PushFront(s)
+	} else {
+		s.el = c.order.PushBack(s)
+	}
+	c.insertIntoSlice(s)
+}
+
+// overlapping returns the segments overlapping iv. The returned slice is
+// freshly allocated, so callers may mutate the cache while iterating it.
+func (c *LRU) overlapping(iv dataspace.Interval) []*segment {
+	if iv.Empty() {
+		return nil
+	}
+	i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].iv.End > iv.Start })
+	var out []*segment
+	for ; i < len(c.segs) && c.segs[i].iv.Start < iv.End; i++ {
+		out = append(out, c.segs[i])
+	}
+	return out
+}
+
+func (c *LRU) insertIntoSlice(s *segment) {
+	i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].iv.Start >= s.iv.Start })
+	c.segs = append(c.segs, nil)
+	copy(c.segs[i+1:], c.segs[i:])
+	c.segs[i] = s
+}
+
+func (c *LRU) removeFromSlice(s *segment) {
+	i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].iv.Start >= s.iv.Start })
+	if i >= len(c.segs) || c.segs[i] != s {
+		panic(fmt.Sprintf("cache: segment %v not found in slice", s.iv))
+	}
+	c.segs = append(c.segs[:i], c.segs[i+1:]...)
+}
+
+// checkInvariants panics if internal bookkeeping diverged; used in tests.
+func (c *LRU) checkInvariants() {
+	var total int64
+	var set dataspace.Set
+	for i, s := range c.segs {
+		if s.iv.Empty() {
+			panic("cache: empty segment")
+		}
+		if i > 0 && c.segs[i-1].iv.End > s.iv.Start {
+			panic("cache: segments overlap or unsorted")
+		}
+		total += s.iv.Len()
+		set = set.Add(s.iv)
+	}
+	if total != c.used {
+		panic(fmt.Sprintf("cache: used=%d but segments hold %d", c.used, total))
+	}
+	if c.used > c.capacity {
+		panic("cache: over capacity")
+	}
+	if set.Len() != c.set.Len() {
+		panic("cache: set diverged from segments")
+	}
+	if c.order.Len() != len(c.segs) {
+		panic("cache: LRU list and slice out of sync")
+	}
+}

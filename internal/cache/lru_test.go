@@ -1,0 +1,175 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"physched/internal/dataspace"
+)
+
+func TestInsertAndContains(t *testing.T) {
+	c := NewLRU(1000, EvictLRU)
+	c.Insert(dataspace.Iv(0, 100), 1)
+	if !c.Contains(dataspace.Iv(0, 100)) {
+		t.Error("inserted interval not cached")
+	}
+	if c.Contains(dataspace.Iv(0, 101)) {
+		t.Error("cache claims events it never saw")
+	}
+	if c.Used() != 100 {
+		t.Errorf("Used = %d, want 100", c.Used())
+	}
+	c.checkInvariants()
+}
+
+func TestZeroCapacityCachesNothing(t *testing.T) {
+	c := NewLRU(0, EvictLRU)
+	c.Insert(dataspace.Iv(0, 100), 1)
+	if c.Used() != 0 || !c.Cached().Empty() {
+		t.Error("zero-capacity cache stored data")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU(300, EvictLRU)
+	c.Insert(dataspace.Iv(0, 100), 1)
+	c.Insert(dataspace.Iv(200, 300), 2)
+	c.Insert(dataspace.Iv(400, 500), 3)
+	// Cache full. Touch the oldest so the middle one becomes LRU.
+	c.Touch(dataspace.Iv(0, 100), 4)
+	c.Insert(dataspace.Iv(600, 700), 5)
+	if c.Contains(dataspace.Iv(200, 300)) {
+		t.Error("LRU victim [200,300) survived")
+	}
+	for _, iv := range []dataspace.Interval{
+		dataspace.Iv(0, 100), dataspace.Iv(400, 500), dataspace.Iv(600, 700),
+	} {
+		if !c.Contains(iv) {
+			t.Errorf("%v should still be cached", iv)
+		}
+	}
+	c.checkInvariants()
+}
+
+func TestFIFOEvictionIgnoresTouch(t *testing.T) {
+	c := NewLRU(300, EvictFIFO)
+	c.Insert(dataspace.Iv(0, 100), 1)
+	c.Insert(dataspace.Iv(200, 300), 2)
+	c.Insert(dataspace.Iv(400, 500), 3)
+	c.Touch(dataspace.Iv(0, 100), 4) // must not save it under FIFO
+	c.Insert(dataspace.Iv(600, 700), 5)
+	if c.Contains(dataspace.Iv(0, 100)) {
+		t.Error("FIFO victim [0,100) survived despite eviction order")
+	}
+	c.checkInvariants()
+}
+
+func TestPartialEviction(t *testing.T) {
+	c := NewLRU(1000, EvictLRU)
+	c.Insert(dataspace.Iv(0, 1000), 1)
+	c.Insert(dataspace.Iv(2000, 2100), 2)
+	if c.Used() != 1000 {
+		t.Errorf("Used = %d, want full 1000", c.Used())
+	}
+	// 100 events of the old segment must have been evicted.
+	if got := c.CachedPart(dataspace.Iv(0, 1000)).Len(); got != 900 {
+		t.Errorf("remaining of old segment = %d, want 900", got)
+	}
+	if !c.Contains(dataspace.Iv(2000, 2100)) {
+		t.Error("new segment missing")
+	}
+	c.checkInvariants()
+}
+
+func TestInsertLargerThanCapacityKeepsTail(t *testing.T) {
+	c := NewLRU(500, EvictLRU)
+	c.Insert(dataspace.Iv(0, 2000), 1)
+	if c.Used() != 500 {
+		t.Errorf("Used = %d, want 500", c.Used())
+	}
+	if !c.Contains(dataspace.Iv(1500, 2000)) {
+		t.Error("tail of oversized insert should be cached")
+	}
+	c.checkInvariants()
+}
+
+func TestInsertOverlappingRefreshes(t *testing.T) {
+	c := NewLRU(200, EvictLRU)
+	c.Insert(dataspace.Iv(0, 100), 1)
+	c.Insert(dataspace.Iv(100, 200), 2)
+	// Re-insert the first; it must become most recent.
+	c.Insert(dataspace.Iv(0, 100), 3)
+	c.Insert(dataspace.Iv(300, 400), 4)
+	if !c.Contains(dataspace.Iv(0, 100)) {
+		t.Error("refreshed segment was evicted")
+	}
+	if c.Contains(dataspace.Iv(100, 200)) {
+		t.Error("stale segment survived")
+	}
+	c.checkInvariants()
+}
+
+func TestEvictRemovesExplicitly(t *testing.T) {
+	c := NewLRU(1000, EvictLRU)
+	c.Insert(dataspace.Iv(0, 500), 1)
+	c.Evict(dataspace.Iv(100, 200))
+	if c.Used() != 400 {
+		t.Errorf("Used = %d, want 400", c.Used())
+	}
+	if c.Contains(dataspace.Iv(100, 200)) {
+		t.Error("evicted range still cached")
+	}
+	if !c.Contains(dataspace.Iv(0, 100)) || !c.Contains(dataspace.Iv(200, 500)) {
+		t.Error("eviction removed too much")
+	}
+	c.checkInvariants()
+}
+
+func TestChurnCounters(t *testing.T) {
+	c := NewLRU(100, EvictLRU)
+	c.Insert(dataspace.Iv(0, 100), 1)
+	c.Insert(dataspace.Iv(200, 300), 2)
+	if c.InsertedTotal() != 200 {
+		t.Errorf("InsertedTotal = %d, want 200", c.InsertedTotal())
+	}
+	if c.EvictedTotal() != 100 {
+		t.Errorf("EvictedTotal = %d, want 100", c.EvictedTotal())
+	}
+}
+
+// TestRandomisedInvariants drives the cache with random operations and
+// validates the internal structure plus the capacity bound at every step.
+func TestRandomisedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewLRU(5_000, EvictLRU)
+	for step := 0; step < 5_000; step++ {
+		start := rng.Int63n(50_000)
+		iv := dataspace.Iv(start, start+1+rng.Int63n(3_000))
+		switch rng.Intn(4) {
+		case 0, 1:
+			c.Insert(iv, float64(step))
+		case 2:
+			c.Touch(iv, float64(step))
+		case 3:
+			c.Evict(iv)
+		}
+		c.checkInvariants()
+		if c.Used() > c.Capacity() {
+			t.Fatalf("step %d: over capacity", step)
+		}
+	}
+	if c.InsertedTotal()-c.EvictedTotal() != c.Used() {
+		t.Errorf("flow conservation: in=%d out=%d used=%d",
+			c.InsertedTotal(), c.EvictedTotal(), c.Used())
+	}
+}
+
+func TestCachedPartMatchesInserts(t *testing.T) {
+	c := NewLRU(1_000_000, EvictLRU)
+	c.Insert(dataspace.Iv(10, 20), 1)
+	c.Insert(dataspace.Iv(30, 40), 1)
+	part := c.CachedPart(dataspace.Iv(0, 35))
+	if part.Len() != 15 {
+		t.Errorf("CachedPart len = %d, want 15", part.Len())
+	}
+}

@@ -1,0 +1,437 @@
+// Package cluster is the discrete-event model of the processing cluster:
+// identical single-CPU nodes with disk caches, a master holding the global
+// cache index, and the shared tertiary storage. It executes subjobs,
+// supports preemption and in-place splitting of running subjobs, and keeps
+// the per-job accounting (first start, processed events, completion) that
+// the metrics layer consumes.
+//
+// Execution model: a dispatched subjob's event range is partitioned into
+// pieces by data source — locally cached (disk rate), cached on another
+// node (remote read, only when the configuration allows it), or tertiary
+// storage. Pieces run sequentially; transfer and computation do not
+// overlap, so the per-event wall time is CPU time plus transfer time, the
+// model under which the paper's derived constants are mutually consistent
+// (see internal/model).
+package cluster
+
+import (
+	"fmt"
+
+	"physched/internal/cache"
+	"physched/internal/dataspace"
+	"physched/internal/job"
+	"physched/internal/model"
+	"physched/internal/sim"
+	"physched/internal/storage"
+	"physched/internal/trace"
+)
+
+// Source identifies where a piece's event data comes from.
+type Source int
+
+const (
+	// SourceCache reads from the node's local disk cache.
+	SourceCache Source = iota
+	// SourceRemote reads from another node's disk cache over the network.
+	SourceRemote
+	// SourceTape streams from the shared tertiary storage.
+	SourceTape
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourceRemote:
+		return "remote"
+	case SourceTape:
+		return "tape"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Piece is a contiguous run of a subjob's range served from one source.
+type Piece struct {
+	Range      dataspace.Interval
+	Source     Source
+	RemoteNode int     // owning node for SourceRemote, else -1
+	PerEvent   float64 // wall seconds per event
+}
+
+// Running is the execution state of a subjob on a node.
+type Running struct {
+	Subjob     *job.Subjob
+	pieces     []Piece
+	pieceIdx   int
+	pieceStart float64 // sim time the current piece began
+	ev         *sim.Event
+}
+
+// Node is one processing node.
+type Node struct {
+	ID    int
+	Cache *cache.LRU
+	run   *Running
+}
+
+// Idle reports whether the node is not executing a subjob.
+func (n *Node) Idle() bool { return n.run == nil }
+
+// Running returns the subjob executing on the node, or nil.
+func (n *Node) Running() *job.Subjob {
+	if n.run == nil {
+		return nil
+	}
+	return n.run.Subjob
+}
+
+// Config selects the data-path features a scheduling policy relies on.
+type Config struct {
+	// Caching inserts data streamed from tape into the local disk cache.
+	// The processing-farm and plain job-splitting policies disable it.
+	Caching bool
+
+	// RemoteReads serves data cached on another node over the network
+	// instead of re-reading it from tape (out-of-order policy, §4.2).
+	RemoteReads bool
+
+	// ReplicateAfter, when positive, replicates a remotely read segment
+	// into the reader's cache once the segment's remote-access count
+	// reaches this threshold (§4.2 uses 3). Zero disables replication.
+	ReplicateAfter int64
+
+	// Eviction selects the cache eviction policy (default LRU, the
+	// paper's choice; see the ablation studies for FIFO).
+	Eviction cache.EvictPolicy
+}
+
+// Stats aggregates the data-path counters of a simulation run.
+type Stats struct {
+	EventsFromCache  int64
+	EventsFromRemote int64
+	EventsFromTape   int64
+	EventsReplicated int64
+	Preemptions      int64
+	Dispatches       int64
+}
+
+// Cluster ties the nodes, cache index and tertiary storage to a simulation
+// engine.
+type Cluster struct {
+	eng    *sim.Engine
+	params model.Params
+	cfg    Config
+	nodes  []*Node
+	index  *cache.Index
+	tape   *storage.Tertiary
+	counts []cache.CountMap // per-node remote-access counters
+	stats  Stats
+
+	// SubjobDone is invoked whenever a subjob finishes on a node, after
+	// all job accounting. The scheduling policy reacts to it.
+	SubjobDone func(*Node, *job.Subjob)
+
+	// JobStarted and JobDone observe job lifecycle transitions; the
+	// metrics collector hooks them. Either may be nil.
+	JobStarted func(*job.Job)
+	JobDone    func(*job.Job)
+
+	// Tracer, when non-nil, records dispatches, completions and job
+	// lifecycle transitions.
+	Tracer *trace.Recorder
+}
+
+// New builds a cluster for the given parameters and data-path config.
+// Caches are sized from params.CacheEvents(); a zero cache size yields
+// diskless nodes.
+func New(eng *sim.Engine, params model.Params, cfg Config) *Cluster {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	capEvents := params.CacheEvents()
+	if !cfg.Caching {
+		capEvents = 0
+	}
+	c := &Cluster{
+		eng:    eng,
+		params: params,
+		cfg:    cfg,
+		index:  cache.NewIndex(params.Nodes, capEvents, cfg.Eviction),
+		tape:   storage.New(params.TapeBytesPerSec, params.EventBytes),
+		counts: make([]cache.CountMap, params.Nodes),
+	}
+	c.nodes = make([]*Node, params.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = &Node{ID: i, Cache: c.index.Node(i)}
+	}
+	return c
+}
+
+// Engine returns the simulation engine driving the cluster.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Params returns the model parameters.
+func (c *Cluster) Params() model.Params { return c.params }
+
+// Nodes returns all nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Index returns the cluster-wide cache index.
+func (c *Cluster) Index() *cache.Index { return c.index }
+
+// Tape returns the tertiary storage.
+func (c *Cluster) Tape() *storage.Tertiary { return c.tape }
+
+// Stats returns the data-path counters accumulated so far.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// IdleNodes returns the currently idle nodes, in node order.
+func (c *Cluster) IdleNodes() []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if n.Idle() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// plan partitions iv into execution pieces for node n.
+func (c *Cluster) plan(n *Node, iv dataspace.Interval) []Piece {
+	var pieces []Piece
+	for _, run := range n.Cache.Cached().Partition(iv) {
+		if run.InSet {
+			pieces = append(pieces, Piece{
+				Range: run.Interval, Source: SourceCache,
+				RemoteNode: -1, PerEvent: c.params.EventTimeCachedOn(n.ID),
+			})
+			continue
+		}
+		if !c.cfg.RemoteReads {
+			pieces = append(pieces, c.tapePiece(n, run.Interval))
+			continue
+		}
+		for _, np := range c.index.PartitionByNode(run.Interval) {
+			if np.Node < 0 || np.Node == n.ID {
+				pieces = append(pieces, c.tapePiece(n, np.Interval))
+				continue
+			}
+			pieces = append(pieces, Piece{
+				Range: np.Interval, Source: SourceRemote,
+				RemoteNode: np.Node, PerEvent: c.params.EventTimeRemoteOn(n.ID),
+			})
+		}
+	}
+	return pieces
+}
+
+func (c *Cluster) tapePiece(n *Node, iv dataspace.Interval) Piece {
+	return Piece{Range: iv, Source: SourceTape, RemoteNode: -1, PerEvent: c.params.EventTimeTapeOn(n.ID)}
+}
+
+// EstimateTime returns the wall time node n would need to process iv with
+// the current cache contents.
+func (c *Cluster) EstimateTime(n *Node, iv dataspace.Interval) float64 {
+	var t float64
+	for _, p := range c.plan(n, iv) {
+		t += float64(p.Range.Len()) * p.PerEvent
+	}
+	return t
+}
+
+// Dispatch starts subjob sj on idle node n. It panics if n is busy or the
+// subjob is empty — both indicate a policy bug.
+func (c *Cluster) Dispatch(n *Node, sj *job.Subjob) {
+	if !n.Idle() {
+		panic(fmt.Sprintf("cluster: dispatch on busy node %d", n.ID))
+	}
+	if sj.Range.Empty() {
+		panic("cluster: dispatch of empty subjob")
+	}
+	j := sj.Job
+	if !j.Started {
+		j.Started = true
+		j.FirstStart = c.eng.Now()
+		c.Tracer.Add(trace.Event{Time: c.eng.Now(), Kind: trace.JobStarted, JobID: j.ID})
+		if c.JobStarted != nil {
+			c.JobStarted(j)
+		}
+	}
+	j.Running++
+	c.stats.Dispatches++
+	c.Tracer.Add(trace.Event{Time: c.eng.Now(), Kind: trace.SubjobStarted, JobID: j.ID, Node: n.ID, Events: sj.Events()})
+	r := &Running{Subjob: sj, pieces: c.plan(n, sj.Range)}
+	n.run = r
+	c.startPiece(n, r)
+}
+
+// startPiece begins the current piece of r on n.
+func (c *Cluster) startPiece(n *Node, r *Running) {
+	p := r.pieces[r.pieceIdx]
+	if p.Source == SourceTape {
+		c.tape.StartStream()
+	}
+	r.pieceStart = c.eng.Now()
+	d := float64(p.Range.Len()) * p.PerEvent
+	r.ev = c.eng.After(d, func() { c.pieceDone(n, r) })
+}
+
+// pieceDone completes the current piece, then either starts the next piece
+// or finishes the subjob.
+func (c *Cluster) pieceDone(n *Node, r *Running) {
+	p := r.pieces[r.pieceIdx]
+	c.accountSpan(n, p, p.Range)
+	r.pieceIdx++
+	if r.pieceIdx < len(r.pieces) {
+		c.startPiece(n, r)
+		return
+	}
+	c.finishSubjob(n, r)
+}
+
+// accountSpan records that the span done of piece p was processed on n:
+// source statistics, cache insertion or refresh, tape accounting and the
+// replication rule.
+func (c *Cluster) accountSpan(n *Node, p Piece, done dataspace.Interval) {
+	if done.Empty() {
+		if p.Source == SourceTape {
+			c.tape.EndStream(0) // balance the StartStream from startPiece
+		}
+		return
+	}
+	now := c.eng.Now()
+	switch p.Source {
+	case SourceCache:
+		c.stats.EventsFromCache += done.Len()
+		n.Cache.Touch(done, now)
+	case SourceTape:
+		c.stats.EventsFromTape += done.Len()
+		c.tape.EndStream(done.Len())
+		if c.cfg.Caching {
+			n.Cache.Insert(done, now)
+		}
+	case SourceRemote:
+		c.stats.EventsFromRemote += done.Len()
+		owner := c.nodes[p.RemoteNode]
+		owner.Cache.Touch(done, now)
+		if c.cfg.ReplicateAfter > 0 {
+			if c.counts[p.RemoteNode].Increment(done) >= c.cfg.ReplicateAfter {
+				c.stats.EventsReplicated += done.Len()
+				n.Cache.Insert(done, now)
+			}
+		}
+	}
+}
+
+// finishSubjob tears down r and propagates job accounting and callbacks.
+func (c *Cluster) finishSubjob(n *Node, r *Running) {
+	sj := r.Subjob
+	j := sj.Job
+	n.run = nil
+	j.Running--
+	j.Processed += sj.Events()
+	c.Tracer.Add(trace.Event{Time: c.eng.Now(), Kind: trace.SubjobFinished, JobID: j.ID, Node: n.ID, Events: sj.Events()})
+	if j.Processed > j.Events() {
+		panic(fmt.Sprintf("cluster: %v processed %d of %d events", j, j.Processed, j.Events()))
+	}
+	c.maybeFinishJob(j)
+	if c.SubjobDone != nil {
+		c.SubjobDone(n, sj)
+	}
+}
+
+func (c *Cluster) maybeFinishJob(j *job.Job) {
+	if j.Finished || j.Processed != j.Events() {
+		return
+	}
+	j.Finished = true
+	j.EndTime = c.eng.Now()
+	c.Tracer.Add(trace.Event{Time: c.eng.Now(), Kind: trace.JobFinished, JobID: j.ID, Events: j.Events()})
+	if c.JobDone != nil {
+		c.JobDone(j)
+	}
+}
+
+// Preempt stops the subjob running on n at the current instant and returns
+// a subjob covering its unprocessed remainder, or nil when the subjob had
+// effectively completed. Events already streamed stay cached; the caller
+// (a scheduling policy) owns the remainder. Preempting an idle node panics.
+func (c *Cluster) Preempt(n *Node) *job.Subjob {
+	if n.run == nil {
+		panic(fmt.Sprintf("cluster: preempt on idle node %d", n.ID))
+	}
+	r := n.run
+	r.ev.Cancel()
+	p := r.pieces[r.pieceIdx]
+	elapsed := c.eng.Now() - r.pieceStart
+	k := int64(elapsed/p.PerEvent + 1e-9)
+	if k > p.Range.Len() {
+		k = p.Range.Len()
+	}
+	done := dataspace.Iv(p.Range.Start, p.Range.Start+k)
+	c.accountSpan(n, p, done)
+	// For an interrupted tape stream the unread part was never fetched;
+	// the EndStream above accounted only the prefix, which is correct.
+	sj := r.Subjob
+	j := sj.Job
+	rem := dataspace.Iv(done.End, sj.Range.End)
+	n.run = nil
+	j.Running--
+	j.Processed += sj.Events() - rem.Len()
+	c.stats.Preemptions++
+	c.Tracer.Add(trace.Event{Time: c.eng.Now(), Kind: trace.SubjobFinished, JobID: j.ID, Node: n.ID, Events: sj.Events() - rem.Len()})
+	if rem.Empty() {
+		c.maybeFinishJob(j)
+		return nil
+	}
+	return &job.Subjob{Job: j, Range: rem, Yielding: sj.Yielding, NoCacheQueue: sj.NoCacheQueue, Origin: sj.Origin}
+}
+
+// RemainingEvents returns how many events the subjob on n still has to
+// process at the current instant (zero for an idle node).
+func (c *Cluster) RemainingEvents(n *Node) int64 {
+	if n.run == nil {
+		return 0
+	}
+	r := n.run
+	var rem int64
+	for i := r.pieceIdx; i < len(r.pieces); i++ {
+		rem += r.pieces[i].Range.Len()
+	}
+	p := r.pieces[r.pieceIdx]
+	elapsed := c.eng.Now() - r.pieceStart
+	k := int64(elapsed/p.PerEvent + 1e-9)
+	if k > p.Range.Len() {
+		k = p.Range.Len()
+	}
+	return rem - k
+}
+
+// SplitRunning shrinks the subjob running on n so that tailEvents of its
+// remaining range are handed back as a new subjob, which is returned. The
+// head keeps running on n (it is re-dispatched, re-planning against the
+// current cache state). It returns nil when the remainder is too small to
+// split off tailEvents while leaving at least minHead events running.
+func (c *Cluster) SplitRunning(n *Node, tailEvents, minHead int64) *job.Subjob {
+	if n.run == nil || tailEvents <= 0 {
+		return nil
+	}
+	if c.RemainingEvents(n) < tailEvents+minHead {
+		return nil
+	}
+	rem := c.Preempt(n)
+	if rem == nil {
+		return nil
+	}
+	head, tail := rem.Range.SplitAt(rem.Range.End - tailEvents)
+	if head.Empty() || tail.Empty() {
+		// Cannot honour the split; resume the whole remainder.
+		c.Dispatch(n, rem)
+		return nil
+	}
+	c.Dispatch(n, &job.Subjob{Job: rem.Job, Range: head, Yielding: rem.Yielding, NoCacheQueue: rem.NoCacheQueue, Origin: rem.Origin})
+	return &job.Subjob{Job: rem.Job, Range: tail}
+}

@@ -1,0 +1,162 @@
+// Package config loads simulation scenarios from JSON files, so batch
+// studies can be versioned and replayed without recompiling. The schema is
+// a friendly layer over runner.Scenario: parameters default to the
+// calibrated paper preset and are overridden field by field.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"physched/internal/model"
+	"physched/internal/runner"
+	"physched/internal/sched"
+)
+
+// PolicySpec selects a scheduling policy by name plus its parameters.
+type PolicySpec struct {
+	// Name: farm | splitting | cacheoriented | outoforder | replication |
+	// delayed | adaptive | partitioned | affinefarm.
+	Name string `json:"name"`
+	// DelayHours is the delayed policy's period, in hours.
+	DelayHours float64 `json:"delay_hours,omitempty"`
+	// StripeEvents is the stripe size for delayed/adaptive policies.
+	StripeEvents int64 `json:"stripe_events,omitempty"`
+	// MaxWaitHours overrides the out-of-order aging limit (default 48 h).
+	MaxWaitHours float64 `json:"max_wait_hours,omitempty"`
+}
+
+// New instantiates the policy described by the spec.
+func (ps PolicySpec) New() (sched.Policy, error) {
+	switch ps.Name {
+	case "farm":
+		return sched.NewFarm(), nil
+	case "splitting":
+		return sched.NewSplitting(), nil
+	case "cacheoriented":
+		return sched.NewCacheOriented(), nil
+	case "outoforder", "replication":
+		var p *sched.OutOfOrder
+		if ps.Name == "replication" {
+			p = sched.NewReplication()
+		} else {
+			p = sched.NewOutOfOrder()
+		}
+		if ps.MaxWaitHours > 0 {
+			p.MaxWait = ps.MaxWaitHours * model.Hour
+		}
+		return p, nil
+	case "delayed":
+		stripe := ps.StripeEvents
+		if stripe == 0 {
+			stripe = sched.DefaultStripe
+		}
+		return sched.NewDelayed(ps.DelayHours*model.Hour, stripe), nil
+	case "adaptive":
+		stripe := ps.StripeEvents
+		if stripe == 0 {
+			stripe = sched.DefaultStripe
+		}
+		return sched.NewAdaptive(stripe), nil
+	case "partitioned":
+		return sched.NewPartitioned(), nil
+	case "affinefarm":
+		return sched.NewAffineFarm(), nil
+	case "":
+		return nil, fmt.Errorf("config: policy name missing")
+	}
+	return nil, fmt.Errorf("config: unknown policy %q", ps.Name)
+}
+
+// Scenario is the JSON schema of one simulation scenario.
+type Scenario struct {
+	// Preset is "calibrated" (default) or "stated".
+	Preset string `json:"preset,omitempty"`
+
+	// Cluster overrides; zero values keep the preset's.
+	Nodes         int     `json:"nodes,omitempty"`
+	CacheGB       int64   `json:"cache_gb,omitempty"`
+	MeanJobEvents int64   `json:"mean_job_events,omitempty"`
+	DataspaceGB   int64   `json:"dataspace_gb,omitempty"`
+	HotWeight     float64 `json:"hot_weight,omitempty"` // -1 disables hotspots
+
+	Policy PolicySpec `json:"policy"`
+
+	LoadJobsPerHour float64 `json:"load_jobs_per_hour"`
+	Seed            int64   `json:"seed,omitempty"`
+	WarmupJobs      int     `json:"warmup_jobs,omitempty"`
+	MeasureJobs     int     `json:"measure_jobs,omitempty"`
+	OverloadBacklog int64   `json:"overload_backlog,omitempty"`
+	DelayIncluded   bool    `json:"delay_included,omitempty"`
+}
+
+// Parse reads a JSON scenario.
+func Parse(r io.Reader) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("config: %w", err)
+	}
+	return s, nil
+}
+
+// Build converts the JSON scenario into a runnable one, validating every
+// field.
+func (s Scenario) Build() (runner.Scenario, error) {
+	var params model.Params
+	switch s.Preset {
+	case "", "calibrated":
+		params = model.PaperCalibrated()
+	case "stated":
+		params = model.PaperStated()
+	default:
+		return runner.Scenario{}, fmt.Errorf("config: unknown preset %q", s.Preset)
+	}
+	if s.Nodes > 0 {
+		params.Nodes = s.Nodes
+	}
+	if s.CacheGB > 0 {
+		params.CacheBytes = s.CacheGB * model.GB
+	}
+	if s.MeanJobEvents > 0 {
+		params.MeanJobEvents = s.MeanJobEvents
+	}
+	if s.DataspaceGB > 0 {
+		params.DataspaceBytes = s.DataspaceGB * model.GB
+	}
+	switch {
+	case s.HotWeight < 0:
+		params.HotWeight = 0
+	case s.HotWeight > 0:
+		params.HotWeight = s.HotWeight
+	}
+	if err := params.Validate(); err != nil {
+		return runner.Scenario{}, err
+	}
+	if s.LoadJobsPerHour <= 0 {
+		return runner.Scenario{}, fmt.Errorf("config: load_jobs_per_hour must be positive")
+	}
+	// Validate the policy spec once upfront.
+	if _, err := s.Policy.New(); err != nil {
+		return runner.Scenario{}, err
+	}
+	spec := s.Policy
+	return runner.Scenario{
+		Params: params,
+		NewPolicy: func() sched.Policy {
+			p, err := spec.New()
+			if err != nil {
+				panic(err) // validated above
+			}
+			return p
+		},
+		Load:            s.LoadJobsPerHour,
+		Seed:            s.Seed,
+		WarmupJobs:      s.WarmupJobs,
+		MeasureJobs:     s.MeasureJobs,
+		OverloadBacklog: s.OverloadBacklog,
+		DelayIncluded:   s.DelayIncluded,
+	}, nil
+}

@@ -1,0 +1,109 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"physched/internal/model"
+	"physched/internal/runner"
+)
+
+func TestParseAndBuild(t *testing.T) {
+	in := `{
+		"preset": "calibrated",
+		"nodes": 4,
+		"cache_gb": 50,
+		"mean_job_events": 5000,
+		"dataspace_gb": 400,
+		"policy": {"name": "outoforder", "max_wait_hours": 24},
+		"load_jobs_per_hour": 1.2,
+		"seed": 9,
+		"warmup_jobs": 30,
+		"measure_jobs": 150
+	}`
+	cfg, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Params.Nodes != 4 || s.Params.CacheBytes != 50*model.GB {
+		t.Errorf("params not applied: %+v", s.Params)
+	}
+	if s.Load != 1.2 || s.Seed != 9 || s.WarmupJobs != 30 {
+		t.Errorf("scenario fields wrong: %+v", s)
+	}
+	// The built scenario must actually run.
+	res := runner.Run(s)
+	if res.PolicyName != "outoforder" {
+		t.Errorf("policy = %q", res.PolicyName)
+	}
+	if res.MeasuredJobs == 0 && !res.Overloaded {
+		t.Error("run produced nothing")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestBuildValidations(t *testing.T) {
+	cases := []Scenario{
+		{Policy: PolicySpec{Name: "outoforder"}},                                // no load
+		{Policy: PolicySpec{Name: "nope"}, LoadJobsPerHour: 1},                  // bad policy
+		{Preset: "bogus", Policy: PolicySpec{Name: "farm"}, LoadJobsPerHour: 1}, // bad preset
+		{Policy: PolicySpec{}, LoadJobsPerHour: 1},                              // missing policy
+	}
+	for i, c := range cases {
+		if _, err := c.Build(); err == nil {
+			t.Errorf("case %d: invalid scenario accepted", i)
+		}
+	}
+}
+
+func TestAllPolicySpecs(t *testing.T) {
+	specs := []PolicySpec{
+		{Name: "farm"},
+		{Name: "splitting"},
+		{Name: "cacheoriented"},
+		{Name: "outoforder"},
+		{Name: "replication"},
+		{Name: "delayed", DelayHours: 11, StripeEvents: 200},
+		{Name: "delayed"}, // defaults
+		{Name: "adaptive", StripeEvents: 200},
+		{Name: "adaptive"},
+	}
+	for _, spec := range specs {
+		p, err := spec.New()
+		if err != nil {
+			t.Errorf("%q: %v", spec.Name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("%q: empty policy name", spec.Name)
+		}
+	}
+}
+
+func TestHotWeightOverride(t *testing.T) {
+	s := Scenario{Policy: PolicySpec{Name: "farm"}, LoadJobsPerHour: 1, HotWeight: -1}
+	built, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Params.HotWeight != 0 {
+		t.Errorf("HotWeight = %v, want 0 (disabled)", built.Params.HotWeight)
+	}
+	s.HotWeight = 0.8
+	built, err = s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Params.HotWeight != 0.8 {
+		t.Errorf("HotWeight = %v, want 0.8", built.Params.HotWeight)
+	}
+}

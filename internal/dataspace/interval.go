@@ -1,0 +1,83 @@
+// Package dataspace models the experiment dataspace as a line of event
+// indices and provides interval arithmetic over it. Jobs read contiguous
+// event ranges, node disk caches hold unions of ranges, and every scheduling
+// policy in the paper splits jobs along boundaries of such unions, so the
+// Interval and Set types underpin the whole simulator.
+package dataspace
+
+import "fmt"
+
+// Interval is a half-open range [Start, End) of event indices.
+// An interval with End <= Start is empty.
+type Interval struct {
+	Start, End int64
+}
+
+// Iv is shorthand for Interval{start, end}.
+func Iv(start, end int64) Interval { return Interval{Start: start, End: end} }
+
+// Len returns the number of events in i (zero for empty intervals).
+func (i Interval) Len() int64 {
+	if i.End <= i.Start {
+		return 0
+	}
+	return i.End - i.Start
+}
+
+// Empty reports whether i contains no events.
+func (i Interval) Empty() bool { return i.End <= i.Start }
+
+// Contains reports whether event index e lies in i.
+func (i Interval) Contains(e int64) bool { return i.Start <= e && e < i.End }
+
+// ContainsInterval reports whether o is fully inside i.
+func (i Interval) ContainsInterval(o Interval) bool {
+	return o.Empty() || (i.Start <= o.Start && o.End <= i.End)
+}
+
+// Overlaps reports whether i and o share at least one event.
+func (i Interval) Overlaps(o Interval) bool {
+	return !i.Empty() && !o.Empty() && i.Start < o.End && o.Start < i.End
+}
+
+// Intersect returns the intersection of i and o (possibly empty).
+func (i Interval) Intersect(o Interval) Interval {
+	r := Iv(max64(i.Start, o.Start), min64(i.End, o.End))
+	if r.Empty() {
+		return Interval{}
+	}
+	return r
+}
+
+// SplitAt cuts i at event index e, returning the part before and after.
+// If e is outside i, one of the parts is empty.
+func (i Interval) SplitAt(e int64) (left, right Interval) {
+	if e <= i.Start {
+		return Interval{}, i
+	}
+	if e >= i.End {
+		return i, Interval{}
+	}
+	return Iv(i.Start, e), Iv(e, i.End)
+}
+
+// Halves splits i into two contiguous parts of (near-)equal length.
+func (i Interval) Halves() (Interval, Interval) {
+	return i.SplitAt(i.Start + i.Len()/2)
+}
+
+func (i Interval) String() string { return fmt.Sprintf("[%d,%d)", i.Start, i.End) }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package dataspace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalLen(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int64
+	}{
+		{Iv(0, 10), 10},
+		{Iv(5, 5), 0},
+		{Iv(7, 3), 0},
+		{Iv(-4, 4), 8},
+	}
+	for _, c := range cases {
+		if got := c.iv.Len(); got != c.want {
+			t.Errorf("%v.Len() = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Iv(10, 20)
+	for _, e := range []int64{10, 15, 19} {
+		if !iv.Contains(e) {
+			t.Errorf("%v should contain %d", iv, e)
+		}
+	}
+	for _, e := range []int64{9, 20, 100} {
+		if iv.Contains(e) {
+			t.Errorf("%v should not contain %d", iv, e)
+		}
+	}
+}
+
+func TestIntervalOverlapsAndIntersect(t *testing.T) {
+	cases := []struct {
+		a, b    Interval
+		overlap bool
+		want    Interval
+	}{
+		{Iv(0, 10), Iv(5, 15), true, Iv(5, 10)},
+		{Iv(0, 10), Iv(10, 20), false, Interval{}},
+		{Iv(0, 10), Iv(2, 8), true, Iv(2, 8)},
+		{Iv(5, 5), Iv(0, 10), false, Interval{}},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("%v.Overlaps(%v) = %v", c.a, c.b, got)
+		}
+		if got := c.a.Intersect(c.b); got != c.want {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntervalSplitAt(t *testing.T) {
+	iv := Iv(0, 10)
+	l, r := iv.SplitAt(4)
+	if l != Iv(0, 4) || r != Iv(4, 10) {
+		t.Errorf("SplitAt(4) = %v, %v", l, r)
+	}
+	l, r = iv.SplitAt(-1)
+	if !l.Empty() || r != iv {
+		t.Errorf("SplitAt before start = %v, %v", l, r)
+	}
+	l, r = iv.SplitAt(10)
+	if l != iv || !r.Empty() {
+		t.Errorf("SplitAt at end = %v, %v", l, r)
+	}
+}
+
+func TestIntervalHalves(t *testing.T) {
+	a, b := Iv(0, 11).Halves()
+	if a.Len()+b.Len() != 11 || a.End != b.Start || a.Start != 0 || b.End != 11 {
+		t.Errorf("Halves = %v, %v", a, b)
+	}
+}
+
+func TestIntersectProperties(t *testing.T) {
+	norm := func(a, b int64) Interval {
+		if a > b {
+			a, b = b, a
+		}
+		return Iv(a%1000, b%1000+500)
+	}
+	commutes := func(a1, a2, b1, b2 int64) bool {
+		a, b := norm(a1, a2), norm(b1, b2)
+		x, y := a.Intersect(b), b.Intersect(a)
+		if x != y {
+			return false
+		}
+		// Intersection is contained in both operands.
+		return a.ContainsInterval(x) && b.ContainsInterval(x)
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Error(err)
+	}
+}

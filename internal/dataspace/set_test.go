@@ -1,0 +1,237 @@
+package dataspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refSet is a brute-force reference implementation over a small universe.
+type refSet map[int64]bool
+
+func (r refSet) add(iv Interval)    { forEach(iv, func(e int64) { r[e] = true }) }
+func (r refSet) remove(iv Interval) { forEach(iv, func(e int64) { delete(r, e) }) }
+
+func forEach(iv Interval, f func(int64)) {
+	for e := iv.Start; e < iv.End; e++ {
+		f(e)
+	}
+}
+
+func sameAsRef(s Set, r refSet, lo, hi int64) bool {
+	for e := lo; e < hi; e++ {
+		if s.Contains(e) != r[e] {
+			return false
+		}
+	}
+	return true
+}
+
+func randIv(rng *rand.Rand, universe int64) Interval {
+	a := rng.Int63n(universe)
+	b := a + rng.Int63n(universe/4+1)
+	return Iv(a, b)
+}
+
+func TestSetAgainstReference(t *testing.T) {
+	const universe = 200
+	rng := rand.New(rand.NewSource(1))
+	var s Set
+	r := refSet{}
+	for step := 0; step < 2000; step++ {
+		iv := randIv(rng, universe)
+		if rng.Intn(2) == 0 {
+			s = s.Add(iv)
+			r.add(iv)
+		} else {
+			s = s.Remove(iv)
+			r.remove(iv)
+		}
+		if !sameAsRef(s, r, 0, universe+universe/4+2) {
+			t.Fatalf("step %d: divergence after op on %v; set=%v", step, iv, s)
+		}
+		if int64(len(r)) != s.Len() {
+			t.Fatalf("step %d: Len=%d, ref=%d", step, s.Len(), len(r))
+		}
+	}
+}
+
+func TestSetCanonicalForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var s Set
+	for step := 0; step < 500; step++ {
+		if rng.Intn(2) == 0 {
+			s = s.Add(randIv(rng, 300))
+		} else {
+			s = s.Remove(randIv(rng, 300))
+		}
+		ivs := s.Intervals()
+		for i, iv := range ivs {
+			if iv.Empty() {
+				t.Fatalf("canonical set holds empty interval %v", iv)
+			}
+			if i > 0 && ivs[i-1].End >= iv.Start {
+				t.Fatalf("intervals not disjoint/sorted/non-adjacent: %v", s)
+			}
+		}
+	}
+}
+
+func TestSetAddMergesAdjacent(t *testing.T) {
+	s := NewSet(Iv(0, 5), Iv(5, 10))
+	if len(s.Intervals()) != 1 || s.Intervals()[0] != Iv(0, 10) {
+		t.Errorf("adjacent intervals not merged: %v", s)
+	}
+}
+
+func TestSetContainsInterval(t *testing.T) {
+	s := NewSet(Iv(0, 10), Iv(20, 30))
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Iv(0, 10), true},
+		{Iv(2, 8), true},
+		{Iv(5, 15), false},
+		{Iv(10, 20), false},
+		{Iv(25, 25), true}, // empty interval is trivially contained
+		{Iv(20, 30), true},
+		{Iv(19, 30), false},
+	}
+	for _, c := range cases {
+		if got := s.ContainsInterval(c.iv); got != c.want {
+			t.Errorf("ContainsInterval(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntersectAndSubtractPartitionInterval(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		for i := 0; i < 10; i++ {
+			s = s.Add(randIv(rng, 500))
+		}
+		iv := randIv(rng, 500)
+		in := s.IntersectInterval(iv)
+		out := s.SubtractFrom(iv)
+		// in and out partition iv.
+		if in.Len()+out.Len() != iv.Len() {
+			return false
+		}
+		if !in.Intersect(out).Empty() {
+			return false
+		}
+		union := in.Union(out)
+		return iv.Empty() && union.Empty() ||
+			union.Len() == iv.Len() && union.ContainsInterval(iv)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionCoversExactly(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		for i := 0; i < 8; i++ {
+			s = s.Add(randIv(rng, 400))
+		}
+		iv := randIv(rng, 400)
+		pieces := s.Partition(iv)
+		pos := iv.Start
+		for _, p := range pieces {
+			if p.Interval.Start != pos || p.Interval.Empty() {
+				return false
+			}
+			if p.InSet != s.ContainsInterval(p.Interval) {
+				return false
+			}
+			if !p.InSet && !s.IntersectInterval(p.Interval).Empty() {
+				return false
+			}
+			pos = p.Interval.End
+		}
+		return pos == iv.End || (iv.Empty() && len(pieces) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionAlternates(t *testing.T) {
+	s := NewSet(Iv(10, 20), Iv(30, 40))
+	pieces := s.Partition(Iv(0, 50))
+	want := []SetPiece{
+		{Iv(0, 10), false},
+		{Iv(10, 20), true},
+		{Iv(20, 30), false},
+		{Iv(30, 40), true},
+		{Iv(40, 50), false},
+	}
+	if len(pieces) != len(want) {
+		t.Fatalf("got %d pieces, want %d: %v", len(pieces), len(want), pieces)
+	}
+	for i := range want {
+		if pieces[i] != want[i] {
+			t.Errorf("piece %d = %v, want %v", i, pieces[i], want[i])
+		}
+	}
+}
+
+func TestUnionIntersectLaws(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Set {
+			var s Set
+			for i := 0; i < 6; i++ {
+				s = s.Add(randIv(rng, 300))
+			}
+			return s
+		}
+		a, b := mk(), mk()
+		// Commutativity of union and intersection on Len and membership.
+		ab, ba := a.Union(b), b.Union(a)
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		ia, ib := a.Intersect(b), b.Intersect(a)
+		if ia.Len() != ib.Len() {
+			return false
+		}
+		// Inclusion–exclusion.
+		return ab.Len() == a.Len()+b.Len()-ia.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSetAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ivs := make([]Interval, 1024)
+	for i := range ivs {
+		ivs[i] = randIv(rng, 1_000_000)
+	}
+	b.ResetTimer()
+	var s Set
+	for i := 0; i < b.N; i++ {
+		s = s.Add(ivs[i%len(ivs)])
+		if i%4096 == 0 {
+			s = Set{}
+		}
+	}
+}
+
+func BenchmarkSetPartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var s Set
+	for i := 0; i < 500; i++ {
+		s = s.Add(randIv(rng, 3_000_000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Partition(Iv(int64(i%2_000_000), int64(i%2_000_000)+30_000))
+	}
+}

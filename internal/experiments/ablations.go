@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"physched/internal/cache"
+	"physched/internal/cluster"
+	"physched/internal/model"
+	"physched/internal/runner"
+	"physched/internal/sched"
+	"physched/internal/stats"
+)
+
+// This file holds the ablation studies DESIGN.md §5 calls out: design
+// choices the paper fixes (LRU eviction, remote reads for stolen subjobs,
+// the replicate-on-3rd-access threshold, the hot-region workload skew, the
+// cluster size) are varied here to show how much each one carries.
+
+// withConfig overrides the cluster data-path configuration of a policy,
+// leaving its scheduling logic untouched.
+type withConfig struct {
+	sched.Policy
+	cfg cluster.Config
+}
+
+func (w withConfig) ClusterConfig() cluster.Config { return w.cfg }
+
+// AblationRow is one variant of an ablation study at one load.
+type AblationRow struct {
+	Variant string
+	Load    float64
+	Result  runner.Result
+}
+
+// AblationEviction compares LRU against FIFO cache eviction under the
+// out-of-order policy. The paper's scheduler "deallocates the least
+// recently used cached segments"; FIFO ignores reuse and should lose
+// ground on the hot regions.
+func AblationEviction(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 0.8, 1.8)
+	variants := []runner.Variant{
+		{Label: "LRU eviction", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
+		{Label: "FIFO eviction", NewPolicy: func() sched.Policy {
+			p := sched.NewOutOfOrder()
+			cfg := p.ClusterConfig()
+			cfg.Eviction = cache.EvictFIFO
+			return withConfig{Policy: p, cfg: cfg}
+		}},
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}
+
+// AblationStealSource compares reading stolen subjobs' data remotely (the
+// §4.2 choice) against re-reading it from tertiary storage.
+func AblationStealSource(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 0.8, 1.8)
+	variants := []runner.Variant{
+		{Label: "steal reads remote", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
+		{Label: "steal re-reads tape", NewPolicy: func() sched.Policy {
+			p := sched.NewOutOfOrder()
+			cfg := p.ClusterConfig()
+			cfg.RemoteReads = false
+			return withConfig{Policy: p, cfg: cfg}
+		}},
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}
+
+// AblationReplicationThreshold varies the replicate-after-N-remote-accesses
+// threshold (the paper picks 3 and finds replication irrelevant either
+// way).
+func AblationReplicationThreshold(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 1.0, 1.8)
+	var variants []runner.Variant
+	for _, n := range []int64{1, 2, 3, 5} {
+		n := n
+		variants = append(variants, runner.Variant{
+			Label: fmt.Sprintf("replicate after %d", n),
+			NewPolicy: func() sched.Policy {
+				p := sched.NewReplication()
+				cfg := p.ClusterConfig()
+				cfg.ReplicateAfter = n
+				return withConfig{Policy: p, cfg: cfg}
+			},
+		})
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}
+
+// AblationHotspot varies the workload's hot-region weight. The paper's
+// default sends 50% of job start points into 10% of the dataspace; without
+// that skew caches cover a smaller fraction of the touched data.
+func AblationHotspot(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 0.8, 1.6)
+	var variants []runner.Variant
+	for _, w := range []float64{0, 0.25, 0.5, 0.75} {
+		w := w
+		variants = append(variants, runner.Variant{
+			Label:     fmt.Sprintf("hot weight %.0f%%", 100*w),
+			NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
+			Mutate:    func(s *runner.Scenario) { s.Params.HotWeight = w },
+		})
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}
+
+// FutureWorkPipelining implements and evaluates the paper's §7 future-work
+// item: overlapping data transfers with computation. Pipelining makes an
+// uncached event cost max(CPU, transfer) instead of their sum, which both
+// accelerates cache misses and raises every load bound.
+func FutureWorkPipelining(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 0.8, 2.2)
+	variants := []runner.Variant{
+		{Label: "paper model (no overlap)", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
+		{Label: "pipelined transfers", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
+			Mutate: func(s *runner.Scenario) { s.Params.PipelinedTransfers = true }},
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}
+
+// BaselineComparison pits the paper's dynamic policies against two
+// baselines this repo adds: static data partitioning (one owner node per
+// dataspace slice — the classical alternative the related work cites) and
+// a cache-affine farm (caching and affinity routing, but no job
+// splitting). It decomposes the cache-oriented gain into its caching and
+// parallelism parts and shows what dynamic placement buys over static
+// ownership under the hot-skewed workload.
+func BaselineComparison(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 0.7, 1.6)
+	variants := []runner.Variant{
+		{Label: "partitioned (static ownership)", NewPolicy: func() sched.Policy { return sched.NewPartitioned() }},
+		{Label: "affine farm (caching, no splitting)", NewPolicy: func() sched.Policy { return sched.NewAffineFarm() }},
+		{Label: "cache-oriented splitting", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }},
+		{Label: "out-of-order", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}
+
+// HeterogeneityStudy relaxes the paper's "all nodes are identical"
+// assumption (§2.4): half the nodes run at double CPU cost. It compares
+// how the farm (blind placement) and out-of-order (work stealing) policies
+// absorb the imbalance at equal aggregate CPU capacity.
+func HeterogeneityStudy(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 0.6, 1.4)
+	mixed := make([]float64, 10)
+	for i := range mixed {
+		// Factors 2/3 and 2: five fast and five slow nodes whose combined
+		// speed 5/f1+5/f2 = 5·1.5+5·0.5 = 10 equals ten identical nodes.
+		if i < 5 {
+			mixed[i] = 2.0 / 3.0
+		} else {
+			mixed[i] = 2.0
+		}
+	}
+	hetero := func(s *runner.Scenario) { s.Params.NodeSpeedFactors = mixed }
+	variants := []runner.Variant{
+		{Label: "farm, identical nodes", NewPolicy: func() sched.Policy { return sched.NewFarm() }},
+		{Label: "farm, mixed speeds", NewPolicy: func() sched.Policy { return sched.NewFarm() }, Mutate: hetero},
+		{Label: "out-of-order, identical nodes", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
+		{Label: "out-of-order, mixed speeds", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }, Mutate: hetero},
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}
+
+// NodeCountRow is one cluster size of the §2.4 scaling check.
+type NodeCountRow struct {
+	Nodes       int
+	Utilisation float64 // load as a fraction of that cluster's maximum
+	Result      runner.Result
+	Efficiency  float64 // speedup / nodes
+}
+
+// NodeCountStudy reproduces the §2.4 remark that simulations with 5, 10
+// and 20 nodes "lead to similar results": at equal utilisation the per-node
+// efficiency of the out-of-order policy should be nearly constant.
+func NodeCountStudy(q Quality, seed int64) []NodeCountRow {
+	var rows []NodeCountRow
+	for _, nodes := range []int{5, 10, 20} {
+		for _, util := range []float64{0.3, 0.45} {
+			p := model.PaperCalibrated()
+			p.Nodes = nodes
+			s := baseScenario(q, seed)
+			s.Params = p
+			s.NewPolicy = func() sched.Policy { return sched.NewOutOfOrder() }
+			s.Load = util * p.MaxTheoreticalLoad()
+			r := runner.Run(s)
+			row := NodeCountRow{Nodes: nodes, Utilisation: util, Result: r}
+			if !r.Overloaded {
+				row.Efficiency = r.AvgSpeedup / float64(nodes)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// ablate sweeps all variants and flattens the curves into rows.
+func ablate(base runner.Scenario, loads []float64, variants []runner.Variant) []AblationRow {
+	var rows []AblationRow
+	for _, c := range runner.SweepCurves(base, loads, variants) {
+		for _, r := range c.Results {
+			rows = append(rows, AblationRow{Variant: c.Label, Load: r.Load, Result: r})
+		}
+	}
+	return rows
+}
+
+// RenderAblation renders ablation rows grouped by variant.
+func RenderAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", title)
+	var lastVariant string
+	for _, r := range rows {
+		if r.Variant != lastVariant {
+			fmt.Fprintf(&b, "  %s\n", r.Variant)
+			fmt.Fprintf(&b, "    %-10s %-10s %-14s %s\n", "load", "speedup", "avg waiting", "state")
+			lastVariant = r.Variant
+		}
+		if r.Result.Overloaded {
+			fmt.Fprintf(&b, "    %-10.2f %-10s %-14s overloaded\n", r.Load, "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "    %-10.2f %-10.2f %-14s steady\n",
+			r.Load, r.Result.AvgSpeedup, stats.FormatDuration(r.Result.AvgWaiting))
+	}
+	return b.String()
+}
+
+// RenderNodeCount renders the §2.4 scaling table.
+func RenderNodeCount(rows []NodeCountRow) string {
+	var b strings.Builder
+	b.WriteString("§2.4: cluster-size scaling (5/10/20 nodes lead to similar results)\n\n")
+	fmt.Fprintf(&b, "  %-8s %-14s %-10s %-12s %s\n", "nodes", "utilisation", "speedup", "efficiency", "state")
+	for _, r := range rows {
+		if r.Result.Overloaded {
+			fmt.Fprintf(&b, "  %-8d %-14.2f %-10s %-12s overloaded\n", r.Nodes, r.Utilisation, "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "  %-8d %-14.2f %-10.2f %-12.3f steady\n",
+			r.Nodes, r.Utilisation, r.Result.AvgSpeedup, r.Efficiency)
+	}
+	return b.String()
+}

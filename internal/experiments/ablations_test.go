@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"physched/internal/cluster"
+	"physched/internal/runner"
+	"physched/internal/sched"
+)
+
+func TestWithConfigOverrides(t *testing.T) {
+	p := sched.NewOutOfOrder()
+	cfg := p.ClusterConfig()
+	cfg.RemoteReads = false
+	w := withConfig{Policy: p, cfg: cfg}
+	if w.ClusterConfig().RemoteReads {
+		t.Error("override not applied")
+	}
+	if w.Name() != "outoforder" {
+		t.Error("wrapper must not change the policy name")
+	}
+	if !w.ClusterConfig().Caching {
+		t.Error("wrapper lost unrelated config")
+	}
+}
+
+func TestAblateFlattensCurves(t *testing.T) {
+	s := tiny(baseScenario(Quick, 1))
+	loads := []float64{0.3 * s.Params.FarmMaxLoad(), 0.5 * s.Params.FarmMaxLoad()}
+	rows := ablate(s, loads, []runner.Variant{
+		{Label: "a", NewPolicy: func() sched.Policy { return sched.NewFarm() }},
+		{Label: "b", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
+	})
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	if rows[0].Variant != "a" || rows[2].Variant != "b" {
+		t.Errorf("rows not grouped by variant: %+v", rows)
+	}
+	out := RenderAblation("test", rows)
+	if !strings.Contains(out, "test") || !strings.Contains(out, "a") {
+		t.Error("render incomplete")
+	}
+}
+
+// TestEvictionAblationDirection runs a miniature LRU-vs-FIFO comparison:
+// with a hot-skewed workload LRU must not lose to FIFO.
+func TestEvictionAblationDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation comparison")
+	}
+	s := tiny(baseScenario(Quick, 3))
+	s.MeasureJobs = 250
+	load := 1.3 * s.Params.FarmMaxLoad()
+	lru := s
+	lru.NewPolicy = func() sched.Policy { return sched.NewOutOfOrder() }
+	lru.Load = load
+	fifo := s
+	fifo.NewPolicy = func() sched.Policy {
+		p := sched.NewOutOfOrder()
+		cfg := p.ClusterConfig()
+		cfg.Eviction = 1 // cache.EvictFIFO
+		return withConfig{Policy: p, cfg: cfg}
+	}
+	fifo.Load = load
+	rl, rf := runner.Run(lru), runner.Run(fifo)
+	if rl.Overloaded || rf.Overloaded {
+		t.Skip("both overloaded at this scale; direction test not applicable")
+	}
+	if rl.AvgSpeedup < 0.9*rf.AvgSpeedup {
+		t.Errorf("LRU (%.2f) clearly lost to FIFO (%.2f)", rl.AvgSpeedup, rf.AvgSpeedup)
+	}
+}
+
+func TestRenderNodeCountEmpty(t *testing.T) {
+	if out := RenderNodeCount(nil); !strings.Contains(out, "scaling") {
+		t.Error("empty node-count render broken")
+	}
+}
+
+func TestClusterConfigZeroValueIsLRU(t *testing.T) {
+	// The zero value of cluster.Config must select LRU eviction, since all
+	// paper policies rely on it implicitly.
+	var cfg cluster.Config
+	if cfg.Eviction != 0 {
+		t.Error("zero Config should mean LRU eviction")
+	}
+}

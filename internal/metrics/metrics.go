@@ -1,0 +1,147 @@
+// Package metrics collects the two performance variables the paper plots
+// for every policy — average speedup and average waiting time as functions
+// of load — plus the waiting-time distribution of Figure 4 and the backlog
+// series used to detect overload (the paper cuts its curves "at high loads
+// when the system leaves the steady state and becomes overloaded").
+package metrics
+
+import (
+	"physched/internal/job"
+	"physched/internal/model"
+	"physched/internal/stats"
+)
+
+// JobResult records the lifecycle of one measured job.
+type JobResult struct {
+	ID          int64
+	Events      int64
+	Arrival     float64
+	ScheduledAt float64
+	FirstStart  float64
+	End         float64
+
+	// Waiting is first dispatch minus ScheduledAt — the paper's waiting
+	// time, with the delayed policy's period delay already excluded.
+	Waiting float64
+	// WaitingWithDelay is first dispatch minus Arrival (Figure 7 reports
+	// the adaptive policy delay-included).
+	WaitingWithDelay float64
+	// Processing is the time from first dispatch to job end, including
+	// periods where subjobs were suspended.
+	Processing float64
+	// Speedup is the single-job single-node no-cache processing time of
+	// this job divided by Processing (§3.4).
+	Speedup float64
+}
+
+// Collector accumulates job results after a warm-up prefix.
+type Collector struct {
+	params model.Params
+
+	// WarmupJobs results are discarded to let caches and queues reach
+	// steady state (the paper measures in steady state with filled caches).
+	WarmupJobs int
+	// MeasureJobs caps the number of measured results; zero means no cap.
+	MeasureJobs int
+	// DelayIncluded selects WaitingWithDelay as the reported waiting time.
+	DelayIncluded bool
+
+	arrived   int64
+	finished  int64
+	measured  []JobResult
+	waiting   stats.Summary
+	speedup   stats.Summary
+	proc      stats.Summary
+	histogram *stats.LogHistogram
+}
+
+// NewCollector returns a collector for the given parameters.
+func NewCollector(p model.Params, warmupJobs, measureJobs int) *Collector {
+	return &Collector{
+		params:      p,
+		WarmupJobs:  warmupJobs,
+		MeasureJobs: measureJobs,
+		// 10 s .. 4 weeks covers Figure 4's axis with margin.
+		histogram: stats.NewLogHistogram(10, 4*model.Week, 6),
+	}
+}
+
+// JobArrived counts an arrival.
+func (c *Collector) JobArrived(*job.Job) { c.arrived++ }
+
+// JobFinished records a completed job.
+func (c *Collector) JobFinished(j *job.Job) {
+	c.finished++
+	if j.ID < int64(c.WarmupJobs) {
+		return
+	}
+	if c.MeasureJobs > 0 && j.ID >= int64(c.WarmupJobs+c.MeasureJobs) {
+		return
+	}
+	r := JobResult{
+		ID:          j.ID,
+		Events:      j.Events(),
+		Arrival:     j.Arrival,
+		ScheduledAt: j.ScheduledAt,
+		FirstStart:  j.FirstStart,
+		End:         j.EndTime,
+	}
+	r.Waiting = r.FirstStart - r.ScheduledAt
+	r.WaitingWithDelay = r.FirstStart - r.Arrival
+	r.Processing = r.End - r.FirstStart
+	if r.Processing > 0 {
+		single := float64(j.Events()) * c.params.EventTimeTape()
+		r.Speedup = single / r.Processing
+	}
+	c.measured = append(c.measured, r)
+	w := r.Waiting
+	if c.DelayIncluded {
+		w = r.WaitingWithDelay
+	}
+	c.waiting.Add(w)
+	c.histogram.Add(w)
+	c.speedup.Add(r.Speedup)
+	c.proc.Add(r.Processing)
+}
+
+// Done reports whether the measurement quota has been reached.
+func (c *Collector) Done() bool {
+	return c.MeasureJobs > 0 && len(c.measured) >= c.MeasureJobs
+}
+
+// Backlog returns the number of jobs arrived but not yet finished.
+func (c *Collector) Backlog() int64 { return c.arrived - c.finished }
+
+// Arrived and Finished return the arrival and completion counts.
+func (c *Collector) Arrived() int64  { return c.arrived }
+func (c *Collector) Finished() int64 { return c.finished }
+
+// Results returns the measured job results.
+func (c *Collector) Results() []JobResult { return c.measured }
+
+// AvgWaiting returns the mean reported waiting time, in seconds.
+func (c *Collector) AvgWaiting() float64 { return c.waiting.Mean() }
+
+// MaxWaiting returns the maximum reported waiting time, in seconds.
+func (c *Collector) MaxWaiting() float64 { return c.waiting.Max() }
+
+// AvgSpeedup returns the mean per-job speedup.
+func (c *Collector) AvgSpeedup() float64 { return c.speedup.Mean() }
+
+// AvgProcessing returns the mean processing time, in seconds.
+func (c *Collector) AvgProcessing() float64 { return c.proc.Mean() }
+
+// WaitingHistogram returns the log-scale waiting time histogram (Figure 4).
+func (c *Collector) WaitingHistogram() *stats.LogHistogram { return c.histogram }
+
+// WaitingQuantile returns the q-quantile of reported waiting times.
+func (c *Collector) WaitingQuantile(q float64) float64 {
+	xs := make([]float64, len(c.measured))
+	for i, r := range c.measured {
+		xs[i] = r.Waiting
+		if c.DelayIncluded {
+			xs[i] = r.WaitingWithDelay
+		}
+	}
+	return stats.Quantile(xs, q)
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"physched/internal/dataspace"
+	"physched/internal/job"
+	"physched/internal/model"
+)
+
+func testJob(id int64, arrival, start, end float64, events int64) *job.Job {
+	return &job.Job{
+		ID: id, Arrival: arrival, ScheduledAt: arrival,
+		Range: dataspace.Iv(0, events), Processed: events,
+		Started: true, FirstStart: start, Finished: true, EndTime: end,
+	}
+}
+
+func TestCollectorSkipsWarmup(t *testing.T) {
+	c := NewCollector(model.PaperCalibrated(), 2, 0)
+	for i := int64(0); i < 5; i++ {
+		j := testJob(i, 0, 10, 100, 1000)
+		c.JobArrived(j)
+		c.JobFinished(j)
+	}
+	if got := len(c.Results()); got != 3 {
+		t.Errorf("measured %d jobs, want 3 (2 warmup skipped)", got)
+	}
+	if c.Arrived() != 5 || c.Finished() != 5 {
+		t.Errorf("Arrived=%d Finished=%d", c.Arrived(), c.Finished())
+	}
+}
+
+func TestCollectorMeasurementWindowByID(t *testing.T) {
+	c := NewCollector(model.PaperCalibrated(), 1, 2)
+	// Finish out of order: IDs 3 (beyond window), 2, 1, 0 (warmup).
+	for _, id := range []int64{3, 2, 1, 0} {
+		c.JobFinished(testJob(id, 0, 10, 100, 1000))
+	}
+	if got := len(c.Results()); got != 2 {
+		t.Fatalf("measured %d jobs, want exactly IDs 1 and 2", got)
+	}
+	if !c.Done() {
+		t.Error("Done should be true once the window is filled")
+	}
+}
+
+func TestWaitingAndSpeedup(t *testing.T) {
+	p := model.PaperCalibrated()
+	c := NewCollector(p, 0, 0)
+	// 1000 events, started 50s after arrival, processed in 500s.
+	j := testJob(0, 100, 150, 650, 1000)
+	c.JobFinished(j)
+	r := c.Results()[0]
+	if r.Waiting != 50 {
+		t.Errorf("Waiting = %v, want 50", r.Waiting)
+	}
+	wantSpeedup := 1000 * p.EventTimeTape() / 500
+	if math.Abs(r.Speedup-wantSpeedup) > 1e-9 {
+		t.Errorf("Speedup = %v, want %v", r.Speedup, wantSpeedup)
+	}
+	if c.AvgWaiting() != 50 || c.MaxWaiting() != 50 {
+		t.Errorf("Avg/Max waiting = %v/%v", c.AvgWaiting(), c.MaxWaiting())
+	}
+}
+
+func TestDelayExcludedVsIncluded(t *testing.T) {
+	p := model.PaperCalibrated()
+	j := testJob(0, 100, 400, 900, 1000)
+	j.ScheduledAt = 300 // delayed scheduling: batched at t=300
+
+	excl := NewCollector(p, 0, 0)
+	excl.JobFinished(j)
+	if got := excl.Results()[0].Waiting; got != 100 {
+		t.Errorf("delay-excluded waiting = %v, want 100", got)
+	}
+
+	incl := NewCollector(p, 0, 0)
+	incl.DelayIncluded = true
+	incl.JobFinished(j)
+	if got := incl.AvgWaiting(); got != 300 {
+		t.Errorf("delay-included waiting = %v, want 300", got)
+	}
+}
+
+func TestBacklog(t *testing.T) {
+	c := NewCollector(model.PaperCalibrated(), 0, 0)
+	j1 := testJob(0, 0, 1, 2, 10)
+	j2 := testJob(1, 0, 1, 2, 10)
+	c.JobArrived(j1)
+	c.JobArrived(j2)
+	if c.Backlog() != 2 {
+		t.Errorf("Backlog = %d, want 2", c.Backlog())
+	}
+	c.JobFinished(j1)
+	if c.Backlog() != 1 {
+		t.Errorf("Backlog = %d, want 1", c.Backlog())
+	}
+}
+
+func TestWaitingQuantileAndHistogram(t *testing.T) {
+	c := NewCollector(model.PaperCalibrated(), 0, 0)
+	for i := int64(0); i < 100; i++ {
+		// Waiting times 0..99 minutes.
+		c.JobFinished(testJob(i, 0, float64(i)*60, 1e6, 1000))
+	}
+	med := c.WaitingQuantile(0.5)
+	if math.Abs(med-99*60/2) > 60 {
+		t.Errorf("median waiting = %v", med)
+	}
+	if c.WaitingHistogram().Total() != 100 {
+		t.Errorf("histogram total = %d", c.WaitingHistogram().Total())
+	}
+}

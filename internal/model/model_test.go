@@ -1,0 +1,81 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestPaperStatedValidates(t *testing.T) {
+	if err := PaperStated().Validate(); err != nil {
+		t.Fatalf("PaperStated invalid: %v", err)
+	}
+	if err := PaperCalibrated().Validate(); err != nil {
+		t.Fatalf("PaperCalibrated invalid: %v", err)
+	}
+}
+
+func TestCalibratedDerivedQuantities(t *testing.T) {
+	p := PaperCalibrated()
+	almost(t, "SingleNodeNoCacheTime", p.SingleNodeNoCacheTime(), 32_000, 1)
+	almost(t, "MaxTheoreticalLoad", p.MaxTheoreticalLoad(), 3.46, 0.001)
+	almost(t, "CachingGain", p.CachingGain(), 3.076, 0.01)
+	almost(t, "FarmMaxLoad", p.FarmMaxLoad(), 1.125, 0.001)
+	almost(t, "MaxSpeedup", p.MaxSpeedup(), 30.8, 0.1)
+}
+
+func TestStatedDerivedQuantities(t *testing.T) {
+	p := PaperStated()
+	// Stated constants: uncached event = 0.2 + 0.6 = 0.8s, cached = 0.26s.
+	almost(t, "EventTimeTape", p.EventTimeTape(), 0.8, 1e-9)
+	almost(t, "EventTimeCached", p.EventTimeCached(), 0.26, 1e-9)
+	almost(t, "CachingGain", p.CachingGain(), 0.8/0.26, 1e-9)
+	if p.TotalEvents() != 2_000*GB/600_000 {
+		t.Errorf("TotalEvents = %d", p.TotalEvents())
+	}
+	if p.CacheEvents() != 100*GB/600_000 {
+		t.Errorf("CacheEvents = %d", p.CacheEvents())
+	}
+}
+
+func TestEventTimeRemoteBetweenCachedAndTape(t *testing.T) {
+	for _, p := range []Params{PaperStated(), PaperCalibrated()} {
+		r := p.EventTimeRemote()
+		if r <= p.EventTimeCached() || r >= p.EventTimeTape() {
+			t.Errorf("EventTimeRemote %v not in (%v, %v)",
+				r, p.EventTimeCached(), p.EventTimeTape())
+		}
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.Nodes = 0 },
+		func(p *Params) { p.EventCPUTime = 0 },
+		func(p *Params) { p.EventBytes = -1 },
+		func(p *Params) { p.DataspaceBytes = 100 },
+		func(p *Params) { p.DiskBytesPerSec = 0 },
+		func(p *Params) { p.TapeBytesPerSec = -3 },
+		func(p *Params) { p.NetworkBytesPerSec = 0 },
+		func(p *Params) { p.CacheBytes = -1 },
+		func(p *Params) { p.MeanJobEvents = 0 },
+		func(p *Params) { p.ErlangShape = 0 },
+		func(p *Params) { p.MinSubjobEvents = 0 },
+		func(p *Params) { p.HotFraction = 1.5 },
+		func(p *Params) { p.HotWeight = -0.1 },
+		func(p *Params) { p.HotRegions = 0 },
+	}
+	for i, mutate := range mutations {
+		p := PaperStated()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate accepted invalid params", i)
+		}
+	}
+}

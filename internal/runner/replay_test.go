@@ -1,0 +1,67 @@
+package runner
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"physched/internal/sched"
+	"physched/internal/workload"
+)
+
+// TestReplayedWorkloadMatchesSynthetic verifies that running a recorded
+// trace reproduces the synthetic run exactly — the property that makes
+// cross-policy comparisons on one job stream meaningful.
+func TestReplayedWorkloadMatchesSynthetic(t *testing.T) {
+	p := smallParams()
+	load := 0.5 * p.FarmMaxLoad()
+	base := smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, load)
+	base.MeasureJobs = 150
+	base.WarmupJobs = 30
+	synthetic := Run(base)
+
+	// Record the same stream (same seed+1, as the runner derives it).
+	gen := workload.New(p, rand.New(rand.NewSource(base.Seed+1)), load)
+	var buf bytes.Buffer
+	if err := workload.Export(&buf, gen, 500); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := workload.NewReplay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := base
+	replayed.Workload = rep
+	got := Run(replayed)
+
+	if got.AvgSpeedup != synthetic.AvgSpeedup || got.AvgWaiting != synthetic.AvgWaiting {
+		t.Errorf("replay diverged: speedup %v vs %v, waiting %v vs %v",
+			got.AvgSpeedup, synthetic.AvgSpeedup, got.AvgWaiting, synthetic.AvgWaiting)
+	}
+}
+
+// TestReplayExhaustionEndsRun: a finite trace must end the simulation
+// gracefully rather than hanging or panicking.
+func TestReplayExhaustionEndsRun(t *testing.T) {
+	p := smallParams()
+	gen := workload.New(p, rand.New(rand.NewSource(3)), 0.5*p.FarmMaxLoad())
+	var buf bytes.Buffer
+	if err := workload.Export(&buf, gen, 40); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := workload.NewReplay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallScenario(func() sched.Policy { return sched.NewFarm() }, 1)
+	s.Workload = rep
+	s.WarmupJobs = 5
+	s.MeasureJobs = 1000 // more than the trace holds
+	res := Run(s)
+	if res.Overloaded {
+		t.Error("short trace flagged as overload")
+	}
+	if res.MeasuredJobs != 35 {
+		t.Errorf("measured %d jobs, want 35 (40 minus 5 warmup)", res.MeasuredJobs)
+	}
+}

@@ -1,0 +1,49 @@
+package runner
+
+import "physched/internal/stats"
+
+// Aggregate summarises replicated runs of one scenario across seeds: the
+// mean and standard deviation of each headline metric over the
+// non-overloaded replicas, plus how many replicas overloaded. Figures in
+// the paper are single curves; Aggregate quantifies how much a point moves
+// run to run.
+type Aggregate struct {
+	Replicas   int
+	Overloaded int
+
+	SpeedupMean, SpeedupStd float64
+	WaitingMean, WaitingStd float64
+
+	Results []Result
+}
+
+// Replicate runs the scenario once per seed, in parallel, and aggregates.
+func Replicate(s Scenario, seeds []int64) Aggregate {
+	results := make([]Result, len(seeds))
+	done := make(chan int, len(seeds))
+	for i, seed := range seeds {
+		i, seed := i, seed
+		go func() {
+			r := s
+			r.Seed = seed
+			results[i] = Run(r)
+			done <- i
+		}()
+	}
+	for range seeds {
+		<-done
+	}
+	agg := Aggregate{Replicas: len(seeds), Results: results}
+	var sp, wt stats.Summary
+	for _, r := range results {
+		if r.Overloaded {
+			agg.Overloaded++
+			continue
+		}
+		sp.Add(r.AvgSpeedup)
+		wt.Add(r.AvgWaiting)
+	}
+	agg.SpeedupMean, agg.SpeedupStd = sp.Mean(), sp.Std()
+	agg.WaitingMean, agg.WaitingStd = wt.Mean(), wt.Std()
+	return agg
+}

@@ -1,0 +1,44 @@
+package runner
+
+import (
+	"testing"
+
+	"physched/internal/sched"
+)
+
+func TestReplicateAggregates(t *testing.T) {
+	p := smallParams()
+	s := smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
+	s.MeasureJobs = 120
+	s.WarmupJobs = 30
+	agg := Replicate(s, []int64{1, 2, 3, 4})
+	if agg.Replicas != 4 || agg.Overloaded != 0 {
+		t.Fatalf("replicas=%d overloaded=%d", agg.Replicas, agg.Overloaded)
+	}
+	if agg.SpeedupMean <= 1 {
+		t.Errorf("SpeedupMean = %v", agg.SpeedupMean)
+	}
+	// Different seeds must actually differ (std > 0) yet agree roughly
+	// (std well below the mean) in steady state.
+	if agg.SpeedupStd == 0 {
+		t.Error("seeds produced identical results; seeding is broken")
+	}
+	if agg.SpeedupStd > 0.5*agg.SpeedupMean {
+		t.Errorf("speedup variance implausibly large: %v ± %v", agg.SpeedupMean, agg.SpeedupStd)
+	}
+	if len(agg.Results) != 4 {
+		t.Errorf("Results len = %d", len(agg.Results))
+	}
+}
+
+func TestReplicateCountsOverloads(t *testing.T) {
+	p := smallParams()
+	s := smallScenario(func() sched.Policy { return sched.NewFarm() }, 2*p.FarmMaxLoad())
+	agg := Replicate(s, []int64{1, 2, 3})
+	if agg.Overloaded != 3 {
+		t.Errorf("Overloaded = %d, want 3 (farm at double its max)", agg.Overloaded)
+	}
+	if agg.SpeedupMean != 0 {
+		t.Errorf("mean over zero steady replicas should be 0, got %v", agg.SpeedupMean)
+	}
+}

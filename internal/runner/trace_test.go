@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"testing"
+
+	"physched/internal/sched"
+	"physched/internal/trace"
+)
+
+func TestRunWithTraceRecordsLifecycleAndSamples(t *testing.T) {
+	p := smallParams()
+	s := smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
+	s.MeasureJobs = 80
+	s.WarmupJobs = 20
+	s.Trace = trace.New(0, nil)
+	s.SampleEvery = 1800
+	res := Run(s)
+	if res.Overloaded {
+		t.Fatal("unexpected overload")
+	}
+	events := s.Trace.Events()
+	counts := map[trace.Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	if counts[trace.JobArrived] < 100 {
+		t.Errorf("JobArrived events = %d, want ≥ 100", counts[trace.JobArrived])
+	}
+	if counts[trace.JobFinished] < 100 {
+		t.Errorf("JobFinished events = %d", counts[trace.JobFinished])
+	}
+	if counts[trace.SubjobStarted] == 0 || counts[trace.SubjobFinished] == 0 {
+		t.Error("subjob lifecycle missing from trace")
+	}
+	// Dispatch/finish pairing: every started subjob finishes (the run
+	// ends only when measured jobs complete, so stragglers may remain).
+	if counts[trace.SubjobFinished] > counts[trace.SubjobStarted] {
+		t.Errorf("more subjob finishes (%d) than starts (%d)",
+			counts[trace.SubjobFinished], counts[trace.SubjobStarted])
+	}
+	if counts[trace.Sample] == 0 {
+		t.Error("no periodic samples recorded")
+	}
+
+	sum := trace.Summarise(events)
+	if sum.Jobs != int64(counts[trace.JobFinished]) {
+		t.Errorf("Summarise.Jobs = %d, want %d", sum.Jobs, counts[trace.JobFinished])
+	}
+	if sum.MeanConcurrency <= 0 || sum.MeanConcurrency > float64(p.Nodes) {
+		t.Errorf("MeanConcurrency = %v out of (0, %d]", sum.MeanConcurrency, p.Nodes)
+	}
+	if sum.MeanHitRate <= 0 || sum.MeanHitRate > 1 {
+		t.Errorf("MeanHitRate = %v out of (0, 1]", sum.MeanHitRate)
+	}
+
+	util := trace.Timeline(events, p.Nodes, res.SimTime)
+	for i, u := range util {
+		if u < 0 || u > 1.000001 {
+			t.Errorf("node %d utilisation %v out of [0,1]", i, u)
+		}
+	}
+}

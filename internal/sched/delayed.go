@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"sort"
+
+	"physched/internal/cluster"
+	"physched/internal/dataspace"
+	"physched/internal/job"
+	"physched/internal/model"
+	"physched/internal/sim"
+)
+
+// Delayed is the delayed scheduling policy of Table 4: time is divided into
+// periods of length Period during which arriving jobs are only accumulated;
+// at each period boundary the accumulated jobs are scheduled at once. Jobs
+// are split along cache boundaries; the uncached remainder is re-split on a
+// stripe grid of at most Stripe events and grouped into meta-subjobs of
+// overlapping stripes, so each stripe is loaded from tertiary storage at
+// most once per period. Nodes drain their own queue first, then pull
+// meta-subjobs.
+//
+// With Period zero the policy schedules each job immediately on arrival but
+// keeps the stripe-based data distribution — the regime the adaptive policy
+// falls back to at low loads (§6).
+type Delayed struct {
+	base
+	// Period is the accumulation delay (paper: 11 h, 2 days, 1 week).
+	Period float64
+	// Stripe is the largest data segment of one subjob, in events
+	// (paper: 200 to 25 000).
+	Stripe int64
+
+	pending []*job.Job
+	nodeQ   []subjobDeque
+	metaQ   []*metaSubjob
+	timer   *sim.Event // pending period-boundary event, nil in zero-period mode
+}
+
+// metaSubjob aggregates subjobs needing overlapping uncached data; the
+// whole stripe is fetched from tape once and every member reuses it.
+type metaSubjob struct {
+	stripe  dataspace.Interval
+	members []*job.Subjob
+	arrival float64 // earliest member arrival (Table 4 queues by it)
+}
+
+// NewDelayed returns the delayed policy with the given period delay and
+// stripe size in events.
+func NewDelayed(period float64, stripe int64) *Delayed {
+	if period < 0 || stripe <= 0 {
+		panic("sched: delayed policy needs period ≥ 0 and stripe > 0")
+	}
+	return &Delayed{Period: period, Stripe: stripe}
+}
+
+func (*Delayed) Name() string { return "delayed" }
+
+func (*Delayed) ClusterConfig() cluster.Config {
+	return cluster.Config{Caching: true}
+}
+
+func (p *Delayed) Attach(c *cluster.Cluster) {
+	p.base.Attach(c)
+	p.nodeQ = make([]subjobDeque, p.params.Nodes)
+	if p.Period > 0 {
+		p.timer = p.eng.At(p.Period, p.periodEnd)
+	}
+}
+
+func (p *Delayed) JobArrived(j *job.Job) {
+	if p.Period > 0 {
+		p.pending = append(p.pending, j)
+		return
+	}
+	j.ScheduledAt = p.now()
+	p.scheduleJobs([]*job.Job{j})
+	p.feedIdleNodes()
+}
+
+// periodEnd schedules everything accumulated during the period and starts
+// the next one (unless the period was retuned to zero in the meantime).
+func (p *Delayed) periodEnd() {
+	p.timer = nil
+	jobs := p.pending
+	p.pending = nil
+	now := p.now()
+	for _, j := range jobs {
+		j.ScheduledAt = now
+	}
+	p.scheduleJobs(jobs)
+	p.feedIdleNodes()
+	if p.Period > 0 {
+		p.timer = p.eng.After(p.Period, p.periodEnd)
+	}
+}
+
+// scheduleJobs performs the Table 4 splitting for a batch of jobs.
+func (p *Delayed) scheduleJobs(jobs []*job.Job) {
+	var uncached []*job.Subjob
+	for _, j := range jobs {
+		for _, pc := range cachePieces(p.c, j.Range, p.minSize()) {
+			sub := &job.Subjob{Job: j, Range: pc.Interval, Origin: pc.Node}
+			if pc.Node >= 0 {
+				p.nodeQ[pc.Node].PushBack(sub)
+				continue
+			}
+			sub.NoCacheQueue = true
+			uncached = append(uncached, sub)
+		}
+	}
+	if len(uncached) == 0 {
+		return
+	}
+	p.stripeAndGroup(uncached)
+}
+
+// stripeAndGroup re-splits uncached subjobs on the stripe grid and groups
+// overlapping stripes into meta-subjobs queued by arrival time.
+func (p *Delayed) stripeAndGroup(uncached []*job.Subjob) {
+	// Connected components of the union of uncached ranges define the
+	// hulls on which stripe grids are built.
+	var union dataspace.Set
+	var boundaries []int64
+	for _, sub := range uncached {
+		union = union.Add(sub.Range)
+		boundaries = append(boundaries, sub.Range.Start, sub.Range.End)
+	}
+	metas := map[dataspace.Interval]*metaSubjob{}
+	for _, hull := range union.Intervals() {
+		points := job.StripePoints(boundaries, hull, p.Stripe)
+		for _, sub := range uncached {
+			if !hull.ContainsInterval(sub.Range) {
+				continue
+			}
+			for _, cut := range job.CutAtPoints(sub.Range, points) {
+				stripe := stripeCell(points, cut)
+				m := metas[stripe]
+				if m == nil {
+					m = &metaSubjob{stripe: stripe, arrival: sub.Job.Arrival}
+					metas[stripe] = m
+					p.metaQ = append(p.metaQ, m)
+				}
+				if sub.Job.Arrival < m.arrival {
+					m.arrival = sub.Job.Arrival
+				}
+				m.members = append(m.members, &job.Subjob{
+					Job: sub.Job, Range: cut, NoCacheQueue: true, Origin: -1,
+				})
+			}
+		}
+	}
+	sort.SliceStable(p.metaQ, func(i, j int) bool {
+		return p.metaQ[i].arrival < p.metaQ[j].arrival
+	})
+}
+
+// stripeCell returns the grid cell [points[i], points[i+1]) containing cut.
+func stripeCell(points []int64, cut dataspace.Interval) dataspace.Interval {
+	i := sort.Search(len(points), func(i int) bool { return points[i] > cut.Start })
+	// points[i-1] <= cut.Start < points[i]; cuts never straddle points.
+	return dataspace.Iv(points[i-1], points[i])
+}
+
+func (p *Delayed) SubjobDone(n *cluster.Node, _ *job.Subjob) {
+	p.feedNode(n)
+}
+
+func (p *Delayed) feedIdleNodes() {
+	for _, n := range p.c.IdleNodes() {
+		p.feedNode(n)
+	}
+}
+
+// feedNode runs the node's private queue first; an idle node with an empty
+// queue pops the first meta-subjob and adopts all its members (Table 4).
+func (p *Delayed) feedNode(n *cluster.Node) {
+	if !p.nodeQ[n.ID].Empty() {
+		p.c.Dispatch(n, p.nodeQ[n.ID].PopFront())
+		return
+	}
+	if len(p.metaQ) == 0 {
+		return
+	}
+	m := p.metaQ[0]
+	p.metaQ = p.metaQ[1:]
+	for _, sub := range m.members {
+		p.nodeQ[n.ID].PushBack(sub)
+	}
+	p.c.Dispatch(n, p.nodeQ[n.ID].PopFront())
+}
+
+// QueueDepths reports the scheduling backlog (pending jobs, queued subjobs,
+// queued meta-subjobs) for observability and tests.
+func (p *Delayed) QueueDepths() (pendingJobs, queuedSubjobs, metaSubjobs int) {
+	for i := range p.nodeQ {
+		queuedSubjobs += p.nodeQ[i].Len()
+	}
+	return len(p.pending), queuedSubjobs, len(p.metaQ)
+}
+
+// DefaultStripe is the paper's default stripe size for Figure 5.
+const DefaultStripe int64 = 5000
+
+// Common period delays studied in the paper (Figure 5).
+const (
+	Delay11h   = 11 * model.Hour
+	Delay2Days = 2 * model.Day
+	Delay1Week = model.Week
+)

@@ -1,0 +1,39 @@
+package sched
+
+import (
+	"physched/internal/cluster"
+	"physched/internal/job"
+)
+
+// Farm is the processing-farm baseline (§3.1): jobs queue in front of the
+// cluster and each job runs whole on the first available node, which stays
+// dedicated to it until the end. No disk caching is performed; all data is
+// streamed from tertiary storage. At CERN this was the production policy;
+// the paper uses it as the reference, noting it behaves as an M/Er/m
+// queueing system (see internal/queueing).
+type Farm struct {
+	base
+	queue jobFIFO
+}
+
+// NewFarm returns the processing-farm policy.
+func NewFarm() *Farm { return &Farm{} }
+
+func (*Farm) Name() string { return "farm" }
+
+func (*Farm) ClusterConfig() cluster.Config { return cluster.Config{} }
+
+func (f *Farm) JobArrived(j *job.Job) {
+	if idle := f.c.IdleNodes(); len(idle) > 0 {
+		f.c.Dispatch(idle[0], &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+		return
+	}
+	f.queue.Push(j)
+}
+
+func (f *Farm) SubjobDone(n *cluster.Node, _ *job.Subjob) {
+	if !f.queue.Empty() {
+		j := f.queue.Pop()
+		f.c.Dispatch(n, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+	}
+}

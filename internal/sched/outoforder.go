@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"physched/internal/cluster"
+	"physched/internal/job"
+	"physched/internal/model"
+)
+
+// OutOfOrder is the out-of-order scheduling policy of Table 3. Every node
+// owns a queue of subjobs whose data it caches; an extra queue holds
+// subjobs with no cached data. Cache-affine subjobs run immediately,
+// preempting subjobs that work on non-cached data; idle nodes drain the
+// no-cached-data queue and finally steal work from loaded nodes, reading
+// the stolen data remotely (§4.2). A job waiting longer than MaxWait in
+// the no-cached-data queue is promoted to priority and served by the first
+// available node (§4.1 uses 2 days).
+type OutOfOrder struct {
+	base
+	nodeQ    []subjobDeque // per-node queues of locally cached subjobs
+	noCache  subjobDeque   // subjobs with no cached data
+	priority subjobDeque   // subjobs of jobs past the aging limit
+
+	// MaxWait is the fairness aging limit (default 2 days).
+	MaxWait float64
+
+	// Replicate enables the §4.2 data-replication variant.
+	Replicate bool
+}
+
+// NewOutOfOrder returns the out-of-order policy with the paper's 2-day
+// aging limit.
+func NewOutOfOrder() *OutOfOrder { return &OutOfOrder{MaxWait: 2 * model.Day} }
+
+// NewReplication returns the out-of-order policy with §4.2 data
+// replication (replicate a segment on its third remote access).
+func NewReplication() *OutOfOrder {
+	p := NewOutOfOrder()
+	p.Replicate = true
+	return p
+}
+
+func (p *OutOfOrder) Name() string {
+	if p.Replicate {
+		return "outoforder+replication"
+	}
+	return "outoforder"
+}
+
+func (p *OutOfOrder) ClusterConfig() cluster.Config {
+	cfg := cluster.Config{Caching: true, RemoteReads: true}
+	if p.Replicate {
+		cfg.ReplicateAfter = 3
+	}
+	return cfg
+}
+
+func (p *OutOfOrder) Attach(c *cluster.Cluster) {
+	p.base.Attach(c)
+	p.nodeQ = make([]subjobDeque, p.params.Nodes)
+}
+
+func (p *OutOfOrder) JobArrived(j *job.Job) {
+	pieces := cachePieces(p.c, j.Range, p.minSize())
+	var uncached []*job.Subjob
+	for _, pc := range pieces {
+		sub := &job.Subjob{Job: j, Range: pc.Interval, Origin: pc.Node}
+		if pc.Node < 0 {
+			sub.NoCacheQueue = true
+			uncached = append(uncached, sub)
+			continue
+		}
+		p.placeCached(sub, pc.Node)
+	}
+	for _, sub := range uncached {
+		p.noCache.PushBack(sub)
+	}
+	p.feedIdleNodes()
+	if p.MaxWait > 0 && !j.Started {
+		p.eng.After(p.MaxWait, func() { p.age(j) })
+	}
+}
+
+// placeCached runs a cached subjob on its node immediately when the node is
+// idle or busy with non-cached work; otherwise it queues on the node.
+func (p *OutOfOrder) placeCached(sub *job.Subjob, node int) {
+	n := p.c.Node(node)
+	if n.Idle() {
+		p.c.Dispatch(n, sub)
+		return
+	}
+	if r := n.Running(); r.NoCacheQueue || r.Yielding {
+		// Suspend the non-cached worker back to the front of the queue it
+		// came from (Table 3).
+		rem := p.c.Preempt(n)
+		if rem != nil {
+			p.requeueFront(rem)
+		}
+		p.c.Dispatch(n, sub)
+		return
+	}
+	p.nodeQ[node].PushBack(sub)
+}
+
+// requeueFront returns a preempted subjob to the first position of its
+// origin queue.
+func (p *OutOfOrder) requeueFront(sub *job.Subjob) {
+	if sub.Job.Priority {
+		p.priority.PushFront(sub)
+		return
+	}
+	if sub.Origin >= 0 && !sub.NoCacheQueue {
+		p.nodeQ[sub.Origin].PushFront(sub)
+		return
+	}
+	p.noCache.PushFront(sub)
+}
+
+// age promotes a job that waited past MaxWait without starting: all its
+// queued subjobs move to the priority queue (§4.1).
+func (p *OutOfOrder) age(j *job.Job) {
+	if j.Started || j.Finished {
+		return
+	}
+	j.Priority = true
+	extract := func(d *subjobDeque) {
+		for i := 0; i < d.Len(); {
+			if d.Peek(i).Job == j {
+				p.priority.PushBack(d.Remove(i))
+				continue
+			}
+			i++
+		}
+	}
+	extract(&p.noCache)
+	for i := range p.nodeQ {
+		extract(&p.nodeQ[i])
+	}
+	p.feedIdleNodes()
+}
+
+func (p *OutOfOrder) SubjobDone(n *cluster.Node, _ *job.Subjob) {
+	p.feedIdleNodes()
+}
+
+// feedIdleNodes applies Table 3's "whenever one or several nodes become
+// available" rules to every idle node.
+func (p *OutOfOrder) feedIdleNodes() {
+	for _, n := range p.c.IdleNodes() {
+		p.feedNode(n)
+	}
+}
+
+func (p *OutOfOrder) feedNode(n *cluster.Node) {
+	// Priority jobs first (§4.1: "the first available node executes this
+	// job before running any other job or subjob").
+	if !p.priority.Empty() {
+		p.c.Dispatch(n, p.priority.PopFront())
+		return
+	}
+	// Own queue.
+	if !p.nodeQ[n.ID].Empty() {
+		p.c.Dispatch(n, p.nodeQ[n.ID].PopFront())
+		return
+	}
+	// No-cached-data queue, splitting when several idle nodes compete for
+	// few subjobs.
+	if !p.noCache.Empty() {
+		sub := p.noCache.PopFront()
+		idleLeft := len(p.c.IdleNodes()) // includes n
+		if idleLeft > 1 && p.noCache.Len() < idleLeft-1 && sub.Events()/2 >= p.minSize() {
+			a, b := sub.Range.Halves()
+			p.noCache.PushFront(&job.Subjob{Job: sub.Job, Range: b, NoCacheQueue: true, Origin: -1})
+			sub = &job.Subjob{Job: sub.Job, Range: a, NoCacheQueue: true, Origin: -1}
+		}
+		p.c.Dispatch(n, sub)
+		return
+	}
+	p.steal(n)
+}
+
+// steal takes work from the most loaded node, splitting the running subjob
+// so both halves finish around the same time given that the thief reads
+// the data remotely (Table 3, last bullet).
+func (p *OutOfOrder) steal(n *cluster.Node) {
+	var donor *cluster.Node
+	var donorLoad int64
+	for _, m := range p.c.Nodes() {
+		if m.Idle() {
+			continue
+		}
+		load := p.c.RemainingEvents(m) + p.nodeQ[m.ID].totalEvents()
+		if load > donorLoad {
+			donor, donorLoad = m, load
+		}
+	}
+	if donor == nil {
+		return
+	}
+	// Prefer stealing a whole queued subjob over splitting the running one.
+	if !p.nodeQ[donor.ID].Empty() {
+		sub := p.nodeQ[donor.ID].Remove(p.nodeQ[donor.ID].Len() - 1)
+		stolen := &job.Subjob{Job: sub.Job, Range: sub.Range, Yielding: true, Origin: donor.ID}
+		p.c.Dispatch(n, stolen)
+		return
+	}
+	rem := p.c.RemainingEvents(donor)
+	if rem < 2*p.minSize() {
+		return
+	}
+	// Balance completion times: donor continues at local rate, thief runs
+	// at the remote rate; tail/head = donorRate/thiefRate.
+	donorRate := p.params.EventTimeCached()
+	thiefRate := p.params.EventTimeRemote()
+	tail := int64(float64(rem) * donorRate / (donorRate + thiefRate))
+	if tail < p.minSize() {
+		tail = p.minSize()
+	}
+	if rem-tail < p.minSize() {
+		return
+	}
+	stolen := p.c.SplitRunning(donor, tail, p.minSize())
+	if stolen == nil {
+		return
+	}
+	stolen.Yielding = true
+	stolen.Origin = donor.ID
+	p.c.Dispatch(n, stolen)
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"physched/internal/dataspace"
+	"physched/internal/job"
+	"physched/internal/model"
+)
+
+// TestOutOfOrderWorkConservation drives the out-of-order policy with a
+// random arrival stream and checks, after every scheduling action, the
+// policy's core queue invariant: a node is never idle while subjobs wait
+// in its own queue, and never idle while the no-cached-data queue holds
+// work large enough to run. Violations would silently waste capacity and
+// show up only as inflated waiting times, so they are asserted directly.
+func TestOutOfOrderWorkConservation(t *testing.T) {
+	pol := NewOutOfOrder()
+	pol.MaxWait = 6 * model.Hour
+	h := newHarness(t, pol, nil)
+	rng := rand.New(rand.NewSource(13))
+
+	check := func(step int) {
+		for _, n := range h.c.Nodes() {
+			if !n.Idle() {
+				continue
+			}
+			if !pol.nodeQ[n.ID].Empty() {
+				t.Fatalf("step %d: node %d idle with %d subjobs in its queue",
+					step, n.ID, pol.nodeQ[n.ID].Len())
+			}
+			if !pol.priority.Empty() {
+				t.Fatalf("step %d: node %d idle with priority work queued", step, n.ID)
+			}
+			if !pol.noCache.Empty() {
+				t.Fatalf("step %d: node %d idle with %d uncached subjobs queued",
+					step, n.ID, pol.noCache.Len())
+			}
+		}
+	}
+
+	var jobs []*job.Job
+	for step := 0; step < 600; step++ {
+		h.eng.RunUntil(h.eng.Now() + rng.Float64()*400)
+		start := rng.Int63n(90_000)
+		length := 100 + rng.Int63n(4_000)
+		if start+length > 100_000 {
+			start = 100_000 - length
+		}
+		jobs = append(jobs, h.submit(dataspace.Iv(start, start+length)))
+		check(step)
+	}
+	h.eng.Run()
+	for _, j := range jobs {
+		if !j.Finished {
+			t.Fatalf("job %d never finished", j.ID)
+		}
+		if j.Processed != j.Events() {
+			t.Fatalf("job %d processed %d of %d events", j.ID, j.Processed, j.Events())
+		}
+	}
+}

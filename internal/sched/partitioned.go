@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"physched/internal/cluster"
+	"physched/internal/dataspace"
+	"physched/internal/job"
+)
+
+// Partitioned is a static data-partitioning policy, the classical
+// alternative to the paper's dynamic caching that its related work
+// discusses (overlay striping / data partitioning, Triantafillou &
+// Faloutsos [16]): the dataspace is cut into one contiguous partition per
+// node, each node owns its partition and caches only data from it, and
+// every job is split along partition boundaries with each piece queued on
+// its owner node.
+//
+// Static ownership removes all placement decisions — no preemption, no
+// stealing — at the price of load imbalance: the hot regions of the
+// workload hammer the two owner nodes while others idle. Comparing it with
+// CacheOriented and OutOfOrder quantifies what the paper's dynamic
+// policies buy.
+type Partitioned struct {
+	base
+	bounds []int64 // partition boundaries, len Nodes+1
+	nodeQ  []subjobDeque
+}
+
+// NewPartitioned returns the static-partitioning policy.
+func NewPartitioned() *Partitioned { return &Partitioned{} }
+
+func (*Partitioned) Name() string { return "partitioned" }
+
+func (*Partitioned) ClusterConfig() cluster.Config {
+	return cluster.Config{Caching: true}
+}
+
+func (p *Partitioned) Attach(c *cluster.Cluster) {
+	p.base.Attach(c)
+	n := p.params.Nodes
+	total := p.params.TotalEvents()
+	p.bounds = make([]int64, n+1)
+	for i := 0; i <= n; i++ {
+		p.bounds[i] = total * int64(i) / int64(n)
+	}
+	p.nodeQ = make([]subjobDeque, n)
+}
+
+// owner returns the node owning event index e.
+func (p *Partitioned) owner(e int64) int {
+	for i := 1; i < len(p.bounds); i++ {
+		if e < p.bounds[i] {
+			return i - 1
+		}
+	}
+	return len(p.bounds) - 2
+}
+
+func (p *Partitioned) JobArrived(j *job.Job) {
+	pos := j.Range.Start
+	for pos < j.Range.End {
+		o := p.owner(pos)
+		end := p.bounds[o+1]
+		if end > j.Range.End {
+			end = j.Range.End
+		}
+		sub := &job.Subjob{Job: j, Range: dataspace.Iv(pos, end), Origin: o}
+		p.enqueue(o, sub)
+		pos = end
+	}
+}
+
+func (p *Partitioned) enqueue(node int, sub *job.Subjob) {
+	n := p.c.Node(node)
+	if n.Idle() {
+		p.c.Dispatch(n, sub)
+		return
+	}
+	p.nodeQ[node].PushBack(sub)
+}
+
+func (p *Partitioned) SubjobDone(n *cluster.Node, _ *job.Subjob) {
+	if !p.nodeQ[n.ID].Empty() {
+		p.c.Dispatch(n, p.nodeQ[n.ID].PopFront())
+	}
+}
+
+// QueueDepth reports the backlog of a node's partition queue.
+func (p *Partitioned) QueueDepth(node int) int { return p.nodeQ[node].Len() }
+
+// AffineFarm is the processing farm upgraded with node disk caches and
+// cache-affine routing, but still without job splitting: a whole job runs
+// on the idle node caching the most of its data. It isolates how much of
+// the cache-oriented policy's gain comes from caching alone versus from
+// intra-job parallelism.
+type AffineFarm struct {
+	base
+	queue jobFIFO
+}
+
+// NewAffineFarm returns the cache-affine farm policy.
+func NewAffineFarm() *AffineFarm { return &AffineFarm{} }
+
+func (*AffineFarm) Name() string { return "affinefarm" }
+
+func (*AffineFarm) ClusterConfig() cluster.Config {
+	return cluster.Config{Caching: true}
+}
+
+func (f *AffineFarm) JobArrived(j *job.Job) {
+	idle := f.c.IdleNodes()
+	if len(idle) == 0 {
+		f.queue.Push(j)
+		return
+	}
+	f.c.Dispatch(f.bestNode(idle, j), &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+}
+
+// bestNode picks the idle node caching the most of j's range.
+func (f *AffineFarm) bestNode(idle []*cluster.Node, j *job.Job) *cluster.Node {
+	best := idle[0]
+	var bestAmt int64 = -1
+	for _, n := range idle {
+		if amt := f.c.Index().CachedOn(n.ID, j.Range); amt > bestAmt {
+			best, bestAmt = n, amt
+		}
+	}
+	return best
+}
+
+func (f *AffineFarm) SubjobDone(n *cluster.Node, _ *job.Subjob) {
+	if f.queue.Empty() {
+		return
+	}
+	// The freed node takes the queued job with the best affinity to it;
+	// FCFS ties are broken in queue order.
+	bestIdx := 0
+	var bestAmt int64 = -1
+	for i := 0; i < f.queue.Len(); i++ {
+		j := f.queue.q[i]
+		if amt := f.c.Index().CachedOn(n.ID, j.Range); amt > bestAmt {
+			bestIdx, bestAmt = i, amt
+		}
+	}
+	j := f.queue.q[bestIdx]
+	f.queue.q = append(f.queue.q[:bestIdx], f.queue.q[bestIdx+1:]...)
+	f.c.Dispatch(n, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+}

@@ -1,0 +1,152 @@
+// Package sched implements the paper's scheduling policies behind a common
+// plugin interface (the paper's "plugin model, enabling new scheduling
+// policies to be easily added"):
+//
+//	farm           processing-farm FCFS baseline (§3.1)
+//	splitting      job splitting across idle nodes, no caching (Table 1)
+//	cacheoriented  cache-oriented job splitting, FIFO across jobs (Table 2)
+//	outoforder     out-of-order, cache-affine scheduling (Table 3)
+//	               (+ optional data replication, §4.2)
+//	delayed        delayed scheduling with periods and stripes (Table 4)
+//	adaptive       adaptive-delay scheduling (§6)
+package sched
+
+import (
+	"physched/internal/cache"
+	"physched/internal/cluster"
+	"physched/internal/dataspace"
+	"physched/internal/job"
+	"physched/internal/model"
+	"physched/internal/sim"
+)
+
+// Policy is a scheduling policy plugin. The runner wires JobArrived to the
+// workload stream and SubjobDone to the cluster's completion callback.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// ClusterConfig returns the data-path features the policy needs.
+	ClusterConfig() cluster.Config
+
+	// Attach binds the policy to a cluster before the simulation starts.
+	Attach(c *cluster.Cluster)
+
+	// JobArrived admits a new job.
+	JobArrived(j *job.Job)
+
+	// SubjobDone reacts to a subjob completing on node n.
+	SubjobDone(n *cluster.Node, sj *job.Subjob)
+}
+
+// base carries the state shared by all policies.
+type base struct {
+	c      *cluster.Cluster
+	eng    *sim.Engine
+	params model.Params
+}
+
+func (b *base) Attach(c *cluster.Cluster) {
+	b.c = c
+	b.eng = c.Engine()
+	b.params = c.Params()
+}
+
+// now returns the current simulated time.
+func (b *base) now() float64 { return b.eng.Now() }
+
+// minSize is the smallest subjob the policies may create.
+func (b *base) minSize() int64 { return b.params.MinSubjobEvents }
+
+// jobFIFO is a simple FIFO queue of jobs.
+type jobFIFO struct{ q []*job.Job }
+
+func (f *jobFIFO) Empty() bool     { return len(f.q) == 0 }
+func (f *jobFIFO) Len() int        { return len(f.q) }
+func (f *jobFIFO) Push(j *job.Job) { f.q = append(f.q, j) }
+func (f *jobFIFO) Pop() *job.Job {
+	j := f.q[0]
+	f.q = f.q[1:]
+	return j
+}
+
+// subjobDeque supports FIFO plus front re-insertion ("placed back at the
+// first position of the queue where it came from", Table 3).
+type subjobDeque struct{ q []*job.Subjob }
+
+func (d *subjobDeque) Empty() bool             { return len(d.q) == 0 }
+func (d *subjobDeque) Len() int                { return len(d.q) }
+func (d *subjobDeque) PushBack(s *job.Subjob)  { d.q = append(d.q, s) }
+func (d *subjobDeque) PushFront(s *job.Subjob) { d.q = append([]*job.Subjob{s}, d.q...) }
+func (d *subjobDeque) PopFront() *job.Subjob {
+	s := d.q[0]
+	d.q = d.q[1:]
+	return s
+}
+
+// Peek returns the i-th subjob without removing it.
+func (d *subjobDeque) Peek(i int) *job.Subjob { return d.q[i] }
+
+// Remove deletes the i-th subjob.
+func (d *subjobDeque) Remove(i int) *job.Subjob {
+	s := d.q[i]
+	d.q = append(d.q[:i], d.q[i+1:]...)
+	return s
+}
+
+// totalEvents sums the events of queued subjobs.
+func (d *subjobDeque) totalEvents() int64 {
+	var n int64
+	for _, s := range d.q {
+		n += s.Events()
+	}
+	return n
+}
+
+// cachePieces splits a job's range along the cluster cache-content
+// boundaries so that every piece is either fully cached on one node or
+// cached nowhere (the splitting rule shared by Tables 2, 3 and 4), then
+// merges pieces smaller than the policy minimum into their successors.
+func cachePieces(c *cluster.Cluster, iv dataspace.Interval, minEvents int64) []cache.NodePiece {
+	raw := c.Index().PartitionByNode(iv)
+	out := make([]cache.NodePiece, 0, len(raw))
+	for _, p := range raw {
+		pc := cache.NodePiece{Interval: p.Interval, Node: p.Node}
+		if n := len(out); n > 0 && out[n-1].Interval.Len() < minEvents {
+			// Too-small predecessor: absorb it. The merged piece counts as
+			// cached only if both parts were on the same node.
+			prev := out[n-1]
+			pc.Interval = dataspace.Iv(prev.Interval.Start, p.Interval.End)
+			if prev.Node != p.Node {
+				pc.Node = pickNode(c, prev, p)
+			}
+			out[n-1] = pc
+			continue
+		}
+		out = append(out, pc)
+	}
+	// A trailing too-small piece merges backwards.
+	if n := len(out); n >= 2 && out[n-1].Interval.Len() < minEvents {
+		prev, last := out[n-2], out[n-1]
+		merged := cache.NodePiece{
+			Interval: dataspace.Iv(prev.Interval.Start, last.Interval.End),
+			Node:     prev.Node,
+		}
+		if prev.Node != last.Node {
+			merged.Node = pickNode(c, prev, last)
+		}
+		out = append(out[:n-2], merged)
+	}
+	return out
+}
+
+// pickNode attributes a merged piece to the node caching more of it, or to
+// no node when neither dominates.
+func pickNode(c *cluster.Cluster, a, b cache.NodePiece) int {
+	merged := dataspace.Iv(a.Interval.Start, b.Interval.End)
+	best, amt := c.Index().BestNodeFor(merged)
+	if amt*2 >= merged.Len() {
+		return best
+	}
+	return -1
+}

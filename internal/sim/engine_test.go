@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(1)
+	var order []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tm := tm
+		e.At(tm, func() { order = append(order, tm) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events ran out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Errorf("ran %d events, want %d", len(order), len(times))
+	}
+	if e.Now() != 5 {
+		t.Errorf("final time = %v, want 5", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	ran := false
+	ev := e.At(1, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	ev.Cancel() // double-cancel is a no-op
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := New(1)
+	var hits []float64
+	e.After(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var ran []float64
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		e.At(tm, func() { ran = append(ran, tm) })
+	}
+	e.RunUntil(3)
+	if len(ran) != 3 {
+		t.Errorf("RunUntil(3) ran %d events, want 3", len(ran))
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(ran) != 5 || e.Now() != 100 {
+		t.Errorf("after RunUntil(100): ran=%d now=%v", len(ran), e.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	e := New(1)
+	ev := e.At(1, func() { t.Error("cancelled event ran") })
+	ev.Cancel()
+	ok := false
+	e.At(2, func() { ok = true })
+	e.RunUntil(5)
+	if !ok {
+		t.Error("live event after cancelled head did not run")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := New(seed)
+		var out []float64
+		var tick func()
+		tick = func() {
+			out = append(out, e.Now())
+			if len(out) < 100 {
+				e.After(e.Rand().Float64()*10, tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHeapPropertyRandomised(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(seed)
+		var ran []float64
+		n := 50 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			tm := rng.Float64() * 1000
+			e.At(tm, func() { ran = append(ran, e.Now()) })
+		}
+		e.Run()
+		return len(ran) == n && sort.Float64sAreSorted(ran)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", e.Steps())
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	e.Run()
+}

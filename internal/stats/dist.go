@@ -1,0 +1,60 @@
+// Package stats provides the random variates, summary statistics and
+// histogram machinery used by the workload generator and the metrics
+// collector: exponential and Erlang distributions (job inter-arrival times
+// and event counts in the paper), streaming summaries, log-scale waiting
+// time histograms, EWMA load estimation and linear trend detection for
+// overload analysis.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Exponential draws an exponential variate with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// Erlang draws an Erlang(shape, mean) variate: the sum of shape independent
+// exponentials whose total mean is mean. The paper draws job event counts
+// from Erlang with shape 4 and mean 30 000.
+func Erlang(rng *rand.Rand, shape int, mean float64) float64 {
+	if shape <= 0 {
+		panic("stats: Erlang shape must be positive")
+	}
+	// Product of uniforms avoids shape calls to ExpFloat64.
+	prod := 1.0
+	for i := 0; i < shape; i++ {
+		prod *= 1 - rng.Float64() // in (0,1]
+	}
+	return -math.Log(prod) * mean / float64(shape)
+}
+
+// ErlangCV2 returns the squared coefficient of variation of an Erlang
+// distribution with the given shape (1/shape). It parameterises the
+// queueing approximations in internal/queueing.
+func ErlangCV2(shape int) float64 { return 1 / float64(shape) }
+
+// PoissonProcess yields successive arrival times of a Poisson process with
+// the given rate (events per unit time), starting after start.
+type PoissonProcess struct {
+	rng  *rand.Rand
+	rate float64
+	now  float64
+}
+
+// NewPoissonProcess returns a Poisson arrival process with the given rate,
+// beginning at time start.
+func NewPoissonProcess(rng *rand.Rand, rate, start float64) *PoissonProcess {
+	if rate <= 0 {
+		panic("stats: Poisson rate must be positive")
+	}
+	return &PoissonProcess{rng: rng, rate: rate, now: start}
+}
+
+// Next returns the next arrival time.
+func (p *PoissonProcess) Next() float64 {
+	p.now += Exponential(p.rng, 1/p.rate)
+	return p.now
+}

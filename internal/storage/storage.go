@@ -1,0 +1,83 @@
+// Package storage models the shared tertiary mass-storage system (CASTOR
+// at CERN). CASTOR stages tape data onto disk arrays, so — exactly like the
+// paper's simulator — no tape-mount latency is modelled, only a fixed
+// per-node throughput from the storage system to each processing node
+// (§2.4: "Throughput from tertiary storage to each node is 1 MB/s").
+package storage
+
+import "sync"
+
+// Tertiary is the shared mass-storage service. It is safe for concurrent
+// use so that independent simulations can share one instance when sweeping
+// loads in parallel, although a single simulation always uses it from one
+// goroutine.
+type Tertiary struct {
+	bytesPerSec float64
+	eventBytes  int64
+
+	mu           sync.Mutex
+	eventsServed int64
+	bytesServed  int64
+	streams      int
+	maxStreams   int
+}
+
+// New returns a tertiary storage with the given per-node throughput and
+// event size.
+func New(bytesPerSec float64, eventBytes int64) *Tertiary {
+	if bytesPerSec <= 0 || eventBytes <= 0 {
+		panic("storage: throughput and event size must be positive")
+	}
+	return &Tertiary{bytesPerSec: bytesPerSec, eventBytes: eventBytes}
+}
+
+// TransferTime returns the time to move n events to one node.
+func (t *Tertiary) TransferTime(n int64) float64 {
+	return float64(n*t.eventBytes) / t.bytesPerSec
+}
+
+// PerEventTransferTime returns the transfer time of a single event.
+func (t *Tertiary) PerEventTransferTime() float64 { return t.TransferTime(1) }
+
+// StartStream records that a node began streaming from the storage system;
+// EndStream the converse. The simulator uses the pair to expose the peak
+// number of concurrent tape streams, validating the per-node-channel
+// assumption.
+func (t *Tertiary) StartStream() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.streams++
+	if t.streams > t.maxStreams {
+		t.maxStreams = t.streams
+	}
+}
+
+// EndStream records the end of a stream of n events.
+func (t *Tertiary) EndStream(events int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.streams--
+	t.eventsServed += events
+	t.bytesServed += events * t.eventBytes
+}
+
+// EventsServed returns the cumulative number of events delivered.
+func (t *Tertiary) EventsServed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eventsServed
+}
+
+// BytesServed returns the cumulative bytes delivered.
+func (t *Tertiary) BytesServed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytesServed
+}
+
+// MaxConcurrentStreams returns the peak number of simultaneous streams.
+func (t *Tertiary) MaxConcurrentStreams() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.maxStreams
+}

@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTransferTime(t *testing.T) {
+	s := New(1_000_000, 600_000) // 1 MB/s, 600 KB events
+	if got := s.TransferTime(1); got != 0.6 {
+		t.Errorf("TransferTime(1) = %v, want 0.6", got)
+	}
+	if got := s.TransferTime(100); got != 60 {
+		t.Errorf("TransferTime(100) = %v, want 60", got)
+	}
+	if got := s.PerEventTransferTime(); got != 0.6 {
+		t.Errorf("PerEventTransferTime = %v", got)
+	}
+}
+
+func TestStreamAccounting(t *testing.T) {
+	s := New(1_000_000, 600_000)
+	s.StartStream()
+	s.StartStream()
+	if got := s.MaxConcurrentStreams(); got != 2 {
+		t.Errorf("MaxConcurrentStreams = %d, want 2", got)
+	}
+	s.EndStream(100)
+	s.EndStream(50)
+	if got := s.EventsServed(); got != 150 {
+		t.Errorf("EventsServed = %d, want 150", got)
+	}
+	if got := s.BytesServed(); got != 150*600_000 {
+		t.Errorf("BytesServed = %d", got)
+	}
+	// Peak is monotone.
+	s.StartStream()
+	s.EndStream(1)
+	if got := s.MaxConcurrentStreams(); got != 2 {
+		t.Errorf("peak dropped to %d", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := New(1_000_000, 600_000)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				s.StartStream()
+				s.EndStream(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.EventsServed(); got != 3200 {
+		t.Errorf("EventsServed = %d, want 3200", got)
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for _, c := range []struct {
+		bps float64
+		ev  int64
+	}{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v,%v) did not panic", c.bps, c.ev)
+				}
+			}()
+			New(c.bps, c.ev)
+		}()
+	}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"physched/internal/dataspace"
+	"physched/internal/model"
+	"physched/internal/stats"
+)
+
+func testParams() model.Params {
+	return model.PaperCalibrated()
+}
+
+func TestHotRegions(t *testing.T) {
+	p := testParams()
+	regions := HotRegions(p)
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regions))
+	}
+	var total int64
+	for _, r := range regions {
+		if r.Empty() {
+			t.Errorf("empty hot region %v", r)
+		}
+		total += r.Len()
+	}
+	frac := float64(total) / float64(p.TotalEvents())
+	if math.Abs(frac-p.HotFraction) > 0.001 {
+		t.Errorf("hot regions cover %.3f of dataspace, want %.3f", frac, p.HotFraction)
+	}
+	if regions[0].Overlaps(regions[1]) {
+		t.Error("hot regions overlap")
+	}
+}
+
+func TestArrivalsFollowRate(t *testing.T) {
+	p := testParams()
+	g := New(p, rand.New(rand.NewSource(1)), 2.0)
+	var last float64
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		j := g.Next()
+		if j.Arrival <= last {
+			t.Fatal("arrivals must strictly increase")
+		}
+		if j.ID != int64(i) {
+			t.Fatalf("job ID %d, want %d", j.ID, i)
+		}
+		last = j.Arrival
+	}
+	rate := n / (last / model.Hour)
+	if math.Abs(rate-2.0) > 0.1 {
+		t.Errorf("empirical rate %.3f jobs/h, want ≈ 2", rate)
+	}
+}
+
+func TestEventCountDistribution(t *testing.T) {
+	p := testParams()
+	g := New(p, rand.New(rand.NewSource(2)), 1.0)
+	var s stats.Summary
+	for i := 0; i < 50_000; i++ {
+		j := g.Next()
+		s.Add(float64(j.Events()))
+	}
+	mean := float64(p.MeanJobEvents)
+	if math.Abs(s.Mean()-mean) > 0.02*mean {
+		t.Errorf("mean events %.0f, want ≈ %.0f", s.Mean(), mean)
+	}
+	wantStd := mean / math.Sqrt(float64(p.ErlangShape))
+	if math.Abs(s.Std()-wantStd) > 0.05*wantStd {
+		t.Errorf("std %.0f, want ≈ %.0f", s.Std(), wantStd)
+	}
+}
+
+func TestSegmentsInsideDataspace(t *testing.T) {
+	p := testParams()
+	g := New(p, rand.New(rand.NewSource(3)), 1.0)
+	space := dataspace.Iv(0, p.TotalEvents())
+	for i := 0; i < 20_000; i++ {
+		j := g.Next()
+		if !space.ContainsInterval(j.Range) {
+			t.Fatalf("job range %v outside dataspace %v", j.Range, space)
+		}
+		if j.Events() < p.MinSubjobEvents {
+			t.Fatalf("job of %d events below minimum", j.Events())
+		}
+	}
+}
+
+func TestHotColdStartMix(t *testing.T) {
+	p := testParams()
+	g := New(p, rand.New(rand.NewSource(4)), 1.0)
+	hot := HotRegions(p)
+	inHot := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		j := g.Next()
+		for _, h := range hot {
+			if h.Contains(j.Range.Start) {
+				inHot++
+				break
+			}
+		}
+	}
+	frac := float64(inHot) / n
+	// Start points get HotWeight (50%) in hot regions; end-of-space
+	// shifting can only move starts backwards, a sub-1% perturbation.
+	if math.Abs(frac-p.HotWeight) > 0.02 {
+		t.Errorf("hot start fraction %.3f, want ≈ %.3f", frac, p.HotWeight)
+	}
+}
+
+func TestColdStartsUniform(t *testing.T) {
+	// With HotWeight 0 every start is cold; check rough uniformity by
+	// comparing the first and second half of the dataspace.
+	p := testParams()
+	p.HotWeight = 0
+	g := New(p, rand.New(rand.NewSource(5)), 1.0)
+	half := p.TotalEvents() / 2
+	lo := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if g.Next().Range.Start < half {
+			lo++
+		}
+	}
+	frac := float64(lo) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("first-half start fraction %.3f, want ≈ 0.5", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := testParams()
+	g1 := New(p, rand.New(rand.NewSource(42)), 1.5)
+	g2 := New(p, rand.New(rand.NewSource(42)), 1.5)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Arrival != b.Arrival || a.Range != b.Range {
+			t.Fatalf("generator not deterministic at job %d", i)
+		}
+	}
+}

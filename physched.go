@@ -1,0 +1,164 @@
+// Package physched is a discrete-event simulator and scheduling library
+// reproducing "Parallelization and Scheduling of Data Intensive Particle
+// Physics Analysis Jobs on Clusters of PCs" (Ponce & Hersch, IPDPS 2004).
+//
+// It models a cluster of PCs with node disk caches attached to a shared
+// tertiary mass-storage system, a synthetic LHCb-style analysis workload
+// (contiguous event segments, Erlang-distributed job sizes, hot data
+// regions, Poisson arrivals), and the paper's six scheduling policies:
+// processing farm, job splitting, cache-oriented job splitting,
+// out-of-order scheduling (with an optional data-replication variant),
+// delayed scheduling and adaptive-delay scheduling.
+//
+// Quick start:
+//
+//	params := physched.PaperCalibrated()
+//	res := physched.Run(physched.Scenario{
+//		Params:    params,
+//		NewPolicy: physched.OutOfOrder,
+//		Load:      1.5, // jobs per hour
+//		Seed:      1,
+//	})
+//	fmt.Printf("speedup %.1f, waiting %.0fs\n", res.AvgSpeedup, res.AvgWaiting)
+//
+// The experiment recipes behind every figure of the paper are exposed via
+// the Fig2..Fig7, Replication, MaxLoad and FarmVsMErM functions; the
+// cmd/experiments binary renders them as tables, ASCII plots and CSV.
+package physched
+
+import (
+	"io"
+	"math/rand"
+
+	"physched/internal/experiments"
+	"physched/internal/model"
+	"physched/internal/runner"
+	"physched/internal/sched"
+	"physched/internal/workload"
+)
+
+// Params describes the simulated cluster and workload; see PaperStated and
+// PaperCalibrated for the paper's configurations.
+type Params = model.Params
+
+// Scenario is one simulation configuration (cluster parameters, policy,
+// load, seed, measurement window).
+type Scenario = runner.Scenario
+
+// Result summarises one simulation run.
+type Result = runner.Result
+
+// Curve is a labelled series of results over a load axis (one figure line).
+type Curve = runner.Curve
+
+// Variant is one curve specification for SweepCurves.
+type Variant = runner.Variant
+
+// Policy is the scheduling-policy plugin interface.
+type Policy = sched.Policy
+
+// Figure is a reproduced paper figure.
+type Figure = experiments.Figure
+
+// Quality selects experiment scale (Quick or Full).
+type Quality = experiments.Quality
+
+// Experiment scales.
+const (
+	Quick = experiments.Quick
+	Full  = experiments.Full
+)
+
+// Time units in seconds, for Scenario and policy parameters.
+const (
+	Minute = model.Minute
+	Hour   = model.Hour
+	Day    = model.Day
+	Week   = model.Week
+	GB     = model.GB
+)
+
+// PaperStated returns the parameters exactly as printed in §2.4 of the
+// paper; PaperCalibrated adjusts effective throughputs so the paper's
+// derived reference numbers (32 000 s reference job, 3.46 jobs/hour
+// theoretical maximum, caching gain ≈3, farm maximum ≈1.1 jobs/hour) hold
+// exactly. Use PaperCalibrated to compare against the paper's figures.
+func PaperStated() Params     { return model.PaperStated() }
+func PaperCalibrated() Params { return model.PaperCalibrated() }
+
+// Policy constructors, one per paper policy.
+func Farm() Policy          { return sched.NewFarm() }
+func Splitting() Policy     { return sched.NewSplitting() }
+func CacheOriented() Policy { return sched.NewCacheOriented() }
+func OutOfOrder() Policy    { return sched.NewOutOfOrder() }
+func Replication() Policy   { return sched.NewReplication() }
+
+// Partitioned returns the static data-partitioning baseline (one owner
+// node per dataspace slice); AffineFarm the cache-affine farm baseline
+// (caching and affinity routing without job splitting). Both are
+// extensions of this repo, not paper policies.
+func Partitioned() Policy { return sched.NewPartitioned() }
+func AffineFarm() Policy  { return sched.NewAffineFarm() }
+
+// Delayed returns the delayed-scheduling policy with the given period
+// delay (seconds) and stripe size (events).
+func Delayed(period float64, stripe int64) Policy { return sched.NewDelayed(period, stripe) }
+
+// Adaptive returns the adaptive-delay policy with the given stripe size.
+func Adaptive(stripe int64) Policy { return sched.NewAdaptive(stripe) }
+
+// WorkloadSource yields the job stream of a scenario; Scenario.Workload
+// accepts any implementation (the synthetic generator or a trace replay).
+type WorkloadSource = workload.Source
+
+// NewWorkloadGenerator returns the paper's synthetic job stream for the
+// given parameters, seed and arrival rate in jobs per hour.
+func NewWorkloadGenerator(p Params, seed int64, jobsPerHour float64) WorkloadSource {
+	return workload.New(p, rand.New(rand.NewSource(seed)), jobsPerHour)
+}
+
+// ExportWorkload writes the next n jobs of src to w as JSON Lines;
+// NewWorkloadReplay reads such a trace back as a replayable source.
+func ExportWorkload(w io.Writer, src WorkloadSource, n int) error {
+	return workload.Export(w, src, n)
+}
+
+// NewWorkloadReplay parses a JSONL workload trace written by
+// ExportWorkload (or converted from production accounting logs).
+func NewWorkloadReplay(r io.Reader) (WorkloadSource, error) {
+	return workload.NewReplay(r)
+}
+
+// Run executes one scenario to completion.
+func Run(s Scenario) Result { return runner.Run(s) }
+
+// Sweep runs the scenario at each load (jobs/hour), in parallel.
+func Sweep(s Scenario, loads []float64) []Result { return runner.Sweep(s, loads) }
+
+// SweepCurves runs several policy variants over the same load grid.
+func SweepCurves(s Scenario, loads []float64, vs []Variant) []Curve {
+	return runner.SweepCurves(s, loads, vs)
+}
+
+// SustainableLoad returns the highest of the given loads the scenario
+// sustains without overload.
+func SustainableLoad(s Scenario, loads []float64) float64 {
+	return runner.SustainableLoad(s, loads)
+}
+
+// Figure reproductions; see DESIGN.md for the experiment index.
+func Fig2(q Quality, seed int64) Figure                     { return experiments.Fig2(q, seed) }
+func Fig3(q Quality, seed int64) Figure                     { return experiments.Fig3(q, seed) }
+func Fig4(q Quality, seed int64) []experiments.Distribution { return experiments.Fig4(q, seed) }
+func Fig5(q Quality, seed int64) Figure                     { return experiments.Fig5(q, seed) }
+func Fig6(q Quality, seed int64) Figure                     { return experiments.Fig6(q, seed) }
+func Fig7(q Quality, seed int64) Figure                     { return experiments.Fig7(q, seed) }
+func ReplicationStudy(q Quality, seed int64) []experiments.ReplicationRow {
+	return experiments.Replication(q, seed)
+}
+func MaxLoadStudy(q Quality, seed int64) []experiments.MaxLoadResult {
+	return experiments.MaxLoad(q, seed)
+}
+func FarmVsMErM(q Quality, seed int64) []experiments.FarmRow {
+	return experiments.FarmVsMErM(q, seed)
+}
