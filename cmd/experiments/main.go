@@ -1,14 +1,21 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section, printing text tables and ASCII plots and optionally
-// writing CSV files.
+// writing CSV files. Experiments execute on the internal/lab worker pool:
+// -parallel bounds the concurrent simulation runs, -timeout aborts a
+// sweep that runs away, and -progress streams per-run completions to
+// stderr.
 //
 // Usage:
 //
-//	experiments [-fig all|fig2|fig3|fig4|fig5|fig6|fig7|rep|max|farm]
+//	experiments [-fig all|fig2|fig3|fig4|fig5|fig6|fig7|rep|max|farm|
+//	             ab-eviction|ab-steal|ab-replication|ab-hotspot|nodes|
+//	             pipeline|baselines|hetero|daynight]
 //	            [-quality quick|full] [-seed N] [-csv DIR] [-plots]
+//	            [-parallel N] [-timeout D] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,17 +24,21 @@ import (
 	"strings"
 
 	"physched/internal/experiments"
+	"physched/internal/lab"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		figFlag = flag.String("fig", "all", "experiment to run: all, fig2..fig7, rep, max, farm")
-		quality = flag.String("quality", "quick", "quick (benchmark scale) or full (report scale)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
-		plots   = flag.Bool("plots", true, "render ASCII plots for figure experiments")
+		figFlag  = flag.String("fig", "all", "experiment to run: all, fig2..fig7, rep, max, farm, ab-*, nodes, pipeline, baselines, hetero, daynight")
+		quality  = flag.String("quality", "quick", "quick (benchmark scale) or full (report scale)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
+		plots    = flag.Bool("plots", true, "render ASCII plots for figure experiments")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
+		timeout  = flag.Duration("timeout", 0, "abort experiments after this wall-clock duration (0 = no limit); partial output may precede the abort")
+		progress = flag.Bool("progress", false, "stream per-run completions to stderr")
 	)
 	flag.Parse()
 
@@ -41,19 +52,44 @@ func main() {
 		log.Fatalf("unknown -quality %q (want quick or full)", *quality)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := lab.Options{Workers: *parallel, Context: ctx}
+	if *progress {
+		opts.Progress = func(u lab.ProgressUpdate) {
+			state := "steady"
+			if u.Overloaded {
+				state = "overloaded"
+			}
+			fmt.Fprintf(os.Stderr, "progress: %d/%d  %-40s load=%.2f seed=%d  %s\n",
+				u.Done, u.Total, u.Label, u.Load, u.Seed, state)
+		}
+	}
+	experiments.Configure(opts)
+
 	ids := []string{*figFlag}
 	if *figFlag == "all" {
 		ids = experiments.AllFigureIDs()
 	}
 	for _, id := range ids {
-		if err := run(id, q, *seed, *csvDir, *plots); err != nil {
+		if err := run(ctx, id, q, *seed, *csvDir, *plots); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(strings.Repeat("=", 78))
 	}
 }
 
-func run(id string, q experiments.Quality, seed int64, csvDir string, plots bool) error {
+// run executes one experiment and prints it. The output is built first
+// and discarded when ctx expired while the experiment ran — a cancelled
+// grid leaves never-run cells zero-valued, and rendering those would
+// present fabricated data points as results.
+func run(ctx context.Context, id string, q experiments.Quality, seed int64, csvDir string, plots bool) error {
+	var out string
+	csv := ""
 	switch id {
 	case "fig2", "fig3", "fig5", "fig6", "fig7":
 		var f experiments.Figure
@@ -69,58 +105,67 @@ func run(id string, q experiments.Quality, seed int64, csvDir string, plots bool
 		case "fig7":
 			f = experiments.Fig7(q, seed)
 		}
-		fmt.Println(f.Table())
+		out = f.Table() + "\n"
 		if plots {
-			fmt.Println(f.Plots())
+			out += f.Plots() + "\n"
 		}
-		if csvDir != "" {
-			path := filepath.Join(csvDir, f.ID+".csv")
-			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
-				return fmt.Errorf("writing %s: %w", path, err)
-			}
-			fmt.Printf("wrote %s\n", path)
-		}
+		csv = f.CSV()
 	case "fig4":
-		fmt.Println(experiments.RenderDistributions(experiments.Fig4(q, seed)))
+		out = experiments.RenderDistributions(experiments.Fig4(q, seed))
 	case "rep":
-		fmt.Println(experiments.RenderReplication(experiments.Replication(q, seed)))
+		out = experiments.RenderReplication(experiments.Replication(q, seed))
 	case "max":
-		fmt.Println(experiments.RenderMaxLoad(experiments.MaxLoad(q, seed)))
+		out = experiments.RenderMaxLoad(experiments.MaxLoad(q, seed))
 	case "farm":
-		fmt.Println(experiments.RenderFarm(experiments.FarmVsMErM(q, seed)))
+		out = experiments.RenderFarm(experiments.FarmVsMErM(q, seed))
 	case "ab-eviction":
-		fmt.Println(experiments.RenderAblation(
+		out = experiments.RenderAblation(
 			"Ablation: LRU vs FIFO cache eviction (out-of-order policy)",
-			experiments.AblationEviction(q, seed)))
+			experiments.AblationEviction(q, seed))
 	case "ab-steal":
-		fmt.Println(experiments.RenderAblation(
+		out = experiments.RenderAblation(
 			"Ablation: stolen subjobs read remotely vs re-read from tape",
-			experiments.AblationStealSource(q, seed)))
+			experiments.AblationStealSource(q, seed))
 	case "ab-replication":
-		fmt.Println(experiments.RenderAblation(
+		out = experiments.RenderAblation(
 			"Ablation: replication threshold (remote accesses before replicating)",
-			experiments.AblationReplicationThreshold(q, seed)))
+			experiments.AblationReplicationThreshold(q, seed))
 	case "ab-hotspot":
-		fmt.Println(experiments.RenderAblation(
+		out = experiments.RenderAblation(
 			"Ablation: workload hot-region weight",
-			experiments.AblationHotspot(q, seed)))
+			experiments.AblationHotspot(q, seed))
 	case "nodes":
-		fmt.Println(experiments.RenderNodeCount(experiments.NodeCountStudy(q, seed)))
+		out = experiments.RenderNodeCount(experiments.NodeCountStudy(q, seed))
 	case "pipeline":
-		fmt.Println(experiments.RenderAblation(
+		out = experiments.RenderAblation(
 			"Future work (§7): pipelining data transfers with computation",
-			experiments.FutureWorkPipelining(q, seed)))
+			experiments.FutureWorkPipelining(q, seed))
 	case "baselines":
-		fmt.Println(experiments.RenderAblation(
+		out = experiments.RenderAblation(
 			"Baselines: static partitioning and affine farm vs the paper's dynamic policies",
-			experiments.BaselineComparison(q, seed)))
+			experiments.BaselineComparison(q, seed))
 	case "hetero":
-		fmt.Println(experiments.RenderAblation(
+		out = experiments.RenderAblation(
 			"Extension: heterogeneous node speeds (equal aggregate capacity)",
-			experiments.HeterogeneityStudy(q, seed)))
+			experiments.HeterogeneityStudy(q, seed))
+	case "daynight":
+		out = experiments.RenderAblation(
+			"Extension: day/night load cycle (inhomogeneous Poisson arrivals, equal mean load)",
+			experiments.DayNight(q, seed))
 	default:
 		return fmt.Errorf("unknown experiment %q (known: %s)",
 			id, strings.Join(experiments.AllFigureIDs(), ", "))
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s aborted (%w): partial results discarded", id, err)
+	}
+	fmt.Println(out)
+	if csv != "" && csvDir != "" {
+		path := filepath.Join(csvDir, id+".csv")
+		if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 	return nil
 }

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"physched/internal/experiments"
 )
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	if err := run("bogus", experiments.Quick, 1, "", false); err == nil {
+	if err := run(context.Background(), "bogus", experiments.Quick, 1, "", false); err == nil {
 		t.Error("unknown experiment id accepted")
 	}
 }
@@ -25,13 +26,13 @@ func TestEveryAdvertisedIDIsHandled(t *testing.T) {
 	// Unknown ids error; known ids must not take the unknown-id path.
 	// run() executes the experiment, which is too slow here for all ids,
 	// so exercise only the cheapest one end-to-end.
-	if err := run("farm", experiments.Quick, 1, "", false); err != nil {
+	if err := run(context.Background(), "farm", experiments.Quick, 1, "", false); err != nil {
 		t.Errorf("run(farm): %v", err)
 	}
 }
 
 func TestCSVWriteFailureSurfaces(t *testing.T) {
-	err := run("fig2", experiments.Quick, 1, "/nonexistent-dir-for-physched-test", false)
+	err := run(context.Background(), "fig2", experiments.Quick, 1, "/nonexistent-dir-for-physched-test", false)
 	if err == nil {
 		t.Error("unwritable CSV dir did not error")
 	}

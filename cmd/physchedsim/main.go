@@ -1,20 +1,29 @@
-// Command physchedsim runs a single cluster-scheduling simulation and
-// prints its metrics, optionally with the waiting-time histogram.
+// Command physchedsim runs a cluster-scheduling simulation and prints its
+// metrics, optionally with the waiting-time histogram. With -replicate N
+// the scenario is run N times with derived seeds on the internal/lab
+// worker pool and the replica mean ± 95% confidence interval is reported;
+// -parallel bounds the concurrent runs, -timeout aborts the set, and
+// -progress streams per-replica completions to stderr.
 //
 // Usage:
 //
 //	physchedsim -policy outoforder -load 1.5 [-nodes 10] [-cache-gb 100]
 //	            [-delay-hours 48] [-stripe 5000] [-jobs 600] [-seed 1]
-//	            [-histogram]
+//	            [-histogram] [-replicate N] [-parallel N] [-timeout D]
+//	            [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"time"
+
 	"physched/internal/config"
+	"physched/internal/lab"
 	"physched/internal/model"
 	"physched/internal/runner"
 	"physched/internal/sched"
@@ -39,6 +48,10 @@ func main() {
 		stated    = flag.Bool("stated-params", false, "use the paper's stated raw constants instead of the calibrated preset")
 		cfgPath   = flag.String("config", "", "JSON scenario file (overrides the other scenario flags)")
 		tracePath = flag.String("trace", "", "write a JSONL execution trace to this file")
+		replicate = flag.Int("replicate", 1, "run the scenario this many times with seeds derived from -seed and report mean ± 95% CI")
+		parallel  = flag.Int("parallel", 0, "max concurrent replica runs (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "abort the replica set after this wall-clock duration (0 = no limit)")
+		progress  = flag.Bool("progress", false, "stream per-replica completions to stderr")
 	)
 	flag.Parse()
 
@@ -69,8 +82,55 @@ func main() {
 	if *policy == "delayed" || *policy == "adaptive" {
 		s.OverloadBacklog = int64(3**load*(*delayH)) + int64(25*params.Nodes)
 	}
+	if *replicate > 1 {
+		if *tracePath != "" || *histogram {
+			log.Fatal("-replicate is incompatible with -trace and -histogram (they describe a single run)")
+		}
+		reportReplicas(replicateScenario(s, *replicate, *parallel, *timeout, *progress), params)
+		return
+	}
 	res := runSimulation(s, *tracePath)
 	report(res, params, *histogram)
+}
+
+// replicateScenario runs s once per derived seed on the lab pool.
+func replicateScenario(s runner.Scenario, n, parallel int, timeout time.Duration, progress bool) lab.Aggregate {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	opts := lab.Options{Workers: parallel, Context: ctx}
+	if progress {
+		opts.Progress = func(u lab.ProgressUpdate) {
+			state := "steady"
+			if u.Overloaded {
+				state = "overloaded"
+			}
+			fmt.Fprintf(os.Stderr, "progress: replica %d/%d seed=%d %s\n", u.Done, u.Total, u.Seed, state)
+		}
+	}
+	agg, err := lab.Replicate(s, lab.Seeds(s.Seed, n), opts)
+	if err != nil {
+		log.Fatalf("aborted: %v (%d of %d replicas completed)", err, agg.Replicas, n)
+	}
+	return agg
+}
+
+// reportReplicas prints the replica aggregate.
+func reportReplicas(agg lab.Aggregate, params model.Params) {
+	fmt.Printf("replicas          %d (%d overloaded)\n", agg.Replicas, agg.Overloaded)
+	if agg.Overloaded == agg.Replicas {
+		fmt.Printf("state             OVERLOADED in every replica (theoretical max %.2f, farm max %.2f)\n",
+			params.MaxTheoreticalLoad(), params.FarmMaxLoad())
+		return
+	}
+	fmt.Printf("avg speedup       %.2f ± %.2f (95%% CI over replicas, std %.2f)\n",
+		agg.SpeedupMean, agg.SpeedupCI95, agg.SpeedupStd)
+	fmt.Printf("avg waiting       %s ± %s (std %s)\n",
+		stats.FormatDuration(agg.WaitingMean), stats.FormatDuration(agg.WaitingCI95),
+		stats.FormatDuration(agg.WaitingStd))
 }
 
 // report prints the run's metrics.

@@ -1,0 +1,3 @@
+module physched
+
+go 1.24

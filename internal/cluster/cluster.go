@@ -58,13 +58,19 @@ type Piece struct {
 	PerEvent   float64 // wall seconds per event
 }
 
-// Running is the execution state of a subjob on a node.
+// Running is the execution state of a subjob on a node. Running objects
+// (and their pieces slices and completion closures) are recycled through a
+// per-cluster free list: dispatching is on the simulation's hottest path
+// and must not allocate in steady state.
 type Running struct {
 	Subjob     *job.Subjob
+	node       *Node
 	pieces     []Piece
 	pieceIdx   int
 	pieceStart float64 // sim time the current piece began
 	ev         *sim.Event
+	fire       func() // piece-completion callback, allocated once
+	nextFree   *Running
 }
 
 // Node is one processing node.
@@ -127,6 +133,9 @@ type Cluster struct {
 	counts []cache.CountMap // per-node remote-access counters
 	stats  Stats
 
+	freeRun *Running // recycled Running objects
+	planBuf []Piece  // scratch for EstimateTime
+
 	// SubjobDone is invoked whenever a subjob finishes on a node, after
 	// all job accounting. The scheduling policy reacts to it.
 	SubjobDone func(*Node, *job.Subjob)
@@ -188,7 +197,8 @@ func (c *Cluster) Tape() *storage.Tertiary { return c.tape }
 // Stats returns the data-path counters accumulated so far.
 func (c *Cluster) Stats() Stats { return c.stats }
 
-// IdleNodes returns the currently idle nodes, in node order.
+// IdleNodes returns the currently idle nodes, in node order. It allocates;
+// hot paths should use IdleCount, FirstIdle or iterate Nodes directly.
 func (c *Cluster) IdleNodes() []*Node {
 	var out []*Node
 	for _, n := range c.nodes {
@@ -199,9 +209,30 @@ func (c *Cluster) IdleNodes() []*Node {
 	return out
 }
 
-// plan partitions iv into execution pieces for node n.
-func (c *Cluster) plan(n *Node, iv dataspace.Interval) []Piece {
-	var pieces []Piece
+// IdleCount returns the number of idle nodes without allocating.
+func (c *Cluster) IdleCount() int {
+	k := 0
+	for _, n := range c.nodes {
+		if n.Idle() {
+			k++
+		}
+	}
+	return k
+}
+
+// FirstIdle returns the lowest-numbered idle node, or nil.
+func (c *Cluster) FirstIdle() *Node {
+	for _, n := range c.nodes {
+		if n.Idle() {
+			return n
+		}
+	}
+	return nil
+}
+
+// planInto partitions iv into execution pieces for node n, appending to buf.
+func (c *Cluster) planInto(buf []Piece, n *Node, iv dataspace.Interval) []Piece {
+	pieces := buf
 	for _, run := range n.Cache.Cached().Partition(iv) {
 		if run.InSet {
 			pieces = append(pieces, Piece{
@@ -235,11 +266,41 @@ func (c *Cluster) tapePiece(n *Node, iv dataspace.Interval) Piece {
 // EstimateTime returns the wall time node n would need to process iv with
 // the current cache contents.
 func (c *Cluster) EstimateTime(n *Node, iv dataspace.Interval) float64 {
+	c.planBuf = c.planInto(c.planBuf[:0], n, iv)
 	var t float64
-	for _, p := range c.plan(n, iv) {
+	for _, p := range c.planBuf {
 		t += float64(p.Range.Len()) * p.PerEvent
 	}
 	return t
+}
+
+// acquireRunning takes a Running from the free list (or makes one) and
+// binds it to node n. The completion closure is allocated once per object
+// and survives recycling: it reads the node and state through r.
+func (c *Cluster) acquireRunning(n *Node) *Running {
+	r := c.freeRun
+	if r != nil {
+		c.freeRun = r.nextFree
+		r.nextFree = nil
+	} else {
+		r = &Running{}
+		r.fire = func() { c.pieceDone(r.node, r) }
+	}
+	r.node = n
+	return r
+}
+
+// releaseRunning returns r to the free list. Callers must be done with
+// every field; the pieces slice keeps its capacity.
+func (c *Cluster) releaseRunning(r *Running) {
+	r.Subjob = nil
+	r.node = nil
+	r.pieces = r.pieces[:0]
+	r.pieceIdx = 0
+	r.pieceStart = 0
+	r.ev = nil
+	r.nextFree = c.freeRun
+	c.freeRun = r
 }
 
 // Dispatch starts subjob sj on idle node n. It panics if n is busy or the
@@ -263,7 +324,9 @@ func (c *Cluster) Dispatch(n *Node, sj *job.Subjob) {
 	j.Running++
 	c.stats.Dispatches++
 	c.Tracer.Add(trace.Event{Time: c.eng.Now(), Kind: trace.SubjobStarted, JobID: j.ID, Node: n.ID, Events: sj.Events()})
-	r := &Running{Subjob: sj, pieces: c.plan(n, sj.Range)}
+	r := c.acquireRunning(n)
+	r.Subjob = sj
+	r.pieces = c.planInto(r.pieces, n, sj.Range)
 	n.run = r
 	c.startPiece(n, r)
 }
@@ -276,7 +339,7 @@ func (c *Cluster) startPiece(n *Node, r *Running) {
 	}
 	r.pieceStart = c.eng.Now()
 	d := float64(p.Range.Len()) * p.PerEvent
-	r.ev = c.eng.After(d, func() { c.pieceDone(n, r) })
+	r.ev = c.eng.After(d, r.fire)
 }
 
 // pieceDone completes the current piece, then either starts the next piece
@@ -327,10 +390,13 @@ func (c *Cluster) accountSpan(n *Node, p Piece, done dataspace.Interval) {
 }
 
 // finishSubjob tears down r and propagates job accounting and callbacks.
+// r is recycled before the callbacks run, so a callback that re-dispatches
+// on n can reuse it.
 func (c *Cluster) finishSubjob(n *Node, r *Running) {
 	sj := r.Subjob
 	j := sj.Job
 	n.run = nil
+	c.releaseRunning(r)
 	j.Running--
 	j.Processed += sj.Events()
 	c.Tracer.Add(trace.Event{Time: c.eng.Now(), Kind: trace.SubjobFinished, JobID: j.ID, Node: n.ID, Events: sj.Events()})
@@ -379,6 +445,7 @@ func (c *Cluster) Preempt(n *Node) *job.Subjob {
 	j := sj.Job
 	rem := dataspace.Iv(done.End, sj.Range.End)
 	n.run = nil
+	c.releaseRunning(r)
 	j.Running--
 	j.Processed += sj.Events() - rem.Len()
 	c.stats.Preemptions++

@@ -6,13 +6,12 @@ import (
 
 	"physched/internal/cache"
 	"physched/internal/cluster"
-	"physched/internal/model"
 	"physched/internal/runner"
 	"physched/internal/sched"
 	"physched/internal/stats"
 )
 
-// This file holds the ablation studies DESIGN.md §5 calls out: design
+// This file holds the ablation studies DESIGN.md §4 indexes: design
 // choices the paper fixes (LRU eviction, remote reads for stolen subjobs,
 // the replicate-on-3rd-access threshold, the hot-region workload skew, the
 // cluster size) are varied here to show how much each one carries.
@@ -173,24 +172,40 @@ type NodeCountRow struct {
 
 // NodeCountStudy reproduces the §2.4 remark that simulations with 5, 10
 // and 20 nodes "lead to similar results": at equal utilisation the per-node
-// efficiency of the out-of-order policy should be nearly constant.
+// efficiency of the out-of-order policy should be nearly constant. Each
+// (nodes, utilisation) combination is one grid variant whose mutation
+// binds both the cluster size and the matching absolute load.
 func NodeCountStudy(q Quality, seed int64) []NodeCountRow {
-	var rows []NodeCountRow
+	type cfg struct {
+		nodes int
+		util  float64
+	}
+	var cfgs []cfg
+	var variants []runner.Variant
 	for _, nodes := range []int{5, 10, 20} {
 		for _, util := range []float64{0.3, 0.45} {
-			p := model.PaperCalibrated()
-			p.Nodes = nodes
-			s := baseScenario(q, seed)
-			s.Params = p
-			s.NewPolicy = func() sched.Policy { return sched.NewOutOfOrder() }
-			s.Load = util * p.MaxTheoreticalLoad()
-			r := runner.Run(s)
-			row := NodeCountRow{Nodes: nodes, Utilisation: util, Result: r}
-			if !r.Overloaded {
-				row.Efficiency = r.AvgSpeedup / float64(nodes)
-			}
-			rows = append(rows, row)
+			nodes, util := nodes, util
+			cfgs = append(cfgs, cfg{nodes, util})
+			variants = append(variants, runner.Variant{
+				Label:     fmt.Sprintf("%d nodes @ %.0f%%", nodes, 100*util),
+				NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
+				Mutate: func(s *runner.Scenario) {
+					s.Params.Nodes = nodes
+					s.Load = util * s.Params.MaxTheoreticalLoad()
+				},
+			})
 		}
+	}
+	base := baseScenario(q, seed)
+	rs := grid(base, nil, variants)
+	rows := make([]NodeCountRow, len(cfgs))
+	for i, c := range cfgs {
+		r := rs.Result(i, 0, 0)
+		row := NodeCountRow{Nodes: c.nodes, Utilisation: c.util, Result: r}
+		if !r.Overloaded {
+			row.Efficiency = r.AvgSpeedup / float64(c.nodes)
+		}
+		rows[i] = row
 	}
 	return rows
 }
@@ -198,7 +213,7 @@ func NodeCountStudy(q Quality, seed int64) []NodeCountRow {
 // ablate sweeps all variants and flattens the curves into rows.
 func ablate(base runner.Scenario, loads []float64, variants []runner.Variant) []AblationRow {
 	var rows []AblationRow
-	for _, c := range runner.SweepCurves(base, loads, variants) {
+	for _, c := range sweepCurves(base, loads, variants) {
 		for _, r := range c.Results {
 			rows = append(rows, AblationRow{Variant: c.Label, Load: r.Load, Result: r})
 		}

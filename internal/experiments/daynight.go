@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"physched/internal/runner"
+	"physched/internal/sched"
+	"physched/internal/workload"
+)
+
+// DayNight is the first non-paper workload served by the lab grid: job
+// arrivals follow an inhomogeneous Poisson process with a 24-hour
+// day/night cycle (Lewis–Shedler thinning; see workload.NewInhomogeneous)
+// instead of the paper's homogeneous stream. At equal mean load a strong
+// cycle concentrates arrivals into peaks the scheduler must absorb, so
+// the study shows how much sustainable mean load each policy loses to
+// burstiness — the out-of-order policy's caching and the delayed policy's
+// batching ride out peaks differently than the farm.
+func DayNight(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 0.6, 1.8)
+	var variants []runner.Variant
+	for _, pol := range []struct {
+		name string
+		mk   func() sched.Policy
+	}{
+		{"farm", func() sched.Policy { return sched.NewFarm() }},
+		{"out-of-order", func() sched.Policy { return sched.NewOutOfOrder() }},
+	} {
+		for _, swing := range []float64{0, 0.8} {
+			pol, swing := pol, swing
+			label := fmt.Sprintf("%s, steady arrivals", pol.name)
+			if swing > 0 {
+				label = fmt.Sprintf("%s, day/night swing %.0f%%", pol.name, 100*swing)
+			}
+			variants = append(variants, runner.Variant{
+				Label:     label,
+				NewPolicy: pol.mk,
+				Mutate: func(s *runner.Scenario) {
+					if swing == 0 {
+						return // homogeneous baseline uses the default generator
+					}
+					params := s.Params
+					s.NewWorkload = func(seed int64, jobsPerHour float64) workload.Source {
+						return workload.NewInhomogeneous(
+							params, rand.New(rand.NewSource(seed)),
+							workload.DayNight(jobsPerHour, swing),
+							jobsPerHour*(1+swing))
+					}
+				},
+			})
+		}
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}

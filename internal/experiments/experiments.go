@@ -6,15 +6,49 @@
 // Every recipe exists in two sizes: Quick (benchmark/CI scale — fewer
 // measured jobs and a sparser load grid; shapes hold, error bars are
 // wider) and Full (the scale used for EXPERIMENTS.md).
+//
+// Every recipe executes through an internal/lab grid; Configure installs
+// the execution options (worker bound, cancellation context, progress
+// hook) that all recipes share — cmd/experiments wires its -parallel,
+// -timeout and -progress flags through it.
 package experiments
 
 import (
 	"fmt"
 
+	"physched/internal/lab"
 	"physched/internal/model"
 	"physched/internal/runner"
 	"physched/internal/sched"
 )
+
+// execOpts are the lab execution options shared by every recipe.
+var execOpts lab.Options
+
+// Configure installs the lab execution options used by all experiment
+// recipes and returns the previous ones. It is not safe to call while
+// experiments are running.
+func Configure(o lab.Options) lab.Options {
+	prev := execOpts
+	execOpts = o
+	return prev
+}
+
+// grid executes a variants × loads grid with the configured options.
+func grid(base runner.Scenario, loads []float64, variants []runner.Variant) *lab.RunSet {
+	rs, _ := lab.Grid{Base: base, Loads: loads, Variants: variants}.Execute(execOpts)
+	return rs
+}
+
+// sweepCurves is the figure-shaped view of grid.
+func sweepCurves(base runner.Scenario, loads []float64, variants []runner.Variant) []runner.Curve {
+	return grid(base, loads, variants).Curves()
+}
+
+// sweep runs one variant over a load axis.
+func sweep(base runner.Scenario, loads []float64) []runner.Result {
+	return grid(base, loads, nil).Results
+}
 
 // Quality selects the scale of an experiment run.
 type Quality int
@@ -106,7 +140,7 @@ func mutate(ms ...func(*runner.Scenario)) func(*runner.Scenario) {
 // with 50/100/200 GB node caches, on 10 nodes.
 func Fig2(q Quality, seed int64) Figure {
 	loads := loadGrid(q, 0.7, 1.4)
-	curves := runner.SweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
 		{Label: "Processing farm", NewPolicy: func() sched.Policy { return sched.NewFarm() }},
 		{Label: "Job splitting", NewPolicy: func() sched.Policy { return sched.NewSplitting() }},
 		{Label: "Cache oriented - 50 GB", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }, Mutate: withCache(50)},
@@ -125,7 +159,7 @@ func Fig2(q Quality, seed int64) Figure {
 // scheduling for 50/100/200 GB caches.
 func Fig3(q Quality, seed int64) Figure {
 	loads := loadGrid(q, 0.8, 2.6)
-	curves := runner.SweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
 		{Label: "Cache oriented - 50 GB", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }, Mutate: withCache(50)},
 		{Label: "Cache oriented - 100 GB", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }, Mutate: withCache(100)},
 		{Label: "Cache oriented - 200 GB", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }, Mutate: withCache(200)},
@@ -168,14 +202,27 @@ func Fig4(q Quality, seed int64) []Distribution {
 		{"Out of order - cache 100 GB - 1.7 jobs/hour", 100, 1.7},
 		{"Out of order - cache 50 GB - 1.44 jobs/hour", 50, 1.44},
 	}
+	base := baseScenario(q, seed)
+	base.NewPolicy = func() sched.Policy { return sched.NewOutOfOrder() }
+	base.MeasureJobs = 4 * q.measure() // distributions need more samples
+	var variants []runner.Variant
+	for _, cfg := range configs {
+		cfg := cfg
+		variants = append(variants, runner.Variant{
+			Label: cfg.label,
+			Mutate: func(s *runner.Scenario) {
+				s.Params.CacheBytes = cfg.cache * model.GB
+				s.Load = cfg.load
+			},
+		})
+	}
+	// This grid needs the collectors: the figure is the histogram itself.
+	opts := execOpts
+	opts.KeepCollectors = true
+	rs, _ := lab.Grid{Base: base, Variants: variants}.Execute(opts)
 	out := make([]Distribution, len(configs))
 	for i, cfg := range configs {
-		s := baseScenario(q, seed)
-		s.Params.CacheBytes = cfg.cache * model.GB
-		s.NewPolicy = func() sched.Policy { return sched.NewOutOfOrder() }
-		s.Load = cfg.load
-		s.MeasureJobs = 4 * q.measure() // distributions need more samples
-		res := runner.Run(s)
+		res := rs.Result(i, 0, 0)
 		d := Distribution{Label: cfg.label, Result: res}
 		if res.Collector != nil {
 			h := res.Collector.WaitingHistogram()
@@ -193,7 +240,7 @@ func Fig4(q Quality, seed int64) []Distribution {
 // 2 days and 1 week (cache 100 GB, stripe 5000) against out-of-order.
 func Fig5(q Quality, seed int64) Figure {
 	loads := loadGrid(q, 1.0, 2.8)
-	curves := runner.SweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
 		{Label: "Delayed (delay 11h)", NewPolicy: func() sched.Policy { return sched.NewDelayed(sched.Delay11h, 5000) }, Mutate: delayedBacklog(sched.Delay11h)},
 		{Label: "Delayed (delay 2 days)", NewPolicy: func() sched.Policy { return sched.NewDelayed(sched.Delay2Days, 5000) }, Mutate: delayedBacklog(sched.Delay2Days)},
 		{Label: "Delayed (delay 1 week)", NewPolicy: func() sched.Policy { return sched.NewDelayed(sched.Delay1Week, 5000) }, Mutate: delayedBacklog(sched.Delay1Week)},
@@ -218,7 +265,7 @@ func Fig6(q Quality, seed int64) Figure {
 			Mutate:    delayedBacklog(sched.Delay2Days),
 		}
 	}
-	curves := runner.SweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
 		mk(200), mk(1000), mk(5000), mk(25000),
 	})
 	return Figure{
@@ -243,7 +290,7 @@ func Fig7(q Quality, seed int64) Figure {
 			}),
 		}
 	}
-	curves := runner.SweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
 		adaptive(200),
 		adaptive(5000),
 		{Label: "Out of order scheduling", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
@@ -271,14 +318,17 @@ type ReplicationRow struct {
 // replication triggers extremely rarely.
 func Replication(q Quality, seed int64) []ReplicationRow {
 	loads := loadGrid(q, 0.8, 2.0)
-	plain := runner.Sweep(withPolicy(baseScenario(q, seed), func() sched.Policy { return sched.NewOutOfOrder() }), loads)
-	repl := runner.Sweep(withPolicy(baseScenario(q, seed), func() sched.Policy { return sched.NewReplication() }), loads)
+	rs := grid(baseScenario(q, seed), loads, []runner.Variant{
+		{Label: "plain", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
+		{Label: "replicate", NewPolicy: func() sched.Policy { return sched.NewReplication() }},
+	})
 	rows := make([]ReplicationRow, len(loads))
 	for i := range loads {
-		row := ReplicationRow{Load: loads[i], Plain: plain[i], Replicate: repl[i]}
-		total := repl[i].Cluster.EventsFromCache + repl[i].Cluster.EventsFromRemote + repl[i].Cluster.EventsFromTape
+		repl := rs.Result(1, i, 0)
+		row := ReplicationRow{Load: loads[i], Plain: rs.Result(0, i, 0), Replicate: repl}
+		total := repl.Cluster.EventsFromCache + repl.Cluster.EventsFromRemote + repl.Cluster.EventsFromTape
 		if total > 0 {
-			row.ReplicatedShare = float64(repl[i].Cluster.EventsReplicated) / float64(total)
+			row.ReplicatedShare = float64(repl.Cluster.EventsReplicated) / float64(total)
 		}
 		rows[i] = row
 	}
@@ -312,18 +362,13 @@ func MaxLoad(q Quality, seed int64) []MaxLoadResult {
 		s.MeasureJobs = int(3 * 3.5 * sched.Delay1Week / model.Hour)
 	}
 	out := make([]MaxLoadResult, len(loads))
-	for i, r := range runner.Sweep(s, loads) {
+	for i, r := range sweep(s, loads) {
 		out[i] = MaxLoadResult{
 			Load: loads[i], Result: r,
 			TheoryMax: p.MaxTheoreticalLoad(), FarmMax: p.FarmMaxLoad(),
 		}
 	}
 	return out
-}
-
-func withPolicy(s runner.Scenario, mk func() sched.Policy) runner.Scenario {
-	s.NewPolicy = mk
-	return s
 }
 
 func stripeLabel(stripe int64) string {
@@ -335,11 +380,11 @@ func stripeLabel(stripe int64) string {
 
 // AllFigureIDs lists the experiment identifiers understood by
 // cmd/experiments: the paper's figures and tables first, then the ablation
-// studies of DESIGN.md §5.
+// studies of DESIGN.md §4.
 func AllFigureIDs() []string {
 	return []string{
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "rep", "max", "farm",
 		"ab-eviction", "ab-steal", "ab-replication", "ab-hotspot", "nodes",
-		"pipeline", "baselines", "hetero",
+		"pipeline", "baselines", "hetero", "daynight",
 	}
 }

@@ -7,7 +7,6 @@ import (
 	"physched/internal/asciiplot"
 	"physched/internal/model"
 	"physched/internal/queueing"
-	"physched/internal/runner"
 	"physched/internal/sched"
 	"physched/internal/stats"
 )
@@ -153,7 +152,7 @@ func FarmVsMErM(q Quality, seed int64) []FarmRow {
 	s := baseScenario(q, seed)
 	s.NewPolicy = func() sched.Policy { return sched.NewFarm() }
 	s.MeasureJobs = 3 * q.measure() // waiting-time means converge slowly
-	results := runner.Sweep(s, loads)
+	results := sweep(s, loads)
 	rows := make([]FarmRow, len(loads))
 	for i, r := range results {
 		mm := queueing.MErM{

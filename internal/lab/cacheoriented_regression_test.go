@@ -1,0 +1,35 @@
+package lab
+
+import (
+	"encoding/json"
+	"testing"
+
+	"physched/internal/model"
+	"physched/internal/sched"
+)
+
+// TestCacheOrientedGridDeterminism is a regression test for a seed-tree
+// bug: the cache-oriented policy dispatched an affinity assignment by
+// ranging over a map keyed by node pointers, so the dispatch order — and,
+// through event tie-breaking, the whole run — followed randomised map
+// iteration. Paper-scale parameters reproduce it reliably within two
+// loads.
+func TestCacheOrientedGridDeterminism(t *testing.T) {
+	mk := func() Grid {
+		base := Scenario{
+			Params:      model.PaperCalibrated(),
+			NewPolicy:   func() sched.Policy { return sched.NewCacheOriented() },
+			Seed:        1,
+			WarmupJobs:  50,
+			MeasureJobs: 100,
+		}
+		return Grid{Base: base, Loads: []float64{0.7, 0.84}}
+	}
+	serial, _ := mk().Execute(Options{Workers: 1})
+	parallel, _ := mk().Execute(Options{Workers: 4})
+	sb, _ := json.Marshal(serial.Results)
+	pb, _ := json.Marshal(parallel.Results)
+	if string(sb) != string(pb) {
+		t.Fatalf("cache-oriented grid differs between serial and parallel execution:\n%s\n%s", sb, pb)
+	}
+}

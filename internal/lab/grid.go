@@ -1,0 +1,217 @@
+package lab
+
+import (
+	"context"
+	"sync"
+
+	"physched/internal/sched"
+)
+
+// Variant is one line of a figure: a policy constructor plus optional
+// scenario tweaks (e.g. cache size). A nil NewPolicy keeps the base
+// scenario's policy; Mutate runs after the load and seed are bound, so it
+// may override any field, including both.
+type Variant struct {
+	Label     string
+	NewPolicy func() sched.Policy
+	Mutate    func(*Scenario)
+}
+
+// Curve is a named series of sweep results (one figure line).
+type Curve struct {
+	Label   string
+	Results []Result
+}
+
+// Grid is a scenario space: a base scenario crossed with policy/parameter
+// variants, a load axis and a seed (replication) axis. An empty axis
+// defaults to the base scenario's value, so a Grid with only Loads set is
+// a classic sweep and a Grid with only Seeds set is a replication study.
+type Grid struct {
+	Base     Scenario
+	Variants []Variant
+	Loads    []float64
+	Seeds    []int64
+}
+
+// Options configure grid execution.
+type Options struct {
+	// Workers bounds concurrent runs; ≤0 means runtime.GOMAXPROCS(0) and
+	// 1 forces serial execution (results are identical either way).
+	Workers int
+	// Context cancels execution between runs; see Pool.Run.
+	Context context.Context
+	// Progress, when non-nil, is invoked after every completed run,
+	// serialised by the grid (no locking needed in the callback).
+	Progress func(ProgressUpdate)
+	// KeepCollectors retains each Result's full metrics.Collector. Off by
+	// default: a grid of hundreds of runs must not pin every job record.
+	KeepCollectors bool
+}
+
+// ProgressUpdate reports one completed run of a grid.
+type ProgressUpdate struct {
+	Done, Total int
+	Label       string // variant label
+	Load        float64
+	Seed        int64
+	Overloaded  bool
+}
+
+// Cell is one fully resolved run of a grid.
+type Cell struct {
+	Variant, LoadIdx, SeedIdx int
+	Label                     string
+	Scenario                  Scenario
+}
+
+// RunSet holds a grid's results, indexed like its cells (variant-major,
+// then load, then seed).
+type RunSet struct {
+	Loads   []float64
+	Seeds   []int64
+	Labels  []string // one per variant
+	Cells   []Cell
+	Results []Result
+	// Err is the context error when execution was cancelled; cells not
+	// run keep zero Results.
+	Err error
+}
+
+// variants returns the effective variant list (one implicit variant when
+// none is given).
+func (g Grid) variants() []Variant {
+	if len(g.Variants) == 0 {
+		return []Variant{{}}
+	}
+	return g.Variants
+}
+
+// Cells enumerates the grid variant-major, then by load, then by seed —
+// the index order of RunSet.Results.
+func (g Grid) Cells() []Cell {
+	variants := g.variants()
+	loads := g.Loads
+	if len(loads) == 0 {
+		loads = []float64{g.Base.Load}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{g.Base.Seed}
+	}
+	cells := make([]Cell, 0, len(variants)*len(loads)*len(seeds))
+	for vi, v := range variants {
+		for li, load := range loads {
+			for si, seed := range seeds {
+				s := g.Base
+				s.Load = load
+				s.Seed = seed
+				if v.NewPolicy != nil {
+					s.NewPolicy = v.NewPolicy
+				}
+				if v.Mutate != nil {
+					v.Mutate(&s)
+				}
+				cells = append(cells, Cell{
+					Variant: vi, LoadIdx: li, SeedIdx: si,
+					Label: v.Label, Scenario: s,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Execute runs every cell of the grid on a bounded worker pool and returns
+// the results. Results are written to fixed indices derived from the grid
+// coordinates, so serial and parallel execution produce byte-identical
+// RunSets. The returned error is non-nil only when the context cancelled
+// execution; the RunSet then holds the completed prefix-of-work.
+func (g Grid) Execute(opts Options) (*RunSet, error) {
+	cells := g.Cells()
+	rs := &RunSet{
+		Loads: g.Loads,
+		Seeds: g.Seeds,
+		Cells: cells,
+	}
+	if len(rs.Loads) == 0 {
+		rs.Loads = []float64{g.Base.Load}
+	}
+	if len(rs.Seeds) == 0 {
+		rs.Seeds = []int64{g.Base.Seed}
+	}
+	for _, v := range g.variants() {
+		rs.Labels = append(rs.Labels, v.Label)
+	}
+	rs.Results = make([]Result, len(cells))
+
+	var mu sync.Mutex
+	completed := 0
+	err := Pool{Workers: opts.Workers}.Run(opts.Context, len(cells), func(i int) {
+		res := Run(cells[i].Scenario)
+		if !opts.KeepCollectors {
+			res.Collector = nil
+		}
+		rs.Results[i] = res
+		if opts.Progress != nil {
+			mu.Lock()
+			completed++
+			opts.Progress(ProgressUpdate{
+				Done: completed, Total: len(cells),
+				Label: cells[i].Label, Load: cells[i].Scenario.Load,
+				Seed: cells[i].Scenario.Seed, Overloaded: res.Overloaded,
+			})
+			mu.Unlock()
+		}
+	})
+	rs.Err = err
+	return rs, err
+}
+
+// Result returns the result at (variant, load, seed) indices.
+func (rs *RunSet) Result(variant, loadIdx, seedIdx int) Result {
+	return rs.Results[(variant*len(rs.Loads)+loadIdx)*len(rs.Seeds)+seedIdx]
+}
+
+// Aggregate summarises the replicas at (variant, load) across the seed
+// axis.
+func (rs *RunSet) Aggregate(variant, loadIdx int) Aggregate {
+	results := make([]Result, len(rs.Seeds))
+	for si := range rs.Seeds {
+		results[si] = rs.Result(variant, loadIdx, si)
+	}
+	return NewAggregate(results)
+}
+
+// SustainableLoad returns the highest load in loads that the scenario
+// sustains without overload, or zero when none is sustained.
+func SustainableLoad(base Scenario, loads []float64, opts Options) float64 {
+	rs, _ := Grid{Base: base, Loads: loads}.Execute(opts)
+	max := 0.0
+	for _, r := range rs.Results {
+		if !r.Overloaded && r.Load > max {
+			max = r.Load
+		}
+	}
+	return max
+}
+
+// Curves flattens the grid into one curve per variant. With a single seed
+// the points are the runs themselves; with several, each point is the
+// replica mean (metrics averaged over steady replicas, Overloaded when at
+// least half the replicas overloaded — the paper cuts curves there).
+func (rs *RunSet) Curves() []Curve {
+	curves := make([]Curve, len(rs.Labels))
+	for vi, label := range rs.Labels {
+		points := make([]Result, len(rs.Loads))
+		for li := range rs.Loads {
+			if len(rs.Seeds) == 1 {
+				points[li] = rs.Result(vi, li, 0)
+				continue
+			}
+			points[li] = rs.Aggregate(vi, li).MeanResult()
+		}
+		curves[vi] = Curve{Label: label, Results: points}
+	}
+	return curves
+}

@@ -1,0 +1,67 @@
+package lab
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool executes index-addressed tasks over a bounded set of workers.
+// Tasks receive their index and write their own results; the pool
+// guarantees nothing about execution order, which is why every lab task
+// must be a pure function of its index (see the package comment).
+type Pool struct {
+	// Workers bounds concurrent tasks; ≤0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Run executes task(0..n-1) and blocks until all started tasks finished.
+// When ctx is cancelled, tasks not yet started are skipped — a simulation
+// run is not interruptible midway — and ctx.Err() is returned; completed
+// indices keep their results.
+func (p Pool) Run(ctx context.Context, n int, task func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			task(i)
+		}
+		return nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				task(i)
+			}
+		}()
+	}
+	var err error
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return err
+}

@@ -1,0 +1,110 @@
+package lab
+
+import (
+	"math"
+
+	"physched/internal/stats"
+)
+
+// Aggregate summarises replicated runs of one scenario across seeds: the
+// mean, standard deviation and 95% confidence half-width of each headline
+// metric over the non-overloaded replicas, plus how many replicas
+// overloaded. Figures in the paper are single curves; Aggregate quantifies
+// how much a point moves run to run.
+type Aggregate struct {
+	Replicas   int
+	Overloaded int
+
+	SpeedupMean, SpeedupStd, SpeedupCI95 float64
+	WaitingMean, WaitingStd, WaitingCI95 float64
+
+	Results []Result
+}
+
+// NewAggregate summarises a set of replica results.
+func NewAggregate(results []Result) Aggregate {
+	agg := Aggregate{Replicas: len(results), Results: results}
+	var sp, wt stats.Summary
+	for _, r := range results {
+		if r.Overloaded {
+			agg.Overloaded++
+			continue
+		}
+		sp.Add(r.AvgSpeedup)
+		wt.Add(r.AvgWaiting)
+	}
+	agg.SpeedupMean, agg.SpeedupStd = sp.Mean(), sp.Std()
+	agg.WaitingMean, agg.WaitingStd = wt.Mean(), wt.Std()
+	agg.SpeedupCI95 = ci95(sp)
+	agg.WaitingCI95 = ci95(wt)
+	return agg
+}
+
+// ci95 is the normal-approximation 95% confidence half-width of the mean.
+func ci95(s stats.Summary) float64 {
+	n := s.N()
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(n))
+}
+
+// MeanResult collapses the replicas into a single curve point: headline
+// metrics averaged over steady replicas, Overloaded when at least half the
+// replicas overloaded. With one replica this is that replica's result.
+func (a Aggregate) MeanResult() Result {
+	if a.Replicas == 1 {
+		return a.Results[0]
+	}
+	var out Result
+	if len(a.Results) > 0 {
+		out.PolicyName = a.Results[0].PolicyName
+		out.Load = a.Results[0].Load
+	}
+	if 2*a.Overloaded >= a.Replicas {
+		out.Overloaded = true
+		return out
+	}
+	var speed, wait, maxw, p99, proc, simt stats.Summary
+	jobs := 0
+	for _, r := range a.Results {
+		if r.Overloaded {
+			continue
+		}
+		speed.Add(r.AvgSpeedup)
+		wait.Add(r.AvgWaiting)
+		maxw.Add(r.MaxWaiting)
+		p99.Add(r.P99Waiting)
+		proc.Add(r.AvgProc)
+		simt.Add(r.SimTime)
+		jobs += r.MeasuredJobs
+	}
+	out.AvgSpeedup = speed.Mean()
+	out.AvgWaiting = wait.Mean()
+	out.MaxWaiting = maxw.Max()
+	out.P99Waiting = p99.Mean()
+	out.AvgProc = proc.Mean()
+	out.SimTime = simt.Mean()
+	out.MeasuredJobs = jobs
+	return out
+}
+
+// Replicate runs the scenario once per seed on the worker pool and
+// aggregates. Use Seeds to derive a disciplined seed set from one base.
+// On cancellation the aggregate covers only the replicas that actually
+// ran — never-run cells are excluded rather than counted as zero-valued
+// steady runs — and the context error is returned alongside it.
+func Replicate(s Scenario, seeds []int64, opts Options) (Aggregate, error) {
+	rs, err := Grid{Base: s, Seeds: seeds}.Execute(opts)
+	results := rs.Results
+	if err != nil {
+		completed := results[:0:0]
+		for _, r := range results {
+			if r.PolicyName != "" {
+				completed = append(completed, r)
+			}
+		}
+		results = completed
+	}
+	return NewAggregate(results), err
+}

@@ -1,0 +1,270 @@
+// Package lab is the scenario-execution and experiment-orchestration layer:
+// it runs single simulation scenarios to completion (Run) and entire
+// scenario grids — policy variants × loads × seeds — on a bounded worker
+// pool with deterministic results (Grid, RunSet). Every sweep, figure
+// reproduction, ablation and replication study in this repository executes
+// through lab; internal/runner remains as a thin compatibility facade.
+//
+// Determinism contract: a run's outcome depends only on its fully resolved
+// Scenario, never on scheduling order, worker count or wall-clock time.
+// Executing the same Grid serially and in parallel therefore produces
+// byte-identical results.
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"physched/internal/cluster"
+	"physched/internal/metrics"
+	"physched/internal/model"
+	"physched/internal/sched"
+	"physched/internal/sim"
+	"physched/internal/stats"
+	"physched/internal/trace"
+	"physched/internal/workload"
+)
+
+// Scenario is one simulation configuration.
+type Scenario struct {
+	Params model.Params
+	// NewPolicy constructs a fresh policy (policies are stateful, so every
+	// run needs its own instance).
+	NewPolicy func() sched.Policy
+	// Load is the mean arrival rate, in jobs per hour.
+	Load float64
+	// Seed drives all randomness of the run.
+	Seed int64
+	// WarmupJobs are simulated but not measured (cache fill, queue ramp).
+	WarmupJobs int
+	// MeasureJobs is the size of the measurement window.
+	MeasureJobs int
+	// OverloadBacklog is the backlog at which the run is declared
+	// overloaded (default 25× the node count).
+	OverloadBacklog int64
+	// MaxSimTime caps the simulated time, in seconds (default 2 simulated
+	// years) — a safety net against pathological configurations.
+	MaxSimTime float64
+	// DelayIncluded reports waiting times including the scheduling delay
+	// (Figure 7 reports the adaptive policy this way).
+	DelayIncluded bool
+
+	// Workload, when non-nil, replaces the synthetic generator — e.g. a
+	// workload.Replay of a recorded or production job trace. The Load
+	// field is then only documentation. Sources are stateful: a Scenario
+	// carrying one must not be run more than once; grids need NewWorkload.
+	Workload workload.Source
+
+	// NewWorkload, when non-nil, constructs a fresh workload source for
+	// each run from the run's seed and load — the form grid execution
+	// needs, and the hook through which non-homogeneous arrival processes
+	// (workload.NewInhomogeneous) enter a sweep. Takes precedence over
+	// Workload.
+	NewWorkload func(seed int64, jobsPerHour float64) workload.Source
+
+	// Trace, when non-nil, records job/subjob lifecycle events and
+	// periodic cluster samples.
+	Trace *trace.Recorder
+	// SampleEvery is the cluster sampling period for Trace, in seconds
+	// (default 1 hour when Trace is set).
+	SampleEvery float64
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Scenario   Scenario `json:"-"`
+	PolicyName string
+	Load       float64
+
+	Overloaded   bool
+	AvgSpeedup   float64
+	AvgWaiting   float64 // seconds
+	MaxWaiting   float64 // seconds
+	P99Waiting   float64 // seconds
+	AvgProc      float64 // seconds
+	MeasuredJobs int
+	SimTime      float64 // seconds of simulated time covered
+	Cluster      cluster.Stats
+	// Collector holds the full per-job record of the run. Run keeps it;
+	// grid execution drops it unless Options.KeepCollectors is set, so
+	// sweeps retain only the summary above instead of pinning every
+	// job's lifecycle in memory.
+	Collector *metrics.Collector `json:"-"`
+}
+
+// withDefaults fills unset scenario fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.WarmupJobs == 0 {
+		s.WarmupJobs = 150
+	}
+	if s.MeasureJobs == 0 {
+		s.MeasureJobs = 600
+	}
+	if s.OverloadBacklog == 0 {
+		s.OverloadBacklog = int64(25 * s.Params.Nodes)
+	}
+	if s.MaxSimTime == 0 {
+		s.MaxSimTime = 2 * 365 * model.Day
+	}
+	return s
+}
+
+// Run executes one scenario to completion.
+func Run(s Scenario) Result {
+	s = s.withDefaults()
+	if err := s.Params.Validate(); err != nil {
+		panic(fmt.Sprintf("lab: invalid params: %v", err))
+	}
+	eng := sim.New(s.Seed)
+	policy := s.NewPolicy()
+	cl := cluster.New(eng, s.Params, policy.ClusterConfig())
+	policy.Attach(cl)
+
+	coll := metrics.NewCollector(s.Params, s.WarmupJobs, s.MeasureJobs)
+	coll.DelayIncluded = s.DelayIncluded
+	cl.JobDone = coll.JobFinished
+	cl.SubjobDone = policy.SubjobDone
+
+	var gen workload.Source
+	switch {
+	case s.NewWorkload != nil:
+		gen = s.NewWorkload(s.Seed+1, s.Load)
+	case s.Workload != nil:
+		gen = s.Workload
+	default:
+		gen = workload.New(s.Params, rand.New(rand.NewSource(s.Seed+1)), s.Load)
+	}
+
+	if s.Trace != nil {
+		cl.Tracer = s.Trace
+		period := s.SampleEvery
+		if period <= 0 {
+			period = model.Hour
+		}
+		var sample func()
+		sample = func() {
+			busy := 0
+			var cacheUsed int64
+			for _, n := range cl.Nodes() {
+				if !n.Idle() {
+					busy++
+				}
+				cacheUsed += n.Cache.Used()
+			}
+			st := cl.Stats()
+			total := st.EventsFromCache + st.EventsFromRemote + st.EventsFromTape
+			hit := 0.0
+			if total > 0 {
+				hit = float64(st.EventsFromCache) / float64(total)
+			}
+			s.Trace.Add(trace.Event{
+				Time: eng.Now(), Kind: trace.Sample,
+				BusyNodes: busy, Backlog: coll.Backlog(),
+				CacheUsed: cacheUsed, CacheHitRate: hit,
+			})
+			eng.After(period, sample)
+		}
+		eng.After(period, sample)
+	}
+
+	overloaded := false
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		j := gen.Next()
+		if j == nil {
+			return // workload trace exhausted
+		}
+		eng.At(j.Arrival, func() {
+			coll.JobArrived(j)
+			if s.Trace != nil {
+				s.Trace.Add(trace.Event{Time: eng.Now(), Kind: trace.JobArrived, JobID: j.ID, Events: j.Events()})
+			}
+			policy.JobArrived(j)
+			if coll.Backlog() >= s.OverloadBacklog {
+				overloaded = true
+				return // stop feeding; the run ends below
+			}
+			scheduleArrival()
+		})
+	}
+	scheduleArrival()
+
+	drained := false // a finite workload trace ran out of jobs
+	for !coll.Done() && !overloaded && eng.Now() < s.MaxSimTime {
+		if !eng.Step() {
+			drained = true
+			break
+		}
+	}
+	complete := coll.Done() || drained
+
+	if !overloaded && complete && waitingDiverges(coll, s.Params) {
+		overloaded = true
+	}
+	res := Result{
+		Scenario:     s,
+		PolicyName:   policy.Name(),
+		Load:         s.Load,
+		Overloaded:   overloaded,
+		MeasuredJobs: len(coll.Results()),
+		SimTime:      eng.Now(),
+		Cluster:      cl.Stats(),
+		Collector:    coll,
+	}
+	if !overloaded && complete && len(coll.Results()) > 0 {
+		res.AvgSpeedup = coll.AvgSpeedup()
+		res.AvgWaiting = coll.AvgWaiting()
+		res.MaxWaiting = coll.MaxWaiting()
+		res.P99Waiting = coll.WaitingQuantile(0.99)
+		res.AvgProc = coll.AvgProcessing()
+	} else {
+		res.Overloaded = true
+	}
+	return res
+}
+
+// waitingDiverges detects the out-of-steady-state regime the paper cuts
+// its curves at: a clearly positive linear trend of waiting time over the
+// measurement window, amounting to more than two mean service times of
+// growth. In steady state the trend is statistical noise around zero; in
+// overload it grows without bound at a rate of roughly (utilisation−1)
+// seconds per second.
+func waitingDiverges(coll *metrics.Collector, p model.Params) bool {
+	results := coll.Results()
+	if len(results) < 50 {
+		return false
+	}
+	xs := make([]float64, len(results))
+	ys := make([]float64, len(results))
+	for i, r := range results {
+		xs[i] = r.Arrival
+		ys[i] = r.Waiting
+		if coll.DelayIncluded {
+			ys[i] = r.WaitingWithDelay
+		}
+	}
+	slope := stats.LinearTrend(xs, ys)
+	if slope < 0.01 {
+		return false
+	}
+	span := xs[len(xs)-1] - xs[0]
+	meanService := float64(p.MeanJobEvents) * p.EventTimeCached()
+	if slope*span <= 2*meanService {
+		return false
+	}
+	// Guard against periodic sawtooths (delayed scheduling: waiting rises
+	// within each accumulation batch and resets at the next): genuine
+	// divergence also shows in the second half clearly dominating the
+	// first.
+	half := len(ys) / 2
+	var m1, m2 float64
+	for _, y := range ys[:half] {
+		m1 += y
+	}
+	for _, y := range ys[half:] {
+		m2 += y
+	}
+	m1 /= float64(half)
+	m2 /= float64(len(ys) - half)
+	return m2 > 1.5*m1+0.25*meanService
+}

@@ -1,0 +1,20 @@
+package runner
+
+import (
+	"testing"
+
+	"physched/internal/sched"
+)
+
+// BenchmarkRun measures one complete out-of-order simulation run (warm-up
+// plus measurement window) on the small test cluster — the unit of work
+// every sweep, grid and replication fans out over.
+func BenchmarkRun(b *testing.B) {
+	b.ReportAllocs()
+	p := smallParams()
+	s := smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(s)
+	}
+}

@@ -1,316 +1,57 @@
-// Package runner executes simulation scenarios: it wires a workload
-// generator, a cluster, a scheduling policy and a metrics collector to a
-// discrete-event engine, runs until the measurement window completes, and
-// detects overload (unbounded backlog growth), at which point the paper
-// cuts its curves. It also provides load sweeps — the X axis of every
-// figure — with optional parallel execution across scenarios.
+// Package runner is a thin compatibility facade over internal/lab, which
+// owns scenario execution and experiment orchestration. The types are
+// aliases and every function delegates to a lab primitive: Run executes a
+// single scenario, the sweep helpers build one-axis grids, and Replicate
+// builds a seed-axis grid. New code should use lab directly — its Grid
+// crosses variants × loads × seeds in one bounded, cancellable, parallel
+// execution.
 package runner
 
 import (
-	"fmt"
-	"math/rand"
-	"sync"
-
-	"physched/internal/cluster"
-	"physched/internal/metrics"
-	"physched/internal/model"
-	"physched/internal/sched"
-	"physched/internal/sim"
-	"physched/internal/stats"
-	"physched/internal/trace"
-	"physched/internal/workload"
+	"physched/internal/lab"
 )
 
 // Scenario is one simulation configuration.
-type Scenario struct {
-	Params model.Params
-	// NewPolicy constructs a fresh policy (policies are stateful, so every
-	// run needs its own instance).
-	NewPolicy func() sched.Policy
-	// Load is the mean arrival rate, in jobs per hour.
-	Load float64
-	// Seed drives all randomness of the run.
-	Seed int64
-	// WarmupJobs are simulated but not measured (cache fill, queue ramp).
-	WarmupJobs int
-	// MeasureJobs is the size of the measurement window.
-	MeasureJobs int
-	// OverloadBacklog is the backlog at which the run is declared
-	// overloaded (default 25× the node count).
-	OverloadBacklog int64
-	// MaxSimTime caps the simulated time, in seconds (default 2 simulated
-	// years) — a safety net against pathological configurations.
-	MaxSimTime float64
-	// DelayIncluded reports waiting times including the scheduling delay
-	// (Figure 7 reports the adaptive policy this way).
-	DelayIncluded bool
-
-	// Workload, when non-nil, replaces the synthetic generator — e.g. a
-	// workload.Replay of a recorded or production job trace. The Load
-	// field is then only documentation.
-	Workload workload.Source
-
-	// Trace, when non-nil, records job/subjob lifecycle events and
-	// periodic cluster samples.
-	Trace *trace.Recorder
-	// SampleEvery is the cluster sampling period for Trace, in seconds
-	// (default 1 hour when Trace is set).
-	SampleEvery float64
-}
+type Scenario = lab.Scenario
 
 // Result summarises one simulation run.
-type Result struct {
-	Scenario   Scenario `json:"-"`
-	PolicyName string
-	Load       float64
-
-	Overloaded   bool
-	AvgSpeedup   float64
-	AvgWaiting   float64 // seconds
-	MaxWaiting   float64 // seconds
-	P99Waiting   float64 // seconds
-	AvgProc      float64 // seconds
-	MeasuredJobs int
-	SimTime      float64 // seconds of simulated time covered
-	Cluster      cluster.Stats
-	Collector    *metrics.Collector `json:"-"`
-}
-
-// withDefaults fills unset scenario fields.
-func (s Scenario) withDefaults() Scenario {
-	if s.WarmupJobs == 0 {
-		s.WarmupJobs = 150
-	}
-	if s.MeasureJobs == 0 {
-		s.MeasureJobs = 600
-	}
-	if s.OverloadBacklog == 0 {
-		s.OverloadBacklog = int64(25 * s.Params.Nodes)
-	}
-	if s.MaxSimTime == 0 {
-		s.MaxSimTime = 2 * 365 * model.Day
-	}
-	return s
-}
-
-// Run executes one scenario to completion.
-func Run(s Scenario) Result {
-	s = s.withDefaults()
-	if err := s.Params.Validate(); err != nil {
-		panic(fmt.Sprintf("runner: invalid params: %v", err))
-	}
-	eng := sim.New(s.Seed)
-	policy := s.NewPolicy()
-	cl := cluster.New(eng, s.Params, policy.ClusterConfig())
-	policy.Attach(cl)
-
-	coll := metrics.NewCollector(s.Params, s.WarmupJobs, s.MeasureJobs)
-	coll.DelayIncluded = s.DelayIncluded
-	cl.JobDone = coll.JobFinished
-	cl.SubjobDone = policy.SubjobDone
-
-	var gen workload.Source = s.Workload
-	if gen == nil {
-		gen = workload.New(s.Params, rand.New(rand.NewSource(s.Seed+1)), s.Load)
-	}
-
-	if s.Trace != nil {
-		cl.Tracer = s.Trace
-		period := s.SampleEvery
-		if period <= 0 {
-			period = model.Hour
-		}
-		var sample func()
-		sample = func() {
-			busy := 0
-			var cacheUsed int64
-			for _, n := range cl.Nodes() {
-				if !n.Idle() {
-					busy++
-				}
-				cacheUsed += n.Cache.Used()
-			}
-			st := cl.Stats()
-			total := st.EventsFromCache + st.EventsFromRemote + st.EventsFromTape
-			hit := 0.0
-			if total > 0 {
-				hit = float64(st.EventsFromCache) / float64(total)
-			}
-			s.Trace.Add(trace.Event{
-				Time: eng.Now(), Kind: trace.Sample,
-				BusyNodes: busy, Backlog: coll.Backlog(),
-				CacheUsed: cacheUsed, CacheHitRate: hit,
-			})
-			eng.After(period, sample)
-		}
-		eng.After(period, sample)
-	}
-
-	overloaded := false
-	var scheduleArrival func()
-	scheduleArrival = func() {
-		j := gen.Next()
-		if j == nil {
-			return // workload trace exhausted
-		}
-		eng.At(j.Arrival, func() {
-			coll.JobArrived(j)
-			if s.Trace != nil {
-				s.Trace.Add(trace.Event{Time: eng.Now(), Kind: trace.JobArrived, JobID: j.ID, Events: j.Events()})
-			}
-			policy.JobArrived(j)
-			if coll.Backlog() >= s.OverloadBacklog {
-				overloaded = true
-				return // stop feeding; the run ends below
-			}
-			scheduleArrival()
-		})
-	}
-	scheduleArrival()
-
-	drained := false // a finite workload trace ran out of jobs
-	for !coll.Done() && !overloaded && eng.Now() < s.MaxSimTime {
-		if !eng.Step() {
-			drained = true
-			break
-		}
-	}
-	complete := coll.Done() || drained
-
-	if !overloaded && complete && waitingDiverges(coll, s.Params) {
-		overloaded = true
-	}
-	res := Result{
-		Scenario:     s,
-		PolicyName:   policy.Name(),
-		Load:         s.Load,
-		Overloaded:   overloaded,
-		MeasuredJobs: len(coll.Results()),
-		SimTime:      eng.Now(),
-		Cluster:      cl.Stats(),
-		Collector:    coll,
-	}
-	if !overloaded && complete && len(coll.Results()) > 0 {
-		res.AvgSpeedup = coll.AvgSpeedup()
-		res.AvgWaiting = coll.AvgWaiting()
-		res.MaxWaiting = coll.MaxWaiting()
-		res.P99Waiting = coll.WaitingQuantile(0.99)
-		res.AvgProc = coll.AvgProcessing()
-	} else {
-		res.Overloaded = true
-	}
-	return res
-}
-
-// waitingDiverges detects the out-of-steady-state regime the paper cuts
-// its curves at: a clearly positive linear trend of waiting time over the
-// measurement window, amounting to more than two mean service times of
-// growth. In steady state the trend is statistical noise around zero; in
-// overload it grows without bound at a rate of roughly (utilisation−1)
-// seconds per second.
-func waitingDiverges(coll *metrics.Collector, p model.Params) bool {
-	results := coll.Results()
-	if len(results) < 50 {
-		return false
-	}
-	xs := make([]float64, len(results))
-	ys := make([]float64, len(results))
-	for i, r := range results {
-		xs[i] = r.Arrival
-		ys[i] = r.Waiting
-		if coll.DelayIncluded {
-			ys[i] = r.WaitingWithDelay
-		}
-	}
-	slope := stats.LinearTrend(xs, ys)
-	if slope < 0.01 {
-		return false
-	}
-	span := xs[len(xs)-1] - xs[0]
-	meanService := float64(p.MeanJobEvents) * p.EventTimeCached()
-	if slope*span <= 2*meanService {
-		return false
-	}
-	// Guard against periodic sawtooths (delayed scheduling: waiting rises
-	// within each accumulation batch and resets at the next): genuine
-	// divergence also shows in the second half clearly dominating the
-	// first.
-	half := len(ys) / 2
-	var m1, m2 float64
-	for _, y := range ys[:half] {
-		m1 += y
-	}
-	for _, y := range ys[half:] {
-		m2 += y
-	}
-	m1 /= float64(half)
-	m2 /= float64(len(ys) - half)
-	return m2 > 1.5*m1+0.25*meanService
-}
-
-// Sweep runs the scenario at each load, in parallel across loads, and
-// returns the results in load order.
-func Sweep(base Scenario, loads []float64) []Result {
-	results := make([]Result, len(loads))
-	var wg sync.WaitGroup
-	for i, load := range loads {
-		i, load := i, load
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := base
-			s.Load = load
-			results[i] = Run(s)
-		}()
-	}
-	wg.Wait()
-	return results
-}
+type Result = lab.Result
 
 // Curve is a named series of sweep results (one figure line).
-type Curve struct {
-	Label   string
-	Results []Result
-}
-
-// SweepCurves runs several policy/parameter variants over the same loads,
-// in parallel, producing one curve per variant.
-func SweepCurves(base Scenario, loads []float64, variants []Variant) []Curve {
-	curves := make([]Curve, len(variants))
-	var wg sync.WaitGroup
-	for i, v := range variants {
-		i, v := i, v
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := base
-			if v.Mutate != nil {
-				v.Mutate(&s)
-			}
-			s.NewPolicy = v.NewPolicy
-			curves[i] = Curve{Label: v.Label, Results: Sweep(s, loads)}
-		}()
-	}
-	wg.Wait()
-	return curves
-}
+type Curve = lab.Curve
 
 // Variant is one line of a figure: a policy constructor plus optional
 // scenario tweaks (e.g. cache size).
-type Variant struct {
-	Label     string
-	NewPolicy func() sched.Policy
-	Mutate    func(*Scenario)
+type Variant = lab.Variant
+
+// Aggregate summarises replicated runs of one scenario across seeds.
+type Aggregate = lab.Aggregate
+
+// Run executes one scenario to completion.
+func Run(s Scenario) Result { return lab.Run(s) }
+
+// Sweep runs the scenario at each load on the lab worker pool and returns
+// the results in load order. Results carry summaries only (no Collector).
+func Sweep(base Scenario, loads []float64) []Result {
+	rs, _ := lab.Grid{Base: base, Loads: loads}.Execute(lab.Options{})
+	return rs.Results
+}
+
+// SweepCurves runs several policy/parameter variants over the same loads,
+// producing one curve per variant.
+func SweepCurves(base Scenario, loads []float64, variants []Variant) []Curve {
+	rs, _ := lab.Grid{Base: base, Loads: loads, Variants: variants}.Execute(lab.Options{})
+	return rs.Curves()
 }
 
 // SustainableLoad returns the highest load in loads (ascending) that the
 // scenario sustains without overload, or zero when none is sustained.
 func SustainableLoad(base Scenario, loads []float64) float64 {
-	max := 0.0
-	for _, r := range Sweep(base, loads) {
-		if !r.Overloaded && r.Load > max {
-			max = r.Load
-		}
-	}
-	return max
+	return lab.SustainableLoad(base, loads, lab.Options{})
+}
+
+// Replicate runs the scenario once per seed, in parallel, and aggregates.
+func Replicate(s Scenario, seeds []int64) Aggregate {
+	agg, _ := lab.Replicate(s, seeds, lab.Options{})
+	return agg
 }

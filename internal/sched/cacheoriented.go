@@ -63,8 +63,13 @@ func (p *CacheOriented) startOnIdle(j *job.Job, idle []*cluster.Node) {
 		subs = append(subs, &job.Subjob{Job: j, Range: b, Origin: -1})
 	}
 	assigned := assignByAffinity(p.c, subs, idle)
-	for n, sub := range assigned {
-		p.c.Dispatch(n, sub)
+	// Dispatch in node order: ranging over the map directly would make the
+	// dispatch sequence — and through event tie-breaking the whole run —
+	// depend on randomised map iteration.
+	for _, n := range idle {
+		if sub := assigned[n]; sub != nil {
+			p.c.Dispatch(n, sub)
+		}
 	}
 	for _, sub := range subs {
 		if !isAssigned(assigned, sub) {

@@ -166,8 +166,10 @@ func (p *Delayed) SubjobDone(n *cluster.Node, _ *job.Subjob) {
 }
 
 func (p *Delayed) feedIdleNodes() {
-	for _, n := range p.c.IdleNodes() {
-		p.feedNode(n)
+	for _, n := range p.c.Nodes() {
+		if n.Idle() {
+			p.feedNode(n)
+		}
 	}
 }
 

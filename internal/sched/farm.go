@@ -24,8 +24,8 @@ func (*Farm) Name() string { return "farm" }
 func (*Farm) ClusterConfig() cluster.Config { return cluster.Config{} }
 
 func (f *Farm) JobArrived(j *job.Job) {
-	if idle := f.c.IdleNodes(); len(idle) > 0 {
-		f.c.Dispatch(idle[0], &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+	if n := f.c.FirstIdle(); n != nil {
+		f.c.Dispatch(n, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
 		return
 	}
 	f.queue.Push(j)

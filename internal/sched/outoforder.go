@@ -143,10 +143,14 @@ func (p *OutOfOrder) SubjobDone(n *cluster.Node, _ *job.Subjob) {
 }
 
 // feedIdleNodes applies Table 3's "whenever one or several nodes become
-// available" rules to every idle node.
+// available" rules to every idle node. Nodes are scanned directly — feeding
+// a node only ever busies that node, so no snapshot is needed, and this
+// runs on every subjob completion.
 func (p *OutOfOrder) feedIdleNodes() {
-	for _, n := range p.c.IdleNodes() {
-		p.feedNode(n)
+	for _, n := range p.c.Nodes() {
+		if n.Idle() {
+			p.feedNode(n)
+		}
 	}
 }
 
@@ -166,7 +170,7 @@ func (p *OutOfOrder) feedNode(n *cluster.Node) {
 	// few subjobs.
 	if !p.noCache.Empty() {
 		sub := p.noCache.PopFront()
-		idleLeft := len(p.c.IdleNodes()) // includes n
+		idleLeft := p.c.IdleCount() // includes n
 		if idleLeft > 1 && p.noCache.Len() < idleLeft-1 && sub.Events()/2 >= p.minSize() {
 			a, b := sub.Range.Halves()
 			p.noCache.PushFront(&job.Subjob{Job: sub.Job, Range: b, NoCacheQueue: true, Origin: -1})

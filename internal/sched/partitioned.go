@@ -107,19 +107,23 @@ func (*AffineFarm) ClusterConfig() cluster.Config {
 }
 
 func (f *AffineFarm) JobArrived(j *job.Job) {
-	idle := f.c.IdleNodes()
-	if len(idle) == 0 {
+	best := f.bestIdleNode(j)
+	if best == nil {
 		f.queue.Push(j)
 		return
 	}
-	f.c.Dispatch(f.bestNode(idle, j), &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+	f.c.Dispatch(best, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
 }
 
-// bestNode picks the idle node caching the most of j's range.
-func (f *AffineFarm) bestNode(idle []*cluster.Node, j *job.Job) *cluster.Node {
-	best := idle[0]
+// bestIdleNode picks the idle node caching the most of j's range, or nil
+// when every node is busy.
+func (f *AffineFarm) bestIdleNode(j *job.Job) *cluster.Node {
+	var best *cluster.Node
 	var bestAmt int64 = -1
-	for _, n := range idle {
+	for _, n := range f.c.Nodes() {
+		if !n.Idle() {
+			continue
+		}
 		if amt := f.c.Index().CachedOn(n.ID, j.Range); amt > bestAmt {
 			best, bestAmt = n, amt
 		}
@@ -136,12 +140,11 @@ func (f *AffineFarm) SubjobDone(n *cluster.Node, _ *job.Subjob) {
 	bestIdx := 0
 	var bestAmt int64 = -1
 	for i := 0; i < f.queue.Len(); i++ {
-		j := f.queue.q[i]
+		j := f.queue.Peek(i)
 		if amt := f.c.Index().CachedOn(n.ID, j.Range); amt > bestAmt {
 			bestIdx, bestAmt = i, amt
 		}
 	}
-	j := f.queue.q[bestIdx]
-	f.queue.q = append(f.queue.q[:bestIdx], f.queue.q[bestIdx+1:]...)
+	j := f.queue.Remove(bestIdx)
 	f.c.Dispatch(n, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
 }

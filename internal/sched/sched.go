@@ -58,51 +58,6 @@ func (b *base) now() float64 { return b.eng.Now() }
 // minSize is the smallest subjob the policies may create.
 func (b *base) minSize() int64 { return b.params.MinSubjobEvents }
 
-// jobFIFO is a simple FIFO queue of jobs.
-type jobFIFO struct{ q []*job.Job }
-
-func (f *jobFIFO) Empty() bool     { return len(f.q) == 0 }
-func (f *jobFIFO) Len() int        { return len(f.q) }
-func (f *jobFIFO) Push(j *job.Job) { f.q = append(f.q, j) }
-func (f *jobFIFO) Pop() *job.Job {
-	j := f.q[0]
-	f.q = f.q[1:]
-	return j
-}
-
-// subjobDeque supports FIFO plus front re-insertion ("placed back at the
-// first position of the queue where it came from", Table 3).
-type subjobDeque struct{ q []*job.Subjob }
-
-func (d *subjobDeque) Empty() bool             { return len(d.q) == 0 }
-func (d *subjobDeque) Len() int                { return len(d.q) }
-func (d *subjobDeque) PushBack(s *job.Subjob)  { d.q = append(d.q, s) }
-func (d *subjobDeque) PushFront(s *job.Subjob) { d.q = append([]*job.Subjob{s}, d.q...) }
-func (d *subjobDeque) PopFront() *job.Subjob {
-	s := d.q[0]
-	d.q = d.q[1:]
-	return s
-}
-
-// Peek returns the i-th subjob without removing it.
-func (d *subjobDeque) Peek(i int) *job.Subjob { return d.q[i] }
-
-// Remove deletes the i-th subjob.
-func (d *subjobDeque) Remove(i int) *job.Subjob {
-	s := d.q[i]
-	d.q = append(d.q[:i], d.q[i+1:]...)
-	return s
-}
-
-// totalEvents sums the events of queued subjobs.
-func (d *subjobDeque) totalEvents() int64 {
-	var n int64
-	for _, s := range d.q {
-		n += s.Events()
-	}
-	return n
-}
-
 // cachePieces splits a job's range along the cluster cache-content
 // boundaries so that every piece is either fully cached on one node or
 // cached nowhere (the splitting rule shared by Tables 2, 3 and 4), then

@@ -419,3 +419,85 @@ func TestSubjobDequeFrontBack(t *testing.T) {
 		t.Error("deque should be empty")
 	}
 }
+
+// TestRingDequeWraparound exercises the ring buffer through growth,
+// wraparound and indexed removal from both halves.
+func TestRingDequeWraparound(t *testing.T) {
+	var d ringDeque[int]
+	for i := 0; i < 6; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 4; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	// head is now mid-buffer; pushing wraps and then grows.
+	for i := 6; i < 20; i++ {
+		d.PushBack(i)
+	}
+	d.PushFront(99)
+	if d.Len() != 17 || d.Peek(0) != 99 || d.Peek(1) != 4 || d.Peek(16) != 19 {
+		t.Fatalf("unexpected state: len=%d front=%d", d.Len(), d.Peek(0))
+	}
+	if got := d.Remove(1); got != 4 { // near front: shifts front side
+		t.Fatalf("Remove(1) = %d, want 4", got)
+	}
+	if got := d.Remove(d.Len() - 2); got != 18 { // near back: shifts back side
+		t.Fatalf("Remove = %d, want 18", got)
+	}
+	want := []int{99, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 19}
+	if d.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", d.Len(), len(want))
+	}
+	for i, w := range want {
+		if d.Peek(i) != w {
+			t.Fatalf("Peek(%d) = %d, want %d", i, d.Peek(i), w)
+		}
+	}
+	for _, w := range want {
+		if got := d.PopFront(); got != w {
+			t.Fatalf("drain: got %d, want %d", got, w)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque not empty after drain")
+	}
+}
+
+// TestRingDequeReleasesPointers verifies popped slots are zeroed so the
+// backing array does not keep old elements reachable (the retention bug of
+// the slice-based deque).
+func TestRingDequeReleasesPointers(t *testing.T) {
+	var d ringDeque[*int]
+	v := new(int)
+	d.PushBack(v)
+	d.PushBack(new(int))
+	d.PopFront()
+	d.Remove(0)
+	for i := range d.buf {
+		if d.buf[i] != nil {
+			t.Fatalf("buf[%d] still set after pops", i)
+		}
+	}
+}
+
+func TestRingDequeEmptyOpsPanic(t *testing.T) {
+	var d ringDeque[int]
+	d.PushBack(1)
+	d.PopFront()
+	for name, fn := range map[string]func(){
+		"PopFront": func() { d.PopFront() },
+		"Peek":     func() { d.Peek(0) },
+		"Remove":   func() { d.Remove(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty deque did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -3,10 +3,16 @@
 // simultaneous events, and cancellable timers. It is single-goroutine by
 // design — the paper's simulator models days to weeks of cluster operation,
 // which only stays fast if the hot loop is allocation-light and lock-free.
+//
+// The engine recycles Event objects through a free list, so steady-state
+// stepping performs no allocations. The price is a narrow handle contract:
+// an *Event returned by At or After is valid until its callback has run
+// (or until the engine drops it after a cancellation); using a handle past
+// that point observes an unrelated, recycled event. All in-tree callers
+// clear their handles when the callback fires.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -15,26 +21,36 @@ import (
 // At or After, and call Run or RunUntil.
 type Engine struct {
 	now   float64
-	queue eventHeap
+	queue []*Event // binary heap ordered by (time, seq)
 	seq   uint64
 	rng   *rand.Rand
 	steps uint64
+	live  int    // scheduled, non-cancelled events (O(1) Pending)
+	free  *Event // free list of recycled events
 }
 
-// Event is a handle to a scheduled callback; it can be cancelled.
+// Event is a handle to a scheduled callback; it can be cancelled any time
+// before its callback runs.
 type Event struct {
 	time      float64
 	seq       uint64
 	fn        func()
+	eng       *Engine
+	next      *Event // free-list link
 	cancelled bool
 	index     int // heap index, -1 once popped
 }
 
 // Cancel prevents the event's callback from running. Cancelling an already
-// executed or cancelled event is a no-op.
+// cancelled event is a no-op. Cancelling after the callback has run is
+// outside the handle contract (see the package comment).
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 {
+		e.eng.live--
 	}
 }
 
@@ -65,36 +81,53 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		ev.cancelled = false
+	} else {
+		ev = &Event{eng: e}
+	}
+	ev.time = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.live++
+	e.push(ev)
 	return ev
 }
 
 // After schedules fn to run d seconds from now.
 func (e *Engine) After(d float64, fn func()) *Event { return e.At(e.now+d, fn) }
 
-// Pending returns the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
+// release returns a popped event to the free list. The callback reference
+// is dropped immediately so closures are not retained; the cancelled flag
+// is left untouched until reuse, keeping Cancelled() meaningful on handles
+// that were cancelled and later collected by the engine.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
 }
+
+// Pending returns the number of scheduled (non-cancelled) events, in O(1).
+func (e *Engine) Pending() int { return e.live }
 
 // Step executes the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.pop()
 		if ev.cancelled {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.time
 		e.steps++
-		ev.fn()
+		e.live--
+		fn := ev.fn
+		e.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -111,7 +144,7 @@ func (e *Engine) RunUntil(t float64) {
 	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.cancelled {
-			heap.Pop(&e.queue)
+			e.release(e.pop())
 			continue
 		}
 		if next.time > t {
@@ -124,32 +157,72 @@ func (e *Engine) RunUntil(t float64) {
 	}
 }
 
-// eventHeap orders events by time, breaking ties by scheduling order so
-// simultaneous events run FIFO — required for reproducible simulations.
-type eventHeap []*Event
+// The heap is hand-inlined: going through container/heap costs an
+// interface indirection per operation on the hottest path of the whole
+// simulator. Events are ordered by time, breaking ties by scheduling order
+// so simultaneous events run FIFO — required for reproducible simulations.
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index, h[j].index = i, j
+
+func (e *Engine) swap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.up(ev.index)
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+func (e *Engine) pop() *Event {
+	q := e.queue
+	n := len(q) - 1
+	e.swap(0, n)
+	ev := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.down(0)
+	}
 	ev.index = -1
-	*h = old[:n-1]
 	return ev
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.queue)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		child := l
+		if r := l + 1; r < n && e.less(r, l) {
+			child = r
+		}
+		if !e.less(child, i) {
+			return
+		}
+		e.swap(i, child)
+		i = child
+	}
 }

@@ -170,6 +170,28 @@ func TestSteps(t *testing.T) {
 	}
 }
 
+// BenchmarkEngineHotLoop exercises the engine the way a simulation does:
+// a steady window of pending events, each completion scheduling a
+// successor. One op is one executed event.
+func BenchmarkEngineHotLoop(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			e.After(e.Rand().Float64(), tick)
+		}
+	}
+	for i := 0; i < 32 && remaining > 0; i++ {
+		remaining--
+		e.After(e.Rand().Float64(), tick)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
 func BenchmarkEngineThroughput(b *testing.B) {
 	e := New(1)
 	var tick func()

@@ -192,3 +192,14 @@ func TestFormatDuration(t *testing.T) {
 		}
 	}
 }
+
+func TestThinnedPoissonZeroRatePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewThinnedPoisson(rng, func(float64) float64 { return 0 }, 1000, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-rate thinned Poisson did not panic")
+		}
+	}()
+	p.Next()
+}

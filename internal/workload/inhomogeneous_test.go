@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"physched/internal/model"
+)
+
+// TestInhomogeneousDayNightRate checks the realised arrival rate against
+// the day/night rate function: day-half windows (rising sine) must see
+// more arrivals than night-half windows, and the overall mean must match.
+func TestInhomogeneousDayNightRate(t *testing.T) {
+	p := model.PaperCalibrated()
+	const mean, swing = 2.0, 0.8
+	g := NewInhomogeneous(p, rand.New(rand.NewSource(1)), DayNight(mean, swing), mean*(1+swing))
+	const days = 200
+	var day, night, total int
+	for {
+		j := g.Next()
+		if j.Arrival > days*model.Day {
+			break
+		}
+		total++
+		if phase := j.Arrival - model.Day*float64(int(j.Arrival/model.Day)); phase < model.Day/2 {
+			day++ // sin ≥ 0: above-mean rate
+		} else {
+			night++
+		}
+	}
+	gotMean := float64(total) / (days * 24)
+	if gotMean < 0.9*mean || gotMean > 1.1*mean {
+		t.Errorf("realised mean rate %.2f j/h, want ≈%.1f", gotMean, mean)
+	}
+	// With swing 0.8 the expected day:night ratio is (1+2·0.8/π):(1−2·0.8/π) ≈ 3.1.
+	ratio := float64(day) / float64(night)
+	if ratio < 2.3 || ratio > 4.2 {
+		t.Errorf("day/night arrival ratio %.2f, want ≈3.1", ratio)
+	}
+}
+
+// TestInhomogeneousDeterministic: same seed, same stream.
+func TestInhomogeneousDeterministic(t *testing.T) {
+	p := model.PaperCalibrated()
+	mk := func() *Generator {
+		return NewInhomogeneous(p, rand.New(rand.NewSource(5)), DayNight(1.5, 0.5), 3)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ja, jb := a.Next(), b.Next()
+		if ja.Arrival != jb.Arrival || ja.Range != jb.Range {
+			t.Fatalf("job %d differs: %+v vs %+v", i, ja, jb)
+		}
+	}
+}
+
+// TestInhomogeneousJobShapesMatchHomogeneous: thinning must only change
+// arrival times, not the size/start-point distributions.
+func TestInhomogeneousJobShapesMatchHomogeneous(t *testing.T) {
+	p := model.PaperCalibrated()
+	flat := func(float64) float64 { return 1.5 }
+	g := NewInhomogeneous(p, rand.New(rand.NewSource(2)), flat, 1.5)
+	var sum float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Next().Events())
+	}
+	meanEvents := sum / n
+	want := float64(p.MeanJobEvents)
+	if meanEvents < 0.93*want || meanEvents > 1.07*want {
+		t.Errorf("mean job size %.0f, want ≈%.0f", meanEvents, want)
+	}
+}

@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 
 	"physched/internal/dataspace"
@@ -16,11 +17,18 @@ import (
 	"physched/internal/stats"
 )
 
+// arrivalProcess yields successive arrival times; the synthetic stream
+// plugs in either a homogeneous Poisson process or a thinned
+// inhomogeneous one.
+type arrivalProcess interface {
+	Next() float64
+}
+
 // Generator produces the synthetic job stream.
 type Generator struct {
 	params  model.Params
 	rng     *rand.Rand
-	arrival *stats.PoissonProcess
+	arrival arrivalProcess
 	nextID  int64
 	hot     []dataspace.Interval // hot start regions
 	hotLen  int64
@@ -30,14 +38,37 @@ type Generator struct {
 // New returns a generator for the given parameters and arrival rate in
 // jobs per hour, drawing randomness from rng.
 func New(p model.Params, rng *rand.Rand, jobsPerHour float64) *Generator {
+	return newGenerator(p, rng, stats.NewPoissonProcess(rng, jobsPerHour/model.Hour, 0))
+}
+
+// RateFunc is an instantaneous arrival rate, in jobs per hour, as a
+// function of simulated time in seconds.
+type RateFunc func(t float64) float64
+
+// NewInhomogeneous returns a generator whose arrivals follow an
+// inhomogeneous Poisson process with rate rate(t), bounded by
+// peakJobsPerHour, realised by Lewis–Shedler thinning. Job sizes and
+// start points are drawn exactly as in New — only the arrival clock
+// differs.
+func NewInhomogeneous(p model.Params, rng *rand.Rand, rate RateFunc, peakJobsPerHour float64) *Generator {
+	perSecond := func(t float64) float64 { return rate(t) / model.Hour }
+	return newGenerator(p, rng, stats.NewThinnedPoisson(rng, perSecond, peakJobsPerHour/model.Hour, 0))
+}
+
+// DayNight returns the rate function of a 24-hour load cycle:
+// mean·(1 + swing·sin(2πt/day)). swing in [0,1) scales the day/night
+// contrast; the peak rate is mean·(1+swing).
+func DayNight(meanJobsPerHour, swing float64) RateFunc {
+	return func(t float64) float64 {
+		return meanJobsPerHour * (1 + swing*math.Sin(2*math.Pi*t/model.Day))
+	}
+}
+
+func newGenerator(p model.Params, rng *rand.Rand, arrival arrivalProcess) *Generator {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	g := &Generator{
-		params:  p,
-		rng:     rng,
-		arrival: stats.NewPoissonProcess(rng, jobsPerHour/model.Hour, 0),
-	}
+	g := &Generator{params: p, rng: rng, arrival: arrival}
 	g.hot = HotRegions(p)
 	for _, h := range g.hot {
 		g.hotLen += h.Len()

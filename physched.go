@@ -31,8 +31,8 @@ import (
 	"math/rand"
 
 	"physched/internal/experiments"
+	"physched/internal/lab"
 	"physched/internal/model"
-	"physched/internal/runner"
 	"physched/internal/sched"
 	"physched/internal/workload"
 )
@@ -43,16 +43,34 @@ type Params = model.Params
 
 // Scenario is one simulation configuration (cluster parameters, policy,
 // load, seed, measurement window).
-type Scenario = runner.Scenario
+type Scenario = lab.Scenario
 
 // Result summarises one simulation run.
-type Result = runner.Result
+type Result = lab.Result
 
 // Curve is a labelled series of results over a load axis (one figure line).
-type Curve = runner.Curve
+type Curve = lab.Curve
 
-// Variant is one curve specification for SweepCurves.
-type Variant = runner.Variant
+// Variant is one curve specification for SweepCurves and Grid.
+type Variant = lab.Variant
+
+// Grid is a scenario space — variants × loads × seeds — executed on a
+// bounded worker pool; RunSet holds its results and Options configures
+// parallelism, cancellation and progress reporting. See internal/lab.
+type Grid = lab.Grid
+
+// RunSet holds a grid's results.
+type RunSet = lab.RunSet
+
+// Options configure grid execution (worker bound, context, progress).
+type Options = lab.Options
+
+// ProgressUpdate reports one completed run of a grid.
+type ProgressUpdate = lab.ProgressUpdate
+
+// Aggregate summarises replicated runs across seeds, with 95% confidence
+// intervals.
+type Aggregate = lab.Aggregate
 
 // Policy is the scheduling-policy plugin interface.
 type Policy = sched.Policy
@@ -117,6 +135,24 @@ func NewWorkloadGenerator(p Params, seed int64, jobsPerHour float64) WorkloadSou
 	return workload.New(p, rand.New(rand.NewSource(seed)), jobsPerHour)
 }
 
+// RateFunc is an instantaneous arrival rate in jobs per hour as a
+// function of simulated time in seconds, for inhomogeneous workloads.
+type RateFunc = workload.RateFunc
+
+// NewInhomogeneousWorkloadGenerator returns a job stream whose arrivals
+// follow an inhomogeneous Poisson process with rate rate(t) bounded by
+// peakJobsPerHour (Lewis–Shedler thinning). Job sizes and start points
+// match the paper's synthetic stream.
+func NewInhomogeneousWorkloadGenerator(p Params, seed int64, rate RateFunc, peakJobsPerHour float64) WorkloadSource {
+	return workload.NewInhomogeneous(p, rand.New(rand.NewSource(seed)), rate, peakJobsPerHour)
+}
+
+// DayNightRate returns a 24-hour sinusoidal load cycle with the given
+// mean rate and swing in [0,1): mean·(1 + swing·sin(2πt/day)).
+func DayNightRate(meanJobsPerHour, swing float64) RateFunc {
+	return workload.DayNight(meanJobsPerHour, swing)
+}
+
 // ExportWorkload writes the next n jobs of src to w as JSON Lines;
 // NewWorkloadReplay reads such a trace back as a replayable source.
 func ExportWorkload(w io.Writer, src WorkloadSource, n int) error {
@@ -130,21 +166,39 @@ func NewWorkloadReplay(r io.Reader) (WorkloadSource, error) {
 }
 
 // Run executes one scenario to completion.
-func Run(s Scenario) Result { return runner.Run(s) }
+func Run(s Scenario) Result { return lab.Run(s) }
 
-// Sweep runs the scenario at each load (jobs/hour), in parallel.
-func Sweep(s Scenario, loads []float64) []Result { return runner.Sweep(s, loads) }
+// Sweep runs the scenario at each load (jobs/hour) on a bounded worker
+// pool. Results carry summaries only; use Run for the full Collector.
+func Sweep(s Scenario, loads []float64) []Result {
+	rs, _ := lab.Grid{Base: s, Loads: loads}.Execute(lab.Options{})
+	return rs.Results
+}
 
 // SweepCurves runs several policy variants over the same load grid.
 func SweepCurves(s Scenario, loads []float64, vs []Variant) []Curve {
-	return runner.SweepCurves(s, loads, vs)
+	rs, _ := lab.Grid{Base: s, Loads: loads, Variants: vs}.Execute(lab.Options{})
+	return rs.Curves()
 }
 
 // SustainableLoad returns the highest of the given loads the scenario
 // sustains without overload.
 func SustainableLoad(s Scenario, loads []float64) float64 {
-	return runner.SustainableLoad(s, loads)
+	return lab.SustainableLoad(s, loads, lab.Options{})
 }
+
+// Replicate runs the scenario once per seed on the worker pool and
+// aggregates the replicas with confidence intervals. The error is non-nil
+// when Options.Context cancelled execution; the aggregate then covers
+// only the completed replicas.
+func Replicate(s Scenario, seeds []int64, opts Options) (Aggregate, error) {
+	return lab.Replicate(s, seeds, opts)
+}
+
+// Seeds derives n well-spread replication seeds from one base seed;
+// DeriveSeed mixes a base seed with arbitrary coordinates.
+func Seeds(base int64, n int) []int64              { return lab.Seeds(base, n) }
+func DeriveSeed(base int64, coords ...int64) int64 { return lab.DeriveSeed(base, coords...) }
 
 // Figure reproductions; see DESIGN.md for the experiment index.
 func Fig2(q Quality, seed int64) Figure                     { return experiments.Fig2(q, seed) }
