@@ -12,6 +12,12 @@
 //	             pipeline|baselines|hetero|daynight]
 //	            [-quality quick|full] [-seed N] [-csv DIR] [-plots]
 //	            [-parallel N] [-timeout D] [-progress]
+//	experiments -spec grid.json [-cache-dir DIR] [-csv DIR] [-plots] ...
+//
+// With -spec the named experiments are replaced by one declarative grid
+// spec (internal/spec, the same format physchedd accepts); -cache-dir
+// backs it with a content-addressed result cache so re-running a spec
+// only simulates cells that changed.
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 
 	"physched/internal/experiments"
 	"physched/internal/lab"
+	"physched/internal/resultcache"
+	"physched/internal/spec"
 )
 
 func main() {
@@ -39,6 +47,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
 		timeout  = flag.Duration("timeout", 0, "abort experiments after this wall-clock duration (0 = no limit); partial output may precede the abort")
 		progress = flag.Bool("progress", false, "stream per-run completions to stderr")
+		specPath = flag.String("spec", "", "declarative grid spec file to run instead of the named experiments (see internal/spec)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory for -spec runs (empty = no cache)")
 	)
 	flag.Parse()
 
@@ -70,6 +80,13 @@ func main() {
 		}
 	}
 	experiments.Configure(opts)
+
+	if *specPath != "" {
+		if err := runSpec(ctx, *specPath, *cacheDir, opts, *csvDir, *plots); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	ids := []string{*figFlag}
 	if *figFlag == "all" {
@@ -166,6 +183,63 @@ func run(ctx context.Context, id string, q experiments.Quality, seed int64, csvD
 			return fmt.Errorf("writing %s: %w", path, err)
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// runSpec executes one declarative grid spec file on the lab pool,
+// optionally backed by a content-addressed result cache, and renders the
+// result like a figure experiment.
+func runSpec(ctx context.Context, path, cacheDir string, opts lab.Options, csvDir string, plots bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	g, err := spec.ParseGrid(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	hash, err := g.Hash()
+	if err != nil {
+		return err
+	}
+	lg, err := g.Compile()
+	if err != nil {
+		return err
+	}
+	if cacheDir != "" {
+		cache, err := resultcache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+		opts.Keys = g.Keys()
+	}
+	rs, err := lg.Execute(opts)
+	if err != nil {
+		return fmt.Errorf("%s aborted (%w): partial results discarded", path, err)
+	}
+	fig := experiments.Figure{
+		ID:     "spec",
+		Title:  fmt.Sprintf("spec %s (hash %.12s…)", filepath.Base(path), hash),
+		Loads:  rs.Loads,
+		Curves: rs.Curves(),
+	}
+	out := fig.Table() + "\n"
+	if plots {
+		out += fig.Plots() + "\n"
+	}
+	fmt.Println(out)
+	if opts.Cache != nil {
+		fmt.Printf("cells %d, served from cache %d\n", len(rs.Results), rs.CacheHits)
+	}
+	if csvDir != "" {
+		p := filepath.Join(csvDir, "spec.csv")
+		if err := os.WriteFile(p, []byte(fig.CSV()), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", p, err)
+		}
+		fmt.Printf("wrote %s\n", p)
 	}
 	return nil
 }

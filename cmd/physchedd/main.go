@@ -1,0 +1,59 @@
+// Command physchedd is the simulation service: it accepts declarative
+// scenario and grid specs (internal/spec) over HTTP, executes them on the
+// internal/lab worker pool under the request's context, streams NDJSON
+// progress while a grid runs, and serves previously computed results from
+// a content-addressed cache (internal/resultcache) by spec hash — the
+// same spec file that drives `physchedsim -spec` can be POSTed here
+// unchanged.
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness probe
+//	GET  /v1/policies             registered scheduling policies
+//	GET  /v1/workloads            registered workload kinds
+//	POST /v1/specs                run one spec; JSON result (cache-aware)
+//	POST /v1/grids                run a grid spec; NDJSON progress stream
+//	                              terminated by a result line
+//	GET  /v1/results/{hash}       cached run result by spec hash
+//	GET  /v1/aggregates/{hash}    cached replica aggregate by hash
+//
+// Usage:
+//
+//	physchedd [-addr :8080] [-cache-dir DIR] [-parallel N] [-max-cells N]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"physched/internal/resultcache"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("physchedd: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation runs per grid (0 = GOMAXPROCS)")
+		maxCells = flag.Int("max-cells", 10_000, "reject grids with more cells than this (0 = unlimited)")
+	)
+	flag.Parse()
+
+	cache, err := resultcache.Open(*cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(cache, *parallel, *maxCells).routes(),
+		// Simulations stream for as long as they run; only reads and
+		// idle connections get fixed deadlines.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("listening on %s (cache-dir %q)", *addr, *cacheDir)
+	log.Fatal(srv.ListenAndServe())
+}

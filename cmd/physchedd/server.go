@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"physched/internal/lab"
+	"physched/internal/resultcache"
+	"physched/internal/sched"
+	"physched/internal/spec"
+	"physched/internal/workload"
+)
+
+// server wires the spec layer, the lab worker pool and the result cache
+// behind the HTTP API.
+type server struct {
+	cache    resultcache.Store
+	workers  int
+	maxCells int
+}
+
+func newServer(cache resultcache.Store, workers, maxCells int) *server {
+	return &server{cache: cache, workers: workers, maxCells: maxCells}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /v1/specs", s.handleSpec)
+	mux.HandleFunc("POST /v1/grids", s.handleGrid)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /v1/aggregates/{hash}", s.handleAggregate)
+	return mux
+}
+
+// writeJSON writes v as one JSON document.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError reports err as {"error": "..."}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"policies": sched.Names()})
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"workloads": workload.Names()})
+}
+
+// specResponse is the body of a single-spec run.
+type specResponse struct {
+	Hash      string     `json:"hash"`
+	FromCache bool       `json:"from_cache"`
+	Result    lab.Result `json:"result"`
+}
+
+// handleSpec runs one declarative spec, serving and feeding the
+// content-addressed cache.
+func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	sp, err := spec.Parse(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hash, err := sp.Hash() // validates
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if res, ok := s.cache.Get(hash); ok {
+		writeJSON(w, http.StatusOK, specResponse{Hash: hash, FromCache: true, Result: res})
+		return
+	}
+	sc, err := sp.Scenario()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	res, err := lab.RunE(sc)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	res.Collector = nil
+	stored := res
+	stored.Scenario = lab.Scenario{}
+	s.cache.Put(hash, stored)
+	writeJSON(w, http.StatusOK, specResponse{Hash: hash, Result: res})
+}
+
+// progressLine is one NDJSON progress event of a grid run.
+type progressLine struct {
+	Type       string  `json:"type"` // "progress"
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	Label      string  `json:"label,omitempty"`
+	Load       float64 `json:"load_jobs_per_hour"`
+	Seed       int64   `json:"seed"`
+	Overloaded bool    `json:"overloaded"`
+	FromCache  bool    `json:"from_cache"`
+}
+
+// cellResult is one cell of the final grid result line.
+type cellResult struct {
+	Hash   string     `json:"hash"`
+	Label  string     `json:"label,omitempty"`
+	Result lab.Result `json:"result"`
+}
+
+// aggregateResult is one (variant, load) replica aggregate of the final
+// grid result line, present when the grid has a seed axis.
+type aggregateResult struct {
+	Hash      string        `json:"hash"`
+	Label     string        `json:"label,omitempty"`
+	Load      float64       `json:"load_jobs_per_hour"`
+	Aggregate lab.Aggregate `json:"aggregate"`
+}
+
+// resultLine terminates a grid stream.
+type resultLine struct {
+	Type       string            `json:"type"` // "result"
+	GridHash   string            `json:"grid_hash"`
+	CacheHits  int               `json:"cache_hits"`
+	Cells      []cellResult      `json:"cells"`
+	Aggregates []aggregateResult `json:"aggregates,omitempty"`
+}
+
+// errorLine reports a failure after streaming began.
+type errorLine struct {
+	Type  string `json:"type"` // "error"
+	Error string `json:"error"`
+}
+
+// handleGrid executes a declarative grid spec on the lab pool under the
+// request's context, streaming NDJSON progress and finishing with a
+// result line. Every cell is served from — and saved to — the
+// content-addressed cache, so re-POSTing a grid re-simulates nothing.
+func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	g, err := spec.ParseGrid(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	gridHash, err := g.Hash() // validates
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	lg, err := g.Compile()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	cells := lg.Cells()
+	if s.maxCells > 0 && len(cells) > s.maxCells {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("grid has %d cells, limit is %d", len(cells), s.maxCells))
+		return
+	}
+	// Hash every cell spec once upfront; Options.Keys and the result line
+	// both read this slice (hashing re-validates the spec, so doing it per
+	// lookup would double the work on large grids). Execute re-enumerates
+	// cells in the same coordinate order, so indexing by grid coordinates
+	// is exact.
+	keyOf := g.Keys()
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i], _ = keyOf(c)
+	}
+	nLoads, nSeeds := len(lg.Loads), len(lg.Seeds)
+	if nLoads == 0 {
+		nLoads = 1
+	}
+	if nSeeds == 0 {
+		nSeeds = 1
+	}
+	cellIndex := func(c lab.Cell) int {
+		return (c.Variant*nLoads+c.LoadIdx)*nSeeds + c.SeedIdx
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	opts := lab.Options{
+		Workers: s.workers,
+		Context: r.Context(),
+		Cache:   s.cache,
+		Keys: func(c lab.Cell) (string, bool) {
+			key := keys[cellIndex(c)]
+			return key, key != ""
+		},
+		// Progress callbacks are serialised by the lab, so writing to the
+		// response from here is safe. A client that stops reading blocks
+		// the write and thereby this grid's own worker pool — deliberate
+		// backpressure: every request runs on its own pool, so a slow
+		// consumer throttles only its own simulation, and a disconnect
+		// cancels it through the request context.
+		Progress: func(u lab.ProgressUpdate) {
+			emit(progressLine{
+				Type: "progress", Done: u.Done, Total: u.Total,
+				Label: u.Label, Load: u.Load, Seed: u.Seed,
+				Overloaded: u.Overloaded, FromCache: u.FromCache,
+			})
+		},
+	}
+	rs, err := lg.Execute(opts)
+	if err != nil {
+		// The client cancelled (or the server is shutting down); the
+		// line documents the abort for partial readers.
+		emit(errorLine{Type: "error", Error: err.Error()})
+		return
+	}
+
+	line := resultLine{Type: "result", GridHash: gridHash, CacheHits: rs.CacheHits}
+	for i, res := range rs.Results {
+		line.Cells = append(line.Cells, cellResult{Hash: keys[i], Label: rs.Cells[i].Label, Result: res})
+	}
+	if len(rs.Seeds) > 1 {
+		for vi, label := range rs.Labels {
+			for li, load := range rs.Loads {
+				agg := rs.Aggregate(vi, li)
+				hash, err := g.AggregateKey(vi, li)
+				if err != nil {
+					continue
+				}
+				s.cache.PutAggregate(hash, agg)
+				line.Aggregates = append(line.Aggregates, aggregateResult{
+					Hash: hash, Label: label, Load: load, Aggregate: agg,
+				})
+			}
+		}
+	}
+	emit(line)
+}
+
+// handleResult serves a cached run result by its spec hash.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	res, ok := s.cache.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no cached result for this hash"))
+		return
+	}
+	writeJSON(w, http.StatusOK, specResponse{Hash: hash, FromCache: true, Result: res})
+}
+
+// handleAggregate serves a cached replica aggregate by its hash.
+func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	agg, ok := s.cache.GetAggregate(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no cached aggregate for this hash"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Hash      string        `json:"hash"`
+		Aggregate lab.Aggregate `json:"aggregate"`
+	}{hash, agg})
+}

@@ -1,9 +1,12 @@
 // Command physchedsim runs a cluster-scheduling simulation and prints its
-// metrics, optionally with the waiting-time histogram. With -replicate N
-// the scenario is run N times with derived seeds on the internal/lab
-// worker pool and the replica mean ± 95% confidence interval is reported;
-// -parallel bounds the concurrent runs, -timeout aborts the set, and
-// -progress streams per-replica completions to stderr.
+// metrics, optionally with the waiting-time histogram. The scenario comes
+// either from flags or, with -spec, from a declarative JSON spec file
+// (see internal/spec and examples/specfile) — the serializable format
+// shared with the physchedd service. With -replicate N the scenario is
+// run N times with derived seeds on the internal/lab worker pool and the
+// replica mean ± 95% confidence interval is reported; -parallel bounds
+// the concurrent runs, -timeout aborts the set, and -progress streams
+// per-replica completions to stderr.
 //
 // Usage:
 //
@@ -11,6 +14,7 @@
 //	            [-delay-hours 48] [-stripe 5000] [-jobs 600] [-seed 1]
 //	            [-histogram] [-replicate N] [-parallel N] [-timeout D]
 //	            [-progress]
+//	physchedsim -spec scenario.json [-histogram] [-replicate N] ...
 package main
 
 import (
@@ -22,11 +26,10 @@ import (
 
 	"time"
 
-	"physched/internal/config"
 	"physched/internal/lab"
 	"physched/internal/model"
-	"physched/internal/runner"
 	"physched/internal/sched"
+	"physched/internal/spec"
 	"physched/internal/stats"
 	"physched/internal/trace"
 )
@@ -46,55 +49,76 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		histogram = flag.Bool("histogram", false, "print the waiting-time histogram")
 		stated    = flag.Bool("stated-params", false, "use the paper's stated raw constants instead of the calibrated preset")
-		cfgPath   = flag.String("config", "", "JSON scenario file (overrides the other scenario flags)")
+		specPath  = flag.String("spec", "", "declarative JSON scenario spec (overrides the other scenario flags; see internal/spec)")
 		tracePath = flag.String("trace", "", "write a JSONL execution trace to this file")
-		replicate = flag.Int("replicate", 1, "run the scenario this many times with seeds derived from -seed and report mean ± 95% CI")
+		replicate = flag.Int("replicate", 1, "run the scenario this many times with seeds derived from the seed and report mean ± 95% CI")
 		parallel  = flag.Int("parallel", 0, "max concurrent replica runs (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "abort the replica set after this wall-clock duration (0 = no limit)")
 		progress  = flag.Bool("progress", false, "stream per-replica completions to stderr")
 	)
 	flag.Parse()
 
-	if *cfgPath != "" {
-		runFromConfig(*cfgPath, *tracePath, *histogram)
-		return
-	}
+	var s lab.Scenario
+	if *specPath != "" {
+		sp, err := loadSpec(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err = sp.Scenario()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		params := model.PaperCalibrated()
+		if *stated {
+			params = model.PaperStated()
+		}
+		params.Nodes = *nodes
+		params.CacheBytes = *cacheGB * model.GB
 
-	params := model.PaperCalibrated()
-	if *stated {
-		params = model.PaperStated()
-	}
-	params.Nodes = *nodes
-	params.CacheBytes = *cacheGB * model.GB
-
-	mk, err := policyFactory(*policy, *delayH, *stripe)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := runner.Scenario{
-		Params:      params,
-		NewPolicy:   mk,
-		Load:        *load,
-		Seed:        *seed,
-		WarmupJobs:  *warmup,
-		MeasureJobs: *jobs,
-	}
-	if *policy == "delayed" || *policy == "adaptive" {
-		s.OverloadBacklog = int64(3**load*(*delayH)) + int64(25*params.Nodes)
+		mk, err := policyFactory(*policy, *delayH, *stripe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s = lab.Scenario{
+			Params:      params,
+			NewPolicy:   mk,
+			Load:        *load,
+			Seed:        *seed,
+			WarmupJobs:  *warmup,
+			MeasureJobs: *jobs,
+		}
+		if *policy == "delayed" || *policy == "adaptive" {
+			s.OverloadBacklog = int64(3**load*(*delayH)) + int64(25*params.Nodes)
+		}
 	}
 	if *replicate > 1 {
 		if *tracePath != "" || *histogram {
 			log.Fatal("-replicate is incompatible with -trace and -histogram (they describe a single run)")
 		}
-		reportReplicas(replicateScenario(s, *replicate, *parallel, *timeout, *progress), params)
+		reportReplicas(replicateScenario(s, *replicate, *parallel, *timeout, *progress), s.Params)
 		return
 	}
 	res := runSimulation(s, *tracePath)
-	report(res, params, *histogram)
+	report(res, s.Params, *histogram)
+}
+
+// loadSpec parses and validates a declarative scenario spec file.
+func loadSpec(path string) (spec.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return spec.Spec{}, err
+	}
+	defer f.Close()
+	sp, err := spec.Parse(f)
+	if err != nil {
+		return spec.Spec{}, err
+	}
+	return sp, nil
 }
 
 // replicateScenario runs s once per derived seed on the lab pool.
-func replicateScenario(s runner.Scenario, n, parallel int, timeout time.Duration, progress bool) lab.Aggregate {
+func replicateScenario(s lab.Scenario, n, parallel int, timeout time.Duration, progress bool) lab.Aggregate {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -134,7 +158,7 @@ func reportReplicas(agg lab.Aggregate, params model.Params) {
 }
 
 // report prints the run's metrics.
-func report(res runner.Result, params model.Params, histogram bool) {
+func report(res lab.Result, params model.Params, histogram bool) {
 	fmt.Printf("policy            %s\n", res.PolicyName)
 	fmt.Printf("load              %.3f jobs/hour (theoretical max %.2f, farm max %.2f)\n",
 		res.Load, params.MaxTheoreticalLoad(), params.FarmMaxLoad())
@@ -164,27 +188,8 @@ func report(res runner.Result, params model.Params, histogram bool) {
 	}
 }
 
-// runFromConfig executes a scenario loaded from a JSON file.
-func runFromConfig(path, tracePath string, histogram bool) {
-	f, err := os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	cfg, err := config.Parse(f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s, err := cfg.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
-	res := runSimulation(s, tracePath)
-	report(res, s.Params, histogram)
-}
-
 // runSimulation runs s, streaming a trace to tracePath when set.
-func runSimulation(s runner.Scenario, tracePath string) runner.Result {
+func runSimulation(s lab.Scenario, tracePath string) lab.Result {
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -198,31 +203,36 @@ func runSimulation(s runner.Scenario, tracePath string) runner.Result {
 		}()
 		s.Trace = trace.New(1, f) // stream everything, keep memory flat
 	}
-	return runner.Run(s)
+	res, err := lab.RunE(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
 func pct(a, b int64) float64 { return 100 * float64(a) / float64(b) }
 
+// policyFactory resolves a policy name and its flag arguments through the
+// sched registry, validating once upfront. The -delay-hours and -stripe
+// flags always carry their defaults, so only the arguments the chosen
+// policy actually consumes are forwarded (the registry rejects dead
+// arguments).
 func policyFactory(name string, delayHours float64, stripe int64) (func() sched.Policy, error) {
+	var args sched.Args
 	switch name {
-	case "farm":
-		return func() sched.Policy { return sched.NewFarm() }, nil
-	case "splitting":
-		return func() sched.Policy { return sched.NewSplitting() }, nil
-	case "cacheoriented":
-		return func() sched.Policy { return sched.NewCacheOriented() }, nil
-	case "outoforder":
-		return func() sched.Policy { return sched.NewOutOfOrder() }, nil
-	case "replication":
-		return func() sched.Policy { return sched.NewReplication() }, nil
 	case "delayed":
-		return func() sched.Policy { return sched.NewDelayed(delayHours*model.Hour, stripe) }, nil
+		args = sched.Args{DelayHours: delayHours, StripeEvents: stripe}
 	case "adaptive":
-		return func() sched.Policy { return sched.NewAdaptive(stripe) }, nil
-	case "partitioned":
-		return func() sched.Policy { return sched.NewPartitioned() }, nil
-	case "affinefarm":
-		return func() sched.Policy { return sched.NewAffineFarm() }, nil
+		args = sched.Args{StripeEvents: stripe}
 	}
-	return nil, fmt.Errorf("unknown policy %q", name)
+	if _, err := sched.New(name, args); err != nil {
+		return nil, err
+	}
+	return func() sched.Policy {
+		p, err := sched.New(name, args)
+		if err != nil {
+			panic(err) // validated above; the registry is append-only
+		}
+		return p
+	}, nil
 }

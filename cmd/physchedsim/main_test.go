@@ -1,10 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
+	"physched/internal/lab"
 	"physched/internal/model"
-	"physched/internal/runner"
 )
 
 func TestPolicyFactoryKnownNames(t *testing.T) {
@@ -47,7 +49,7 @@ func TestRunSimulationWithoutTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := runSimulation(runner.Scenario{
+	res := runSimulation(lab.Scenario{
 		Params: p, NewPolicy: mk, Load: 0.5 * p.FarmMaxLoad(),
 		Seed: 1, WarmupJobs: 10, MeasureJobs: 50,
 	}, "")
@@ -58,4 +60,44 @@ func TestRunSimulationWithoutTrace(t *testing.T) {
 	report(res, p, true)
 	res.Overloaded = true
 	report(res, p, false)
+}
+
+func TestLoadSpecRunsScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	body := `{
+		"params": {"nodes": 3, "cache_gb": 6, "mean_job_events": 1000, "dataspace_gb": 60},
+		"policy": {"name": "outoforder"},
+		"load_jobs_per_hour": 1.0,
+		"seed": 2,
+		"warmup_jobs": 10,
+		"measure_jobs": 50
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := loadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sp.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSimulation(s, "")
+	if res.PolicyName != "outoforder" || (res.MeasuredJobs != 50 && !res.Overloaded) {
+		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+func TestLoadSpecRejectsBadFiles(t *testing.T) {
+	if _, err := loadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"bogus": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSpec(path); err == nil {
+		t.Error("unknown spec field accepted")
+	}
 }

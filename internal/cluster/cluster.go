@@ -113,12 +113,12 @@ type Config struct {
 
 // Stats aggregates the data-path counters of a simulation run.
 type Stats struct {
-	EventsFromCache  int64
-	EventsFromRemote int64
-	EventsFromTape   int64
-	EventsReplicated int64
-	Preemptions      int64
-	Dispatches       int64
+	EventsFromCache  int64 `json:"events_from_cache"`
+	EventsFromRemote int64 `json:"events_from_remote"`
+	EventsFromTape   int64 `json:"events_from_tape"`
+	EventsReplicated int64 `json:"events_replicated"`
+	Preemptions      int64 `json:"preemptions"`
+	Dispatches       int64 `json:"dispatches"`
 }
 
 // Cluster ties the nodes, cache index and tertiary storage to a simulation

@@ -6,7 +6,7 @@ import (
 
 	"physched/internal/cache"
 	"physched/internal/cluster"
-	"physched/internal/runner"
+	"physched/internal/lab"
 	"physched/internal/sched"
 	"physched/internal/stats"
 )
@@ -29,7 +29,7 @@ func (w withConfig) ClusterConfig() cluster.Config { return w.cfg }
 type AblationRow struct {
 	Variant string
 	Load    float64
-	Result  runner.Result
+	Result  lab.Result
 }
 
 // AblationEviction compares LRU against FIFO cache eviction under the
@@ -38,7 +38,7 @@ type AblationRow struct {
 // ground on the hot regions.
 func AblationEviction(q Quality, seed int64) []AblationRow {
 	loads := loadGrid(q, 0.8, 1.8)
-	variants := []runner.Variant{
+	variants := []lab.Variant{
 		{Label: "LRU eviction", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
 		{Label: "FIFO eviction", NewPolicy: func() sched.Policy {
 			p := sched.NewOutOfOrder()
@@ -54,7 +54,7 @@ func AblationEviction(q Quality, seed int64) []AblationRow {
 // §4.2 choice) against re-reading it from tertiary storage.
 func AblationStealSource(q Quality, seed int64) []AblationRow {
 	loads := loadGrid(q, 0.8, 1.8)
-	variants := []runner.Variant{
+	variants := []lab.Variant{
 		{Label: "steal reads remote", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
 		{Label: "steal re-reads tape", NewPolicy: func() sched.Policy {
 			p := sched.NewOutOfOrder()
@@ -71,10 +71,10 @@ func AblationStealSource(q Quality, seed int64) []AblationRow {
 // way).
 func AblationReplicationThreshold(q Quality, seed int64) []AblationRow {
 	loads := loadGrid(q, 1.0, 1.8)
-	var variants []runner.Variant
+	var variants []lab.Variant
 	for _, n := range []int64{1, 2, 3, 5} {
 		n := n
-		variants = append(variants, runner.Variant{
+		variants = append(variants, lab.Variant{
 			Label: fmt.Sprintf("replicate after %d", n),
 			NewPolicy: func() sched.Policy {
 				p := sched.NewReplication()
@@ -92,13 +92,13 @@ func AblationReplicationThreshold(q Quality, seed int64) []AblationRow {
 // that skew caches cover a smaller fraction of the touched data.
 func AblationHotspot(q Quality, seed int64) []AblationRow {
 	loads := loadGrid(q, 0.8, 1.6)
-	var variants []runner.Variant
+	var variants []lab.Variant
 	for _, w := range []float64{0, 0.25, 0.5, 0.75} {
 		w := w
-		variants = append(variants, runner.Variant{
+		variants = append(variants, lab.Variant{
 			Label:     fmt.Sprintf("hot weight %.0f%%", 100*w),
 			NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
-			Mutate:    func(s *runner.Scenario) { s.Params.HotWeight = w },
+			Mutate:    func(s *lab.Scenario) { s.Params.HotWeight = w },
 		})
 	}
 	return ablate(baseScenario(q, seed), loads, variants)
@@ -110,10 +110,10 @@ func AblationHotspot(q Quality, seed int64) []AblationRow {
 // accelerates cache misses and raises every load bound.
 func FutureWorkPipelining(q Quality, seed int64) []AblationRow {
 	loads := loadGrid(q, 0.8, 2.2)
-	variants := []runner.Variant{
+	variants := []lab.Variant{
 		{Label: "paper model (no overlap)", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
 		{Label: "pipelined transfers", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
-			Mutate: func(s *runner.Scenario) { s.Params.PipelinedTransfers = true }},
+			Mutate: func(s *lab.Scenario) { s.Params.PipelinedTransfers = true }},
 	}
 	return ablate(baseScenario(q, seed), loads, variants)
 }
@@ -127,7 +127,7 @@ func FutureWorkPipelining(q Quality, seed int64) []AblationRow {
 // ownership under the hot-skewed workload.
 func BaselineComparison(q Quality, seed int64) []AblationRow {
 	loads := loadGrid(q, 0.7, 1.6)
-	variants := []runner.Variant{
+	variants := []lab.Variant{
 		{Label: "partitioned (static ownership)", NewPolicy: func() sched.Policy { return sched.NewPartitioned() }},
 		{Label: "affine farm (caching, no splitting)", NewPolicy: func() sched.Policy { return sched.NewAffineFarm() }},
 		{Label: "cache-oriented splitting", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }},
@@ -152,8 +152,8 @@ func HeterogeneityStudy(q Quality, seed int64) []AblationRow {
 			mixed[i] = 2.0
 		}
 	}
-	hetero := func(s *runner.Scenario) { s.Params.NodeSpeedFactors = mixed }
-	variants := []runner.Variant{
+	hetero := func(s *lab.Scenario) { s.Params.NodeSpeedFactors = mixed }
+	variants := []lab.Variant{
 		{Label: "farm, identical nodes", NewPolicy: func() sched.Policy { return sched.NewFarm() }},
 		{Label: "farm, mixed speeds", NewPolicy: func() sched.Policy { return sched.NewFarm() }, Mutate: hetero},
 		{Label: "out-of-order, identical nodes", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
@@ -166,7 +166,7 @@ func HeterogeneityStudy(q Quality, seed int64) []AblationRow {
 type NodeCountRow struct {
 	Nodes       int
 	Utilisation float64 // load as a fraction of that cluster's maximum
-	Result      runner.Result
+	Result      lab.Result
 	Efficiency  float64 // speedup / nodes
 }
 
@@ -181,15 +181,15 @@ func NodeCountStudy(q Quality, seed int64) []NodeCountRow {
 		util  float64
 	}
 	var cfgs []cfg
-	var variants []runner.Variant
+	var variants []lab.Variant
 	for _, nodes := range []int{5, 10, 20} {
 		for _, util := range []float64{0.3, 0.45} {
 			nodes, util := nodes, util
 			cfgs = append(cfgs, cfg{nodes, util})
-			variants = append(variants, runner.Variant{
+			variants = append(variants, lab.Variant{
 				Label:     fmt.Sprintf("%d nodes @ %.0f%%", nodes, 100*util),
 				NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
-				Mutate: func(s *runner.Scenario) {
+				Mutate: func(s *lab.Scenario) {
 					s.Params.Nodes = nodes
 					s.Load = util * s.Params.MaxTheoreticalLoad()
 				},
@@ -211,7 +211,7 @@ func NodeCountStudy(q Quality, seed int64) []NodeCountRow {
 }
 
 // ablate sweeps all variants and flattens the curves into rows.
-func ablate(base runner.Scenario, loads []float64, variants []runner.Variant) []AblationRow {
+func ablate(base lab.Scenario, loads []float64, variants []lab.Variant) []AblationRow {
 	var rows []AblationRow
 	for _, c := range sweepCurves(base, loads, variants) {
 		for _, r := range c.Results {

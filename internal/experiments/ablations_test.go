@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"physched/internal/cluster"
-	"physched/internal/runner"
+	"physched/internal/lab"
 	"physched/internal/sched"
 )
 
@@ -28,7 +28,7 @@ func TestWithConfigOverrides(t *testing.T) {
 func TestAblateFlattensCurves(t *testing.T) {
 	s := tiny(baseScenario(Quick, 1))
 	loads := []float64{0.3 * s.Params.FarmMaxLoad(), 0.5 * s.Params.FarmMaxLoad()}
-	rows := ablate(s, loads, []runner.Variant{
+	rows := ablate(s, loads, []lab.Variant{
 		{Label: "a", NewPolicy: func() sched.Policy { return sched.NewFarm() }},
 		{Label: "b", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
 	})
@@ -64,7 +64,7 @@ func TestEvictionAblationDirection(t *testing.T) {
 		return withConfig{Policy: p, cfg: cfg}
 	}
 	fifo.Load = load
-	rl, rf := runner.Run(lru), runner.Run(fifo)
+	rl, rf := lab.Run(lru), lab.Run(fifo)
 	if rl.Overloaded || rf.Overloaded {
 		t.Skip("both overloaded at this scale; direction test not applicable")
 	}

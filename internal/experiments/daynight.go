@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"physched/internal/runner"
+	"physched/internal/lab"
 	"physched/internal/sched"
 	"physched/internal/workload"
 )
@@ -19,7 +19,7 @@ import (
 // batching ride out peaks differently than the farm.
 func DayNight(q Quality, seed int64) []AblationRow {
 	loads := loadGrid(q, 0.6, 1.8)
-	var variants []runner.Variant
+	var variants []lab.Variant
 	for _, pol := range []struct {
 		name string
 		mk   func() sched.Policy
@@ -33,10 +33,10 @@ func DayNight(q Quality, seed int64) []AblationRow {
 			if swing > 0 {
 				label = fmt.Sprintf("%s, day/night swing %.0f%%", pol.name, 100*swing)
 			}
-			variants = append(variants, runner.Variant{
+			variants = append(variants, lab.Variant{
 				Label:     label,
 				NewPolicy: pol.mk,
-				Mutate: func(s *runner.Scenario) {
+				Mutate: func(s *lab.Scenario) {
 					if swing == 0 {
 						return // homogeneous baseline uses the default generator
 					}

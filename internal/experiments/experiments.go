@@ -18,7 +18,6 @@ import (
 
 	"physched/internal/lab"
 	"physched/internal/model"
-	"physched/internal/runner"
 	"physched/internal/sched"
 )
 
@@ -35,18 +34,18 @@ func Configure(o lab.Options) lab.Options {
 }
 
 // grid executes a variants × loads grid with the configured options.
-func grid(base runner.Scenario, loads []float64, variants []runner.Variant) *lab.RunSet {
+func grid(base lab.Scenario, loads []float64, variants []lab.Variant) *lab.RunSet {
 	rs, _ := lab.Grid{Base: base, Loads: loads, Variants: variants}.Execute(execOpts)
 	return rs
 }
 
 // sweepCurves is the figure-shaped view of grid.
-func sweepCurves(base runner.Scenario, loads []float64, variants []runner.Variant) []runner.Curve {
+func sweepCurves(base lab.Scenario, loads []float64, variants []lab.Variant) []lab.Curve {
 	return grid(base, loads, variants).Curves()
 }
 
 // sweep runs one variant over a load axis.
-func sweep(base runner.Scenario, loads []float64) []runner.Result {
+func sweep(base lab.Scenario, loads []float64) []lab.Result {
 	return grid(base, loads, nil).Results
 }
 
@@ -81,14 +80,14 @@ type Figure struct {
 	Title  string
 	Note   string
 	Loads  []float64 // jobs per hour
-	Curves []runner.Curve
+	Curves []lab.Curve
 	// DelayIncluded records whether waiting times include scheduling delay.
 	DelayIncluded bool
 }
 
 // baseScenario returns the paper-calibrated default scenario.
-func baseScenario(q Quality, seed int64) runner.Scenario {
-	return runner.Scenario{
+func baseScenario(q Quality, seed int64) lab.Scenario {
+	return lab.Scenario{
 		Params:      model.PaperCalibrated(),
 		Seed:        seed,
 		WarmupJobs:  q.warmup(),
@@ -108,16 +107,16 @@ func loadGrid(q Quality, lo, hi float64) []float64 {
 	return out
 }
 
-func withCache(gb int64) func(*runner.Scenario) {
-	return func(s *runner.Scenario) { s.Params.CacheBytes = gb * model.GB }
+func withCache(gb int64) func(*lab.Scenario) {
+	return func(s *lab.Scenario) { s.Params.CacheBytes = gb * model.GB }
 }
 
 // delayedBacklog adapts a scenario to delayed scheduling with the given
 // period: the overload threshold accommodates the backlog a period
 // legitimately accumulates, and the measurement window is stretched to
 // cover at least four periods so batch sawtooths average out.
-func delayedBacklog(delay float64) func(*runner.Scenario) {
-	return func(s *runner.Scenario) {
+func delayedBacklog(delay float64) func(*lab.Scenario) {
+	return func(s *lab.Scenario) {
 		// Worst case near the theoretical maximum of 3.46 jobs/hour.
 		jobsPerPeriod := 3.5 * delay / model.Hour
 		s.OverloadBacklog = int64(3*jobsPerPeriod) + int64(25*s.Params.Nodes)
@@ -127,8 +126,8 @@ func delayedBacklog(delay float64) func(*runner.Scenario) {
 	}
 }
 
-func mutate(ms ...func(*runner.Scenario)) func(*runner.Scenario) {
-	return func(s *runner.Scenario) {
+func mutate(ms ...func(*lab.Scenario)) func(*lab.Scenario) {
+	return func(s *lab.Scenario) {
 		for _, m := range ms {
 			m(s)
 		}
@@ -140,7 +139,7 @@ func mutate(ms ...func(*runner.Scenario)) func(*runner.Scenario) {
 // with 50/100/200 GB node caches, on 10 nodes.
 func Fig2(q Quality, seed int64) Figure {
 	loads := loadGrid(q, 0.7, 1.4)
-	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []lab.Variant{
 		{Label: "Processing farm", NewPolicy: func() sched.Policy { return sched.NewFarm() }},
 		{Label: "Job splitting", NewPolicy: func() sched.Policy { return sched.NewSplitting() }},
 		{Label: "Cache oriented - 50 GB", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }, Mutate: withCache(50)},
@@ -159,7 +158,7 @@ func Fig2(q Quality, seed int64) Figure {
 // scheduling for 50/100/200 GB caches.
 func Fig3(q Quality, seed int64) Figure {
 	loads := loadGrid(q, 0.8, 2.6)
-	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []lab.Variant{
 		{Label: "Cache oriented - 50 GB", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }, Mutate: withCache(50)},
 		{Label: "Cache oriented - 100 GB", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }, Mutate: withCache(100)},
 		{Label: "Cache oriented - 200 GB", NewPolicy: func() sched.Policy { return sched.NewCacheOriented() }, Mutate: withCache(200)},
@@ -179,7 +178,7 @@ func Fig3(q Quality, seed int64) Figure {
 // maximal sustainable load.
 type Distribution struct {
 	Label     string
-	Result    runner.Result
+	Result    lab.Result
 	Histogram string // rendered histogram
 	Buckets   []Bucket
 }
@@ -205,12 +204,12 @@ func Fig4(q Quality, seed int64) []Distribution {
 	base := baseScenario(q, seed)
 	base.NewPolicy = func() sched.Policy { return sched.NewOutOfOrder() }
 	base.MeasureJobs = 4 * q.measure() // distributions need more samples
-	var variants []runner.Variant
+	var variants []lab.Variant
 	for _, cfg := range configs {
 		cfg := cfg
-		variants = append(variants, runner.Variant{
+		variants = append(variants, lab.Variant{
 			Label: cfg.label,
-			Mutate: func(s *runner.Scenario) {
+			Mutate: func(s *lab.Scenario) {
 				s.Params.CacheBytes = cfg.cache * model.GB
 				s.Load = cfg.load
 			},
@@ -240,7 +239,7 @@ func Fig4(q Quality, seed int64) []Distribution {
 // 2 days and 1 week (cache 100 GB, stripe 5000) against out-of-order.
 func Fig5(q Quality, seed int64) Figure {
 	loads := loadGrid(q, 1.0, 2.8)
-	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []lab.Variant{
 		{Label: "Delayed (delay 11h)", NewPolicy: func() sched.Policy { return sched.NewDelayed(sched.Delay11h, 5000) }, Mutate: delayedBacklog(sched.Delay11h)},
 		{Label: "Delayed (delay 2 days)", NewPolicy: func() sched.Policy { return sched.NewDelayed(sched.Delay2Days, 5000) }, Mutate: delayedBacklog(sched.Delay2Days)},
 		{Label: "Delayed (delay 1 week)", NewPolicy: func() sched.Policy { return sched.NewDelayed(sched.Delay1Week, 5000) }, Mutate: delayedBacklog(sched.Delay1Week)},
@@ -258,14 +257,14 @@ func Fig5(q Quality, seed int64) Figure {
 // 5K and 25K events (cache 100 GB, delay 2 days).
 func Fig6(q Quality, seed int64) Figure {
 	loads := loadGrid(q, 0.8, 2.6)
-	mk := func(stripe int64) runner.Variant {
-		return runner.Variant{
+	mk := func(stripe int64) lab.Variant {
+		return lab.Variant{
 			Label:     fmt.Sprintf("Delayed, stripe %s", stripeLabel(stripe)),
 			NewPolicy: func() sched.Policy { return sched.NewDelayed(sched.Delay2Days, stripe) },
 			Mutate:    delayedBacklog(sched.Delay2Days),
 		}
 	}
-	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []lab.Variant{
 		mk(200), mk(1000), mk(5000), mk(25000),
 	})
 	return Figure{
@@ -281,16 +280,16 @@ func Fig6(q Quality, seed int64) Figure {
 // scheduling delay.
 func Fig7(q Quality, seed int64) Figure {
 	loads := loadGrid(q, 0.5, 2.8)
-	adaptive := func(stripe int64) runner.Variant {
-		return runner.Variant{
+	adaptive := func(stripe int64) lab.Variant {
+		return lab.Variant{
 			Label:     fmt.Sprintf("Adaptive delay (stripe %s)", stripeLabel(stripe)),
 			NewPolicy: func() sched.Policy { return sched.NewAdaptive(stripe) },
-			Mutate: mutate(delayedBacklog(sched.Delay1Week), func(s *runner.Scenario) {
+			Mutate: mutate(delayedBacklog(sched.Delay1Week), func(s *lab.Scenario) {
 				s.DelayIncluded = true
 			}),
 		}
 	}
-	curves := sweepCurves(baseScenario(q, seed), loads, []runner.Variant{
+	curves := sweepCurves(baseScenario(q, seed), loads, []lab.Variant{
 		adaptive(200),
 		adaptive(5000),
 		{Label: "Out of order scheduling", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
@@ -307,7 +306,7 @@ func Fig7(q Quality, seed int64) Figure {
 // ReplicationRow is one load point of the §4.2 comparison.
 type ReplicationRow struct {
 	Load             float64
-	Plain, Replicate runner.Result
+	Plain, Replicate lab.Result
 	// ReplicatedShare is the fraction of processed events that were
 	// replicated (paper: data replication used in <1‰ of job arrivals).
 	ReplicatedShare float64
@@ -318,7 +317,7 @@ type ReplicationRow struct {
 // replication triggers extremely rarely.
 func Replication(q Quality, seed int64) []ReplicationRow {
 	loads := loadGrid(q, 0.8, 2.0)
-	rs := grid(baseScenario(q, seed), loads, []runner.Variant{
+	rs := grid(baseScenario(q, seed), loads, []lab.Variant{
 		{Label: "plain", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
 		{Label: "replicate", NewPolicy: func() sched.Policy { return sched.NewReplication() }},
 	})
@@ -338,7 +337,7 @@ func Replication(q Quality, seed int64) []ReplicationRow {
 // MaxLoadResult is the §5.2 headline configuration outcome.
 type MaxLoadResult struct {
 	Load      float64
-	Result    runner.Result
+	Result    lab.Result
 	TheoryMax float64
 	FarmMax   float64
 }

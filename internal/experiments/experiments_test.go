@@ -4,14 +4,14 @@ import (
 	"strings"
 	"testing"
 
+	"physched/internal/lab"
 	"physched/internal/model"
-	"physched/internal/runner"
 	"physched/internal/sched"
 )
 
 // tiny shrinks an experiment scenario for unit tests of the plumbing (the
 // real figure-scale runs are exercised by the root benchmarks).
-func tiny(s runner.Scenario) runner.Scenario {
+func tiny(s lab.Scenario) lab.Scenario {
 	s.Params.Nodes = 3
 	s.Params.MeanJobEvents = 1_000
 	s.Params.DataspaceBytes = 60 * model.GB
@@ -68,7 +68,7 @@ func TestFigureTableAndCSV(t *testing.T) {
 	// Build a minimal figure through the real sweep machinery.
 	s := tiny(baseScenario(Quick, 1))
 	loads := []float64{0.3 * s.Params.FarmMaxLoad(), 0.6 * s.Params.FarmMaxLoad()}
-	curves := runner.SweepCurves(s, loads, []runner.Variant{
+	curves := sweepCurves(s, loads, []lab.Variant{
 		{Label: "farm", NewPolicy: func() sched.Policy { return sched.NewFarm() }},
 		{Label: "ooo", NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() }},
 	})

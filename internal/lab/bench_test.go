@@ -1,4 +1,4 @@
-package runner
+package lab
 
 import (
 	"testing"
@@ -12,7 +12,7 @@ import (
 func BenchmarkRun(b *testing.B) {
 	b.ReportAllocs()
 	p := smallParams()
-	s := smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
+	s := policyScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Run(s)

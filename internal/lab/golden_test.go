@@ -1,0 +1,120 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"physched/internal/cluster"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire-format files")
+
+// goldenResult is a fully populated Result literal. Values are arbitrary
+// but distinct per field, so a swapped or renamed JSON key cannot cancel
+// out.
+func goldenResult() Result {
+	return Result{
+		PolicyName:   "outoforder",
+		Load:         1.5,
+		Overloaded:   false,
+		AvgSpeedup:   12.25,
+		AvgWaiting:   321.5,
+		MaxWaiting:   4096.125,
+		P99Waiting:   2048.5,
+		AvgProc:      2600.75,
+		MeasuredJobs: 600,
+		SimTime:      1.44e6,
+		Cluster: cluster.Stats{
+			EventsFromCache:  1_000_001,
+			EventsFromRemote: 2_002,
+			EventsFromTape:   30_003,
+			EventsReplicated: 404,
+			Preemptions:      55,
+			Dispatches:       6_606,
+		},
+	}
+}
+
+func goldenAggregate() Aggregate {
+	r := goldenResult()
+	o := goldenResult()
+	o.Overloaded = true
+	return Aggregate{
+		Replicas:    2,
+		Overloaded:  1,
+		SpeedupMean: 12.25,
+		SpeedupStd:  0.5,
+		SpeedupCI95: 0.25,
+		WaitingMean: 321.5,
+		WaitingStd:  10.125,
+		WaitingCI95: 5.5,
+		Results:     []Result{r, o},
+	}
+}
+
+// checkGolden pins v's JSON encoding — the wire format of physchedd
+// responses and resultcache files — to testdata/<name>. Run
+// `go test ./internal/lab -run TestWireFormat -update` after a deliberate
+// format change.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire format of %s changed.\ngot:\n%s\nwant:\n%s\n"+
+			"If the change is deliberate, bump consumers and run with -update.",
+			name, got, want)
+	}
+}
+
+// TestWireFormatResult and TestWireFormatAggregate pin the JSON wire
+// format served by cmd/physchedd and stored by internal/resultcache, so a
+// refactor of these structs cannot silently break clients or invalidate
+// caches.
+func TestWireFormatResult(t *testing.T) { checkGolden(t, "result.golden.json", goldenResult()) }
+func TestWireFormatAggregate(t *testing.T) {
+	checkGolden(t, "aggregate.golden.json", goldenAggregate())
+}
+
+// TestWireFormatRoundTrip: decoding the wire format back must restore the
+// summary fields exactly (Scenario and Collector are intentionally not
+// part of the wire format).
+func TestWireFormatRoundTrip(t *testing.T) {
+	b, err := json.Marshal(goldenResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Result holds closures (Scenario) and a Collector pointer, so compare
+	// the wire projection, which is exactly what round-trips.
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("round trip changed the result:\n%s\nwant\n%s", b2, b)
+	}
+}

@@ -47,6 +47,25 @@ type Options struct {
 	// KeepCollectors retains each Result's full metrics.Collector. Off by
 	// default: a grid of hundreds of runs must not pin every job record.
 	KeepCollectors bool
+	// Cache, when non-nil together with Keys, serves completed cells from
+	// a content-addressed result store and saves fresh results back to it,
+	// so re-executing a grid skips every cell already simulated anywhere
+	// under the same key. internal/resultcache provides memory and disk
+	// implementations.
+	Cache ResultCache
+	// Keys derives a cell's content key — a hash of its fully resolved
+	// declarative spec (see internal/spec). Cells reporting ok == false
+	// are uncacheable and always run.
+	Keys func(Cell) (key string, ok bool)
+}
+
+// ResultCache is a content-addressed store of run results, keyed by the
+// hash of the canonical spec encoding that produced them. Implementations
+// must be safe for concurrent use: grid execution calls them from worker
+// goroutines.
+type ResultCache interface {
+	Get(key string) (Result, bool)
+	Put(key string, r Result)
 }
 
 // ProgressUpdate reports one completed run of a grid.
@@ -56,6 +75,9 @@ type ProgressUpdate struct {
 	Load        float64
 	Seed        int64
 	Overloaded  bool
+	// FromCache marks a cell served from Options.Cache instead of being
+	// simulated.
+	FromCache bool
 }
 
 // Cell is one fully resolved run of a grid.
@@ -73,6 +95,9 @@ type RunSet struct {
 	Labels  []string // one per variant
 	Cells   []Cell
 	Results []Result
+	// CacheHits counts the cells served from Options.Cache rather than
+	// simulated; a fully warmed cache re-executes zero cells.
+	CacheHits int
 	// Err is the context error when execution was cancelled; cells not
 	// run keep zero Results.
 	Err error
@@ -145,24 +170,62 @@ func (g Grid) Execute(opts Options) (*RunSet, error) {
 	}
 	rs.Results = make([]Result, len(cells))
 
+	// Content keys are resolved upfront (cheap hashing) so workers only
+	// consult the cache, never compute keys concurrently with user code.
+	var keys []string
+	caching := opts.Cache != nil && opts.Keys != nil
+	if caching {
+		keys = make([]string, len(cells))
+		for i, c := range cells {
+			if key, ok := opts.Keys(c); ok {
+				keys[i] = key
+			}
+		}
+	}
+
 	var mu sync.Mutex
 	completed := 0
 	err := Pool{Workers: opts.Workers}.Run(opts.Context, len(cells), func(i int) {
-		res := Run(cells[i].Scenario)
-		if !opts.KeepCollectors {
-			res.Collector = nil
+		var res Result
+		fromCache := false
+		if caching && keys[i] != "" {
+			if hit, ok := opts.Cache.Get(keys[i]); ok {
+				res = hit
+				res.Scenario = cells[i].Scenario
+				res.Collector = nil
+				fromCache = true
+			}
+		}
+		if !fromCache {
+			res = Run(cells[i].Scenario)
+			if !opts.KeepCollectors {
+				res.Collector = nil
+			}
+			if caching && keys[i] != "" {
+				// Store the summary only: no Collector (it would pin every
+				// job record) and no Scenario (closures don't serialise).
+				stored := res
+				stored.Scenario = Scenario{}
+				stored.Collector = nil
+				opts.Cache.Put(keys[i], stored)
+			}
 		}
 		rs.Results[i] = res
+		mu.Lock()
+		completed++
+		done := completed
+		if fromCache {
+			rs.CacheHits++
+		}
 		if opts.Progress != nil {
-			mu.Lock()
-			completed++
 			opts.Progress(ProgressUpdate{
-				Done: completed, Total: len(cells),
+				Done: done, Total: len(cells),
 				Label: cells[i].Label, Load: cells[i].Scenario.Load,
 				Seed: cells[i].Scenario.Seed, Overloaded: res.Overloaded,
+				FromCache: fromCache,
 			})
-			mu.Unlock()
 		}
+		mu.Unlock()
 	})
 	rs.Err = err
 	return rs, err

@@ -1,4 +1,4 @@
-package runner
+package lab
 
 import (
 	"math"
@@ -21,8 +21,8 @@ func smallParams() model.Params {
 	return p
 }
 
-// smallScenario builds a quick scenario for the given policy constructor.
-func smallScenario(newPolicy func() sched.Policy, load float64) Scenario {
+// policyScenario builds a quick scenario for the given policy constructor.
+func policyScenario(newPolicy func() sched.Policy, load float64) Scenario {
 	return Scenario{
 		Params:      smallParams(),
 		NewPolicy:   newPolicy,
@@ -64,7 +64,7 @@ func TestAllPoliciesCompleteAtLowLoad(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			res := Run(smallScenario(tc.mk, load))
+			res := Run(policyScenario(tc.mk, load))
 			if res.Overloaded {
 				t.Fatalf("%s overloaded at half the farm max load", tc.name)
 			}
@@ -99,10 +99,10 @@ func TestAllPoliciesCompleteAtLowLoad(t *testing.T) {
 func TestCachePoliciesBeatFarm(t *testing.T) {
 	p := smallParams()
 	load := 0.6 * p.FarmMaxLoad()
-	farm := Run(smallScenario(func() sched.Policy { return sched.NewFarm() }, load))
-	split := Run(smallScenario(func() sched.Policy { return sched.NewSplitting() }, load))
-	cache := Run(smallScenario(func() sched.Policy { return sched.NewCacheOriented() }, load))
-	ooo := Run(smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, load))
+	farm := Run(policyScenario(func() sched.Policy { return sched.NewFarm() }, load))
+	split := Run(policyScenario(func() sched.Policy { return sched.NewSplitting() }, load))
+	cache := Run(policyScenario(func() sched.Policy { return sched.NewCacheOriented() }, load))
+	ooo := Run(policyScenario(func() sched.Policy { return sched.NewOutOfOrder() }, load))
 	if farm.Overloaded || split.Overloaded || cache.Overloaded || ooo.Overloaded {
 		t.Fatal("unexpected overload at 60% of farm max load")
 	}
@@ -122,7 +122,7 @@ func TestCachePoliciesBeatFarm(t *testing.T) {
 func TestFarmMatchesQueueingModel(t *testing.T) {
 	p := smallParams()
 	load := 0.55 * p.FarmMaxLoad()
-	s := smallScenario(func() sched.Policy { return sched.NewFarm() }, load)
+	s := policyScenario(func() sched.Policy { return sched.NewFarm() }, load)
 	s.MeasureJobs = 2_000
 	s.WarmupJobs = 200
 	res := Run(s)
@@ -149,7 +149,7 @@ func TestFarmMatchesQueueingModel(t *testing.T) {
 // backlog must grow without limit and the run must report overload.
 func TestFarmOverloadsBeyondMaxLoad(t *testing.T) {
 	p := smallParams()
-	s := smallScenario(func() sched.Policy { return sched.NewFarm() }, 1.3*p.FarmMaxLoad())
+	s := policyScenario(func() sched.Policy { return sched.NewFarm() }, 1.3*p.FarmMaxLoad())
 	res := Run(s)
 	if !res.Overloaded {
 		t.Errorf("farm at 130%% of max load did not overload (speedup %.2f, waiting %.0f)",
@@ -173,15 +173,15 @@ func TestOutOfOrderSustainsMoreThanCacheOriented(t *testing.T) {
 		Seed: 11, WarmupJobs: 80, MeasureJobs: 300}
 	oo := Scenario{Params: p, NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
 		Seed: 11, WarmupJobs: 80, MeasureJobs: 300}
-	coMax := SustainableLoad(co, loads)
-	ooMax := SustainableLoad(oo, loads)
+	coMax := SustainableLoad(co, loads, Options{})
+	ooMax := SustainableLoad(oo, loads, Options{})
 	if ooMax <= coMax {
 		t.Errorf("out-of-order sustains %.2f j/h, cache-oriented %.2f j/h; want strictly more", ooMax, coMax)
 	}
 }
 
 func TestDeterministicResults(t *testing.T) {
-	s := smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.4*smallParams().FarmMaxLoad())
+	s := policyScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.4*smallParams().FarmMaxLoad())
 	a := Run(s)
 	b := Run(s)
 	if a.AvgSpeedup != b.AvgSpeedup || a.AvgWaiting != b.AvgWaiting {
@@ -192,10 +192,14 @@ func TestDeterministicResults(t *testing.T) {
 func TestSweepOrdersResults(t *testing.T) {
 	p := smallParams()
 	loads := []float64{0.2 * p.FarmMaxLoad(), 0.4 * p.FarmMaxLoad()}
-	s := smallScenario(func() sched.Policy { return sched.NewFarm() }, 0)
+	s := policyScenario(func() sched.Policy { return sched.NewFarm() }, 0)
 	s.MeasureJobs = 100
 	s.WarmupJobs = 20
-	results := Sweep(s, loads)
+	rs, err := (Grid{Base: s, Loads: loads}).Execute(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := rs.Results
 	if len(results) != 2 || results[0].Load != loads[0] || results[1].Load != loads[1] {
 		t.Errorf("sweep results out of order: %+v", results)
 	}

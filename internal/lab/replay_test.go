@@ -1,4 +1,4 @@
-package runner
+package lab
 
 import (
 	"bytes"
@@ -15,7 +15,7 @@ import (
 func TestReplayedWorkloadMatchesSynthetic(t *testing.T) {
 	p := smallParams()
 	load := 0.5 * p.FarmMaxLoad()
-	base := smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, load)
+	base := policyScenario(func() sched.Policy { return sched.NewOutOfOrder() }, load)
 	base.MeasureJobs = 150
 	base.WarmupJobs = 30
 	synthetic := Run(base)
@@ -53,7 +53,7 @@ func TestReplayExhaustionEndsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := smallScenario(func() sched.Policy { return sched.NewFarm() }, 1)
+	s := policyScenario(func() sched.Policy { return sched.NewFarm() }, 1)
 	s.Workload = rep
 	s.WarmupJobs = 5
 	s.MeasureJobs = 1000 // more than the trace holds

@@ -11,14 +11,20 @@ import (
 // metric over the non-overloaded replicas, plus how many replicas
 // overloaded. Figures in the paper are single curves; Aggregate quantifies
 // how much a point moves run to run.
+// The JSON field names are the wire format served by cmd/physchedd and
+// stored by internal/resultcache; they are pinned by golden-file tests.
 type Aggregate struct {
-	Replicas   int
-	Overloaded int
+	Replicas   int `json:"replicas"`
+	Overloaded int `json:"overloaded"`
 
-	SpeedupMean, SpeedupStd, SpeedupCI95 float64
-	WaitingMean, WaitingStd, WaitingCI95 float64
+	SpeedupMean float64 `json:"speedup_mean"`
+	SpeedupStd  float64 `json:"speedup_std"`
+	SpeedupCI95 float64 `json:"speedup_ci95"`
+	WaitingMean float64 `json:"waiting_mean_sec"`
+	WaitingStd  float64 `json:"waiting_std_sec"`
+	WaitingCI95 float64 `json:"waiting_ci95_sec"`
 
-	Results []Result
+	Results []Result `json:"results"`
 }
 
 // NewAggregate summarises a set of replica results.

@@ -1,4 +1,4 @@
-package runner
+package lab
 
 import (
 	"testing"
@@ -9,7 +9,7 @@ import (
 
 func TestRunWithTraceRecordsLifecycleAndSamples(t *testing.T) {
 	p := smallParams()
-	s := smallScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
+	s := policyScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
 	s.MeasureJobs = 80
 	s.WarmupJobs = 20
 	s.Trace = trace.New(0, nil)

@@ -3,7 +3,8 @@
 // scenario grids — policy variants × loads × seeds — on a bounded worker
 // pool with deterministic results (Grid, RunSet). Every sweep, figure
 // reproduction, ablation and replication study in this repository executes
-// through lab; internal/runner remains as a thin compatibility facade.
+// through lab; internal/spec compiles declarative scenario specs into the
+// Scenario/Grid values this package runs.
 //
 // Determinism contract: a run's outcome depends only on its fully resolved
 // Scenario, never on scheduling order, worker count or wall-clock time.
@@ -70,21 +71,23 @@ type Scenario struct {
 	SampleEvery float64
 }
 
-// Result summarises one simulation run.
+// Result summarises one simulation run. The JSON field names are the wire
+// format served by cmd/physchedd and stored by internal/resultcache; they
+// are pinned by golden-file tests and must not change incompatibly.
 type Result struct {
 	Scenario   Scenario `json:"-"`
-	PolicyName string
-	Load       float64
+	PolicyName string   `json:"policy"`
+	Load       float64  `json:"load_jobs_per_hour"`
 
-	Overloaded   bool
-	AvgSpeedup   float64
-	AvgWaiting   float64 // seconds
-	MaxWaiting   float64 // seconds
-	P99Waiting   float64 // seconds
-	AvgProc      float64 // seconds
-	MeasuredJobs int
-	SimTime      float64 // seconds of simulated time covered
-	Cluster      cluster.Stats
+	Overloaded   bool          `json:"overloaded"`
+	AvgSpeedup   float64       `json:"avg_speedup"`
+	AvgWaiting   float64       `json:"avg_waiting_sec"`    // seconds
+	MaxWaiting   float64       `json:"max_waiting_sec"`    // seconds
+	P99Waiting   float64       `json:"p99_waiting_sec"`    // seconds
+	AvgProc      float64       `json:"avg_processing_sec"` // seconds
+	MeasuredJobs int           `json:"measured_jobs"`
+	SimTime      float64       `json:"sim_time_sec"` // seconds of simulated time covered
+	Cluster      cluster.Stats `json:"cluster"`
 	// Collector holds the full per-job record of the run. Run keeps it;
 	// grid execution drops it unless Options.KeepCollectors is set, so
 	// sweeps retain only the summary above instead of pinning every
@@ -109,11 +112,43 @@ func (s Scenario) withDefaults() Scenario {
 	return s
 }
 
-// Run executes one scenario to completion.
-func Run(s Scenario) Result {
-	s = s.withDefaults()
+// Validate reports the first problem that would prevent the scenario from
+// running: invalid cluster parameters, a missing policy constructor, or a
+// non-positive load with no explicit workload source. Spec compilation
+// (internal/spec) calls it so invalid configurations fail at spec-build
+// time rather than mid-execution.
+func (s Scenario) Validate() error {
 	if err := s.Params.Validate(); err != nil {
-		panic(fmt.Sprintf("lab: invalid params: %v", err))
+		return fmt.Errorf("lab: invalid params: %w", err)
+	}
+	if s.NewPolicy == nil {
+		return fmt.Errorf("lab: Scenario.NewPolicy is nil")
+	}
+	if s.Workload == nil && s.NewWorkload == nil && s.Load <= 0 {
+		return fmt.Errorf("lab: Load must be positive for the synthetic workload, got %v", s.Load)
+	}
+	if s.WarmupJobs < 0 || s.MeasureJobs < 0 {
+		return fmt.Errorf("lab: negative job window (warmup %d, measure %d)", s.WarmupJobs, s.MeasureJobs)
+	}
+	return nil
+}
+
+// Run executes one scenario to completion, panicking on an invalid
+// scenario. Prefer RunE where an error can be handled.
+func Run(s Scenario) Result {
+	res, err := RunE(s)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE executes one scenario to completion, reporting invalid scenarios
+// as errors instead of panicking.
+func RunE(s Scenario) (Result, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return Result{}, err
 	}
 	eng := sim.New(s.Seed)
 	policy := s.NewPolicy()
@@ -220,7 +255,7 @@ func Run(s Scenario) Result {
 	} else {
 		res.Overloaded = true
 	}
-	return res
+	return res, nil
 }
 
 // waitingDiverges detects the out-of-steady-state regime the paper cuts

@@ -1,4 +1,4 @@
-package runner
+package lab
 
 import (
 	"testing"
@@ -88,7 +88,7 @@ func TestAdaptiveSustainsMoreThanOutOfOrder(t *testing.T) {
 		Params:    p,
 		NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
 		Seed:      29, WarmupJobs: 60, MeasureJobs: 300,
-	}, grid)
+	}, grid, Options{})
 	if oooMax >= grid[len(grid)-1] {
 		t.Skip("out-of-order sustained the whole grid at this scale; ordering not testable")
 	}

@@ -1,0 +1,113 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"physched/internal/lab"
+)
+
+// Disk is an on-disk Store: one JSON file per entry under its directory,
+// named <key>.result.json or <key>.aggregate.json. Files are written to a
+// temporary name and renamed into place, so concurrent readers (other
+// processes included) never observe a partial entry. Corrupt or foreign
+// files read as misses: a damaged cache costs re-simulation, never a
+// wrong result.
+type Disk struct {
+	dir string
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// validKey accepts exactly the hex SHA-256 strings internal/spec produces,
+// keeping arbitrary request strings (physchedd serves by-hash lookups)
+// from naming paths outside the store.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Disk) path(key, kind string) string {
+	return filepath.Join(d.dir, key+"."+kind+".json")
+}
+
+// read unmarshals the entry at key into v, reporting a miss for missing,
+// invalid or corrupt entries.
+func (d *Disk) read(key, kind string, v any) bool {
+	if !validKey(key) {
+		return false
+	}
+	b, err := os.ReadFile(d.path(key, kind))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(b, v) == nil
+}
+
+// write atomically persists v at key; failures drop the entry (a cache
+// must not turn disk pressure into simulation errors).
+func (d *Disk) write(key, kind string, v any) {
+	if !validKey(key) {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, "."+key+".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, d.path(key, kind)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Get returns the cached result for key.
+func (d *Disk) Get(key string) (lab.Result, bool) {
+	var r lab.Result
+	ok := d.read(key, "result", &r)
+	return r, ok
+}
+
+// Put stores r under key. The stored form is the JSON wire format —
+// Scenario and Collector are excluded by their json:"-" tags — so entries
+// are portable across processes and inspectable with any JSON tool.
+func (d *Disk) Put(key string, r lab.Result) {
+	d.write(key, "result", r)
+}
+
+// GetAggregate returns the cached aggregate for key.
+func (d *Disk) GetAggregate(key string) (lab.Aggregate, bool) {
+	var a lab.Aggregate
+	ok := d.read(key, "aggregate", &a)
+	return a, ok
+}
+
+// PutAggregate stores a under key (per-result Scenario/Collector fields
+// are excluded by their json:"-" tags).
+func (d *Disk) PutAggregate(key string, a lab.Aggregate) {
+	d.write(key, "aggregate", a)
+}

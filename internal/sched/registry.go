@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"physched/internal/model"
+)
+
+// Args carries the serialisable parameters a registered policy factory may
+// consume. Every field is optional; factories apply their own defaults, so
+// the zero Args is valid for every built-in policy. Args is deliberately a
+// closed set of plain values: it is the part of a policy specification
+// that travels through JSON spec files, content hashes and the physchedd
+// wire protocol.
+type Args struct {
+	// DelayHours is the delayed policy's accumulation period, in hours.
+	DelayHours float64
+	// StripeEvents is the stripe size for the delayed/adaptive policies.
+	StripeEvents int64
+	// MaxWaitHours overrides the out-of-order aging limit (default 48 h).
+	MaxWaitHours float64
+}
+
+// Factory builds a fresh policy instance from its serialisable arguments.
+// Policies are stateful, so a factory is invoked once per simulation run.
+type Factory func(Args) (Policy, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register makes a policy constructible by name through New, extending the
+// set of policies reachable from spec files and the physchedd service
+// without touching this package. It rejects empty names and names already
+// taken (including the built-ins).
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("sched: Register with empty policy name")
+	}
+	if f == nil {
+		return fmt.Errorf("sched: Register %q with nil factory", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("sched: policy %q already registered", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// mustRegister is Register for the built-ins, where a failure is a
+// programming error.
+func mustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// New builds the named policy with the given arguments. Unknown names
+// report the registered ones, so a typo in a spec file is self-diagnosing.
+func New(name string, a Args) (Policy, error) {
+	if name == "" {
+		return nil, fmt.Errorf("sched: policy name missing (known: %v)", Names())
+	}
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown policy %q (known: %v)", name, Names())
+	}
+	return f(a)
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stripeOrDefault applies the paper's default stripe size.
+func stripeOrDefault(a Args) int64 {
+	if a.StripeEvents > 0 {
+		return a.StripeEvents
+	}
+	return DefaultStripe
+}
+
+// rejectUnused fails when a carries an argument the policy does not
+// consume. A spec naming the farm policy with delay_hours set would
+// otherwise validate, run a plain farm, and make the user believe delayed
+// scheduling was simulated — dead arguments must fail as loudly as
+// misspelled field names do.
+func rejectUnused(name string, a Args, delay, stripe, maxWait bool) error {
+	if !delay && a.DelayHours != 0 {
+		return fmt.Errorf("sched: policy %q does not take delay_hours", name)
+	}
+	if !stripe && a.StripeEvents != 0 {
+		return fmt.Errorf("sched: policy %q does not take stripe_events", name)
+	}
+	if !maxWait && a.MaxWaitHours != 0 {
+		return fmt.Errorf("sched: policy %q does not take max_wait_hours", name)
+	}
+	return nil
+}
+
+// argless registers a policy that consumes no arguments.
+func argless(name string, mk func() Policy) {
+	mustRegister(name, func(a Args) (Policy, error) {
+		if err := rejectUnused(name, a, false, false, false); err != nil {
+			return nil, err
+		}
+		return mk(), nil
+	})
+}
+
+// outOfOrderFactory builds the out-of-order family (plain or replicating)
+// with the optional aging-limit override.
+func outOfOrderFactory(name string, mk func() *OutOfOrder) Factory {
+	return func(a Args) (Policy, error) {
+		if err := rejectUnused(name, a, false, false, true); err != nil {
+			return nil, err
+		}
+		if a.MaxWaitHours < 0 {
+			return nil, fmt.Errorf("sched: max_wait_hours must be non-negative, got %v", a.MaxWaitHours)
+		}
+		p := mk()
+		if a.MaxWaitHours > 0 {
+			p.MaxWait = a.MaxWaitHours * model.Hour
+		}
+		return p, nil
+	}
+}
+
+func init() {
+	argless("farm", func() Policy { return NewFarm() })
+	argless("splitting", func() Policy { return NewSplitting() })
+	argless("cacheoriented", func() Policy { return NewCacheOriented() })
+	argless("partitioned", func() Policy { return NewPartitioned() })
+	argless("affinefarm", func() Policy { return NewAffineFarm() })
+	mustRegister("outoforder", outOfOrderFactory("outoforder", NewOutOfOrder))
+	mustRegister("replication", outOfOrderFactory("replication", NewReplication))
+	mustRegister("delayed", func(a Args) (Policy, error) {
+		if err := rejectUnused("delayed", a, true, true, false); err != nil {
+			return nil, err
+		}
+		if a.DelayHours < 0 {
+			return nil, fmt.Errorf("sched: delayed policy needs a non-negative delay, got %v h", a.DelayHours)
+		}
+		if a.StripeEvents < 0 {
+			return nil, fmt.Errorf("sched: stripe_events must be non-negative, got %d", a.StripeEvents)
+		}
+		return NewDelayed(a.DelayHours*model.Hour, stripeOrDefault(a)), nil
+	})
+	mustRegister("adaptive", func(a Args) (Policy, error) {
+		if err := rejectUnused("adaptive", a, false, true, false); err != nil {
+			return nil, err
+		}
+		if a.StripeEvents < 0 {
+			return nil, fmt.Errorf("sched: stripe_events must be non-negative, got %d", a.StripeEvents)
+		}
+		return NewAdaptive(stripeOrDefault(a)), nil
+	})
+}

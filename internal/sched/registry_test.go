@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"physched/internal/model"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := map[string]string{
+		"farm":          "farm",
+		"splitting":     "splitting",
+		"cacheoriented": "cacheoriented",
+		"outoforder":    "outoforder",
+		"replication":   "outoforder+replication",
+		"delayed":       "delayed",
+		"adaptive":      "adaptive",
+		"partitioned":   "partitioned",
+		"affinefarm":    "affinefarm",
+	}
+	for name, policyName := range want {
+		p, err := New(name, Args{})
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if got := p.Name(); got != policyName {
+			t.Errorf("New(%q).Name() = %q, want %q", name, got, policyName)
+		}
+	}
+	names := Names()
+	if len(names) < len(want) {
+		t.Errorf("Names() = %v, want at least the %d built-ins", names, len(want))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegistryArgsApplied(t *testing.T) {
+	p, err := New("outoforder", Args{MaxWaitHours: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.(*OutOfOrder).MaxWait; got != 24*model.Hour {
+		t.Errorf("MaxWait = %v, want %v", got, 24*model.Hour)
+	}
+	d, err := New("delayed", Args{DelayHours: 11, StripeEvents: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd := d.(*Delayed); dd.Period != 11*model.Hour || dd.Stripe != 200 {
+		t.Errorf("delayed args not applied: period=%v stripe=%d", dd.Period, dd.Stripe)
+	}
+	// Defaults: zero Args must build every built-in (stripe falls back to
+	// the paper's default rather than panicking in NewDelayed).
+	d, err = New("delayed", Args{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd := d.(*Delayed); dd.Stripe != DefaultStripe {
+		t.Errorf("default stripe = %d, want %d", dd.Stripe, DefaultStripe)
+	}
+}
+
+func TestRegistryUnknownAndMissingNames(t *testing.T) {
+	if _, err := New("bogus", Args{}); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("unknown policy: err = %v", err)
+	}
+	if _, err := New("", Args{}); err == nil {
+		t.Error("empty policy name accepted")
+	}
+}
+
+func TestRegistryRejectsDoubleRegistration(t *testing.T) {
+	if err := Register("farm", func(Args) (Policy, error) { return NewFarm(), nil }); err == nil {
+		t.Fatal("double registration of \"farm\" accepted")
+	}
+	if err := Register("", func(Args) (Policy, error) { return NewFarm(), nil }); err == nil {
+		t.Fatal("empty-name registration accepted")
+	}
+	if err := Register("nilfactory", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+func TestRegistryExtension(t *testing.T) {
+	name := "test-registry-extension"
+	if err := Register(name, func(a Args) (Policy, error) { return NewFarm(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(name, Args{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "farm" {
+		t.Errorf("extension policy name = %q", p.Name())
+	}
+}
+
+func TestRegistryInvalidArgs(t *testing.T) {
+	if _, err := New("delayed", Args{DelayHours: -1}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := New("outoforder", Args{MaxWaitHours: -1}); err == nil {
+		t.Error("negative aging limit accepted")
+	}
+}
+
+// TestRegistryRejectsDeadArgs: an argument the named policy does not
+// consume must fail, not silently run a different scenario than the spec
+// suggests.
+func TestRegistryRejectsDeadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args Args
+	}{
+		{"farm", Args{DelayHours: 48}},
+		{"farm", Args{StripeEvents: 500}},
+		{"splitting", Args{MaxWaitHours: 24}},
+		{"cacheoriented", Args{DelayHours: 1}},
+		{"partitioned", Args{StripeEvents: 1}},
+		{"affinefarm", Args{MaxWaitHours: 1}},
+		{"outoforder", Args{DelayHours: 48}},
+		{"outoforder", Args{StripeEvents: 500}},
+		{"replication", Args{DelayHours: 48}},
+		{"delayed", Args{MaxWaitHours: 24}},
+		{"adaptive", Args{DelayHours: 11}},
+		{"adaptive", Args{MaxWaitHours: 24}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.name, tc.args); err == nil {
+			t.Errorf("%s with dead args %+v accepted", tc.name, tc.args)
+		}
+	}
+}

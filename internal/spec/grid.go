@@ -1,0 +1,238 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"physched/internal/lab"
+)
+
+// Variant is one declarative grid variant: a label plus whole-field
+// overlays of the base spec. A nil field keeps the base's value; a
+// non-nil one replaces the base's corresponding section entirely (no
+// field-by-field merging, so a variant's meaning never depends on which
+// base fields happen to be set).
+type Variant struct {
+	Label    string    `json:"label"`
+	Policy   *Policy   `json:"policy,omitempty"`
+	Params   *Params   `json:"params,omitempty"`
+	Workload *Workload `json:"workload,omitempty"`
+}
+
+// Grid is a declarative scenario space — a base spec crossed with
+// variants, a load axis and a seed axis — the serialisable counterpart of
+// lab.Grid. Empty axes default to the base spec's load and seed.
+type Grid struct {
+	Base     Spec      `json:"base"`
+	Variants []Variant `json:"variants,omitempty"`
+	Loads    []float64 `json:"loads,omitempty"`
+	Seeds    []int64   `json:"seeds,omitempty"`
+}
+
+// ParseGrid reads one JSON grid spec, rejecting unknown fields.
+func ParseGrid(r io.Reader) (Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("spec: %w", err)
+	}
+	return g, nil
+}
+
+// loads returns the effective load axis.
+func (g Grid) loads() []float64 {
+	if len(g.Loads) == 0 {
+		return []float64{g.Base.Load}
+	}
+	return g.Loads
+}
+
+// seeds returns the effective seed axis.
+func (g Grid) seeds() []int64 {
+	if len(g.Seeds) == 0 {
+		return []int64{g.Base.Seed}
+	}
+	return g.Seeds
+}
+
+// variantSpec resolves variant vi against the base (whole-field overlay).
+// vi indexes lab.Cell.Variant: with no variants it is always 0, the base.
+func (g Grid) variantSpec(vi int) Spec {
+	s := g.Base
+	if len(g.Variants) == 0 {
+		return s
+	}
+	v := g.Variants[vi]
+	if v.Policy != nil {
+		s.Policy = *v.Policy
+	}
+	if v.Params != nil {
+		s.Params = *v.Params
+	}
+	if v.Workload != nil {
+		s.Workload = *v.Workload
+	}
+	return s
+}
+
+// withBaseLoad substitutes the first axis load when the base spec leaves
+// Load unset — a grid with a load axis does not need a base load.
+func (g Grid) withBaseLoad(s Spec) Spec {
+	if s.Load == 0 && len(g.Loads) > 0 {
+		s.Load = g.Loads[0]
+	}
+	return s
+}
+
+// Validate reports the first problem with the grid: an invalid base or
+// variant spec, a missing or duplicate variant label, or a non-positive
+// axis load.
+func (g Grid) Validate() error {
+	for i, l := range g.Loads {
+		if l <= 0 {
+			return fmt.Errorf("spec: loads[%d] = %v must be positive", i, l)
+		}
+	}
+	if err := g.withBaseLoad(g.Base).Validate(); err != nil {
+		return fmt.Errorf("spec: base: %w", err)
+	}
+	seen := map[string]bool{}
+	for i := range g.Variants {
+		label := g.Variants[i].Label
+		if label == "" {
+			return fmt.Errorf("spec: variants[%d] needs a label", i)
+		}
+		if seen[label] {
+			return fmt.Errorf("spec: duplicate variant label %q", label)
+		}
+		seen[label] = true
+		if err := g.withBaseLoad(g.variantSpec(i)).Validate(); err != nil {
+			return fmt.Errorf("spec: variant %q: %w", label, err)
+		}
+	}
+	return nil
+}
+
+// CellSpec resolves the complete, self-contained spec of one grid cell:
+// the variant overlay applied to the base with the cell's load and seed
+// bound. Its hash is the cell's result-cache key, so identical cells of
+// different grids share cached results.
+func (g Grid) CellSpec(c lab.Cell) Spec {
+	s := g.variantSpec(c.Variant)
+	s.Load = c.Scenario.Load
+	s.Seed = c.Scenario.Seed
+	return s
+}
+
+// Keys adapts the grid to lab.Options.Keys: the content key of every cell
+// for content-addressed result caching.
+func (g Grid) Keys() func(lab.Cell) (string, bool) {
+	return func(c lab.Cell) (string, bool) {
+		h, err := g.CellSpec(c).Hash()
+		if err != nil {
+			return "", false
+		}
+		return h, true
+	}
+}
+
+// AggregateKey is the content key of the replica aggregate at (variant,
+// loadIdx): the hash of the resolved cell spec with the whole seed axis
+// folded in instead of a single seed.
+func (g Grid) AggregateKey(variant, loadIdx int) (string, error) {
+	s := g.variantSpec(variant)
+	s.Load = g.loads()[loadIdx]
+	s.Seed = 0
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	payload, err := json.Marshal(struct {
+		Spec  json.RawMessage `json:"spec"`
+		Seeds []int64         `json:"seeds"`
+	}{Spec: c, Seeds: g.seeds()})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// normalize normalises the base and every variant overlay.
+func (g Grid) normalize() Grid {
+	g.Base = g.Base.normalize()
+	if len(g.Variants) > 0 {
+		vs := make([]Variant, len(g.Variants))
+		copy(vs, g.Variants)
+		for i, v := range vs {
+			if v.Params != nil {
+				p := v.Params.normalize()
+				vs[i].Params = &p
+			}
+			if v.Workload != nil {
+				w := v.Workload.normalize()
+				vs[i].Workload = &w
+			}
+		}
+		g.Variants = vs
+	}
+	return g
+}
+
+// Canonical returns the grid's canonical encoding (see Spec.Canonical).
+func (g Grid) Canonical() ([]byte, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(g.normalize())
+}
+
+// Hash is the hex SHA-256 of the canonical encoding — the grid's content
+// address and its physchedd handle.
+func (g Grid) Hash() (string, error) {
+	c, err := g.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Compile turns the declarative grid into an executable lab.Grid whose
+// variants overlay complete compiled scenarios (load and seed still bound
+// per cell by the lab). Pass Keys() and a cache via lab.Options to skip
+// cells already simulated.
+func (g Grid) Compile() (lab.Grid, error) {
+	if err := g.Validate(); err != nil {
+		return lab.Grid{}, err
+	}
+	base, err := g.withBaseLoad(g.Base).Scenario()
+	if err != nil {
+		return lab.Grid{}, err
+	}
+	variants := make([]lab.Variant, 0, len(g.Variants))
+	for i := range g.Variants {
+		sc, err := g.withBaseLoad(g.variantSpec(i)).Scenario()
+		if err != nil {
+			return lab.Grid{}, fmt.Errorf("spec: variant %q: %w", g.Variants[i].Label, err)
+		}
+		variants = append(variants, lab.Variant{
+			Label: g.Variants[i].Label,
+			Mutate: func(s *lab.Scenario) {
+				load, seed := s.Load, s.Seed
+				*s = sc
+				s.Load, s.Seed = load, seed
+			},
+		})
+	}
+	return lab.Grid{
+		Base:     base,
+		Variants: variants,
+		Loads:    g.Loads,
+		Seeds:    g.Seeds,
+	}, nil
+}

@@ -1,0 +1,259 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"physched/internal/lab"
+)
+
+// smallGrid is a fast 2-variant × 2-load × 2-seed declarative grid.
+func smallGrid() Grid {
+	base := smallSpec()
+	base.MeasureJobs = 60
+	base.WarmupJobs = 15
+	farm := Policy{Name: "farm"}
+	return Grid{
+		Base: base,
+		Variants: []Variant{
+			{Label: "ooo"},
+			{Label: "farm", Policy: &farm},
+		},
+		Loads: []float64{0.4, 0.6},
+		Seeds: []int64{1, 2},
+	}
+}
+
+// memCache is a minimal lab.ResultCache for tests.
+type memCache struct {
+	mu sync.Mutex
+	m  map[string]lab.Result
+}
+
+func newMemCache() *memCache { return &memCache{m: map[string]lab.Result{}} }
+
+func (c *memCache) Get(key string) (lab.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+func (c *memCache) Put(key string, r lab.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+}
+
+func TestGridRoundTripsThroughJSON(t *testing.T) {
+	g := smallGrid()
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGrid(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("grid round trip unstable:\n%s\n%s", b, b2)
+	}
+	if _, err := back.Compile(); err != nil {
+		t.Errorf("round-tripped grid does not compile: %v", err)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	bad := map[string]func(*Grid){
+		"bad base":        func(g *Grid) { g.Base.Policy.Name = "nope" },
+		"unlabelled":      func(g *Grid) { g.Variants[0].Label = "" },
+		"duplicate label": func(g *Grid) { g.Variants[1].Label = g.Variants[0].Label },
+		"bad variant":     func(g *Grid) { g.Variants[1].Policy = &Policy{Name: "nope"} },
+		"bad load":        func(g *Grid) { g.Loads[0] = -1 },
+	}
+	for name, mutate := range bad {
+		g := smallGrid()
+		mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if _, err := g.Compile(); err == nil {
+			t.Errorf("%s: compiled", name)
+		}
+	}
+}
+
+func TestGridWithoutBaseLoadUsesAxis(t *testing.T) {
+	g := smallGrid()
+	g.Base.Load = 0 // the load axis provides it
+	if err := g.Validate(); err != nil {
+		t.Fatalf("grid with load axis but no base load rejected: %v", err)
+	}
+	lg, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range lg.Cells() {
+		if c.Scenario.Load != g.Loads[c.LoadIdx] {
+			t.Fatalf("cell load %v, want %v", c.Scenario.Load, g.Loads[c.LoadIdx])
+		}
+	}
+}
+
+// TestGridCompileMatchesHandBuiltGrid: the declarative grid and the
+// equivalent closure-built lab.Grid produce byte-identical result sets.
+func TestGridCompileMatchesHandBuiltGrid(t *testing.T) {
+	lg, err := smallGrid().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	declarative, err := lg.Execute(lab.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSpec := smallGrid().Base
+	base, err := baseSpec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmSpec := baseSpec
+	farmSpec.Policy = Policy{Name: "farm"}
+	farmSc, err := farmSpec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := lab.Grid{
+		Base: base,
+		Variants: []lab.Variant{
+			{Label: "ooo"},
+			{Label: "farm", NewPolicy: farmSc.NewPolicy},
+		},
+		Loads: []float64{0.4, 0.6},
+		Seeds: []int64{1, 2},
+	}
+	manual, err := hand.Execute(lab.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(declarative.Results)
+	b, _ := json.Marshal(manual.Results)
+	if !bytes.Equal(a, b) {
+		t.Errorf("declarative grid diverged from hand-built grid:\n%s\n%s", a, b)
+	}
+}
+
+// TestCachedReExecutionSkipsEverySimulation is the acceptance test for
+// content-addressed result caching: executing the same declarative grid
+// twice against one cache simulates every cell exactly once — the second
+// pass re-simulates zero cells — and both passes return results
+// byte-identical to an uncached serial run.
+func TestCachedReExecutionSkipsEverySimulation(t *testing.T) {
+	g := smallGrid()
+	lg, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := lg.Execute(lab.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := newMemCache()
+	opts := lab.Options{Cache: cache, Keys: g.Keys()}
+	first, err := lg.Execute(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHits != 0 {
+		t.Errorf("first pass hit the empty cache %d times", first.CacheHits)
+	}
+	if len(cache.m) != len(first.Results) {
+		t.Errorf("cache holds %d entries after %d runs", len(cache.m), len(first.Results))
+	}
+
+	second, err := lg.Execute(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != len(second.Results) {
+		t.Errorf("second pass re-simulated %d of %d cells; want zero",
+			len(second.Results)-second.CacheHits, len(second.Results))
+	}
+
+	want, _ := json.Marshal(uncached.Results)
+	got1, _ := json.Marshal(first.Results)
+	got2, _ := json.Marshal(second.Results)
+	if !bytes.Equal(got1, want) {
+		t.Errorf("cached first pass diverged from uncached serial run:\n%s\n%s", got1, want)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Errorf("cache-served second pass diverged from uncached serial run:\n%s\n%s", got2, want)
+	}
+}
+
+// TestCacheSharedAcrossOverlappingGrids: a cell with the same resolved
+// spec in a different grid reuses the cached result.
+func TestCacheSharedAcrossOverlappingGrids(t *testing.T) {
+	g := smallGrid()
+	lg, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newMemCache()
+	if _, err := lg.Execute(lab.Options{Cache: cache, Keys: g.Keys()}); err != nil {
+		t.Fatal(err)
+	}
+	// A narrower grid: only the farm variant at the first load.
+	farm := Policy{Name: "farm"}
+	sub := Grid{Base: g.Base, Variants: []Variant{{Label: "farm-only", Policy: &farm}},
+		Loads: g.Loads[:1], Seeds: g.Seeds}
+	slg, err := sub.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := slg.Execute(lab.Options{Cache: cache, Keys: sub.Keys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.CacheHits != len(rs.Results) {
+		t.Errorf("overlapping grid re-simulated %d of %d cells; want zero (labels don't enter the key)",
+			len(rs.Results)-rs.CacheHits, len(rs.Results))
+	}
+}
+
+func TestAggregateKeyStable(t *testing.T) {
+	g := smallGrid()
+	k1, err := g.AggregateKey(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := g.AggregateKey(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || len(k1) != 64 {
+		t.Errorf("aggregate key unstable or malformed: %q vs %q", k1, k2)
+	}
+	other, err := g.AggregateKey(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == k1 {
+		t.Error("different variants share an aggregate key")
+	}
+	shifted := g
+	shifted.Seeds = []int64{1, 3}
+	k3, err := shifted.AggregateKey(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Error("different seed axes share an aggregate key")
+	}
+}

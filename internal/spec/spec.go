@@ -1,0 +1,309 @@
+// Package spec is the declarative scenario layer: serialisable,
+// canonical, JSON-round-trippable descriptions of simulation scenarios
+// (Spec) and scenario grids (Grid), in place of the Go closures that
+// parameterise lab.Scenario. Policies and workloads are referenced by
+// name and resolved through the extensible registries in internal/sched
+// and internal/workload, so a spec can be stored in a version-controlled
+// file, submitted to the physchedd service, hashed for content-addressed
+// result caching (internal/resultcache), and replayed bit-identically.
+//
+// Canonical form: Canonical returns the spec's canonical JSON encoding —
+// compact, field-ordered, with defaults normalised (empty preset →
+// "calibrated", empty workload → "poisson", version 0 → 1) — and Hash its
+// SHA-256. Two specs meaning the same scenario hash identically;
+// encode→decode→encode of a canonical encoding is byte-identical.
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"physched/internal/lab"
+	"physched/internal/model"
+	"physched/internal/sched"
+	"physched/internal/workload"
+)
+
+// Version is the current spec schema version. Encodings carry it so old
+// spec files keep a well-defined meaning as the schema grows.
+const Version = 1
+
+// Params is the declarative cluster-parameter overlay: a preset selects
+// the paper configuration and non-zero fields override it one by one.
+type Params struct {
+	// Preset is "calibrated" (default) or "stated"; see model.PaperStated
+	// and model.PaperCalibrated.
+	Preset string `json:"preset,omitempty"`
+
+	// Cluster overrides; zero values keep the preset's.
+	Nodes         int     `json:"nodes,omitempty"`
+	CacheGB       int64   `json:"cache_gb,omitempty"`
+	MeanJobEvents int64   `json:"mean_job_events,omitempty"`
+	DataspaceGB   int64   `json:"dataspace_gb,omitempty"`
+	HotWeight     float64 `json:"hot_weight,omitempty"` // -1 disables hotspots
+	// PipelinedTransfers overlaps transfers with computation (§7
+	// extension).
+	PipelinedTransfers bool `json:"pipelined_transfers,omitempty"`
+}
+
+// Model resolves the overlay into validated model parameters.
+func (p Params) Model() (model.Params, error) {
+	var params model.Params
+	switch p.Preset {
+	case "", "calibrated":
+		params = model.PaperCalibrated()
+	case "stated":
+		params = model.PaperStated()
+	default:
+		return model.Params{}, fmt.Errorf("spec: unknown preset %q (want calibrated or stated)", p.Preset)
+	}
+	// Zero means "keep the preset's value"; a negative override is a typo
+	// and must not silently simulate the preset (HotWeight alone documents
+	// negative-means-disable).
+	switch {
+	case p.Nodes < 0:
+		return model.Params{}, fmt.Errorf("spec: nodes must be non-negative, got %d", p.Nodes)
+	case p.CacheGB < 0:
+		return model.Params{}, fmt.Errorf("spec: cache_gb must be non-negative, got %d", p.CacheGB)
+	case p.MeanJobEvents < 0:
+		return model.Params{}, fmt.Errorf("spec: mean_job_events must be non-negative, got %d", p.MeanJobEvents)
+	case p.DataspaceGB < 0:
+		return model.Params{}, fmt.Errorf("spec: dataspace_gb must be non-negative, got %d", p.DataspaceGB)
+	}
+	if p.Nodes > 0 {
+		params.Nodes = p.Nodes
+	}
+	if p.CacheGB > 0 {
+		params.CacheBytes = p.CacheGB * model.GB
+	}
+	if p.MeanJobEvents > 0 {
+		params.MeanJobEvents = p.MeanJobEvents
+	}
+	if p.DataspaceGB > 0 {
+		params.DataspaceBytes = p.DataspaceGB * model.GB
+	}
+	switch {
+	case p.HotWeight < 0:
+		params.HotWeight = 0
+	case p.HotWeight > 0:
+		params.HotWeight = p.HotWeight
+	}
+	params.PipelinedTransfers = p.PipelinedTransfers
+	if err := params.Validate(); err != nil {
+		return model.Params{}, err
+	}
+	return params, nil
+}
+
+func (p Params) normalize() Params {
+	if p.Preset == "" {
+		p.Preset = "calibrated"
+	}
+	return p
+}
+
+// Policy selects a scheduling policy by registry name plus its
+// serialisable parameters (see sched.Register and sched.Args).
+type Policy struct {
+	// Name is a registered policy: farm | splitting | cacheoriented |
+	// outoforder | replication | delayed | adaptive | partitioned |
+	// affinefarm, or any extension registered via sched.Register.
+	Name string `json:"name"`
+	// DelayHours is the delayed policy's period, in hours.
+	DelayHours float64 `json:"delay_hours,omitempty"`
+	// StripeEvents is the stripe size for delayed/adaptive policies.
+	StripeEvents int64 `json:"stripe_events,omitempty"`
+	// MaxWaitHours overrides the out-of-order aging limit (default 48 h).
+	MaxWaitHours float64 `json:"max_wait_hours,omitempty"`
+}
+
+// New instantiates the policy through the sched registry.
+func (p Policy) New() (sched.Policy, error) {
+	return sched.New(p.Name, sched.Args{
+		DelayHours:   p.DelayHours,
+		StripeEvents: p.StripeEvents,
+		MaxWaitHours: p.MaxWaitHours,
+	})
+}
+
+// Workload selects a job-stream kind by registry name plus its
+// serialisable parameters (see workload.Register and workload.Args). The
+// zero value is the paper's homogeneous Poisson stream.
+type Workload struct {
+	// Name is a registered kind: poisson (default) | daynight, or any
+	// extension registered via workload.Register.
+	Name string `json:"name,omitempty"`
+	// Swing is the day/night contrast in [0,1) for the daynight kind.
+	Swing float64 `json:"swing,omitempty"`
+	// PeakJobsPerHour bounds the thinning envelope of inhomogeneous
+	// kinds; zero means the kind's natural peak.
+	PeakJobsPerHour float64 `json:"peak_jobs_per_hour,omitempty"`
+}
+
+// resolve builds the workload source for one run.
+func (w Workload) resolve(params model.Params, seed int64, jobsPerHour float64) (workload.Source, error) {
+	return workload.Resolve(w.Name, workload.Args{
+		Params:          params,
+		Seed:            seed,
+		JobsPerHour:     jobsPerHour,
+		Swing:           w.Swing,
+		PeakJobsPerHour: w.PeakJobsPerHour,
+	})
+}
+
+func (w Workload) normalize() Workload {
+	if w.Name == "" {
+		w.Name = "poisson"
+	}
+	return w
+}
+
+// Spec is one declarative simulation scenario: everything lab.Scenario
+// expresses, minus the closures. It is the unit of canonicalisation,
+// hashing and caching.
+type Spec struct {
+	// SchemaVersion is the spec schema version; zero means current.
+	SchemaVersion int `json:"version,omitempty"`
+
+	Params   Params   `json:"params,omitzero"`
+	Policy   Policy   `json:"policy"`
+	Workload Workload `json:"workload,omitzero"`
+
+	// Load is the mean arrival rate, in jobs per hour.
+	Load float64 `json:"load_jobs_per_hour"`
+	// Seed drives all randomness of the run.
+	Seed int64 `json:"seed,omitempty"`
+
+	WarmupJobs      int   `json:"warmup_jobs,omitempty"`
+	MeasureJobs     int   `json:"measure_jobs,omitempty"`
+	OverloadBacklog int64 `json:"overload_backlog,omitempty"`
+	// MaxSimTimeDays caps the simulated time, in days (default 2 years).
+	MaxSimTimeDays float64 `json:"max_sim_time_days,omitempty"`
+	// DelayIncluded reports waiting times including the scheduling delay.
+	DelayIncluded bool `json:"delay_included,omitempty"`
+}
+
+// Parse reads one JSON spec, rejecting unknown fields so typos in spec
+// files fail loudly.
+func Parse(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("spec: %w", err)
+	}
+	return s, nil
+}
+
+// Validate reports the first problem that would prevent the spec from
+// compiling: an unsupported schema version, invalid parameters, an
+// unknown policy or workload name, invalid policy or workload arguments,
+// or a non-positive load.
+func (s Spec) Validate() error {
+	if s.SchemaVersion != 0 && s.SchemaVersion != Version {
+		return fmt.Errorf("spec: unsupported schema version %d (this build supports %d)", s.SchemaVersion, Version)
+	}
+	params, err := s.Params.Model()
+	if err != nil {
+		return err
+	}
+	if _, err := s.Policy.New(); err != nil {
+		return err
+	}
+	if s.Load <= 0 {
+		return fmt.Errorf("spec: load_jobs_per_hour must be positive, got %v", s.Load)
+	}
+	if _, err := s.Workload.resolve(params, 1, s.Load); err != nil {
+		return err
+	}
+	if s.WarmupJobs < 0 || s.MeasureJobs < 0 {
+		return fmt.Errorf("spec: negative job window (warmup %d, measure %d)", s.WarmupJobs, s.MeasureJobs)
+	}
+	if s.OverloadBacklog < 0 {
+		return fmt.Errorf("spec: overload_backlog must be non-negative, got %d", s.OverloadBacklog)
+	}
+	if s.MaxSimTimeDays < 0 {
+		return fmt.Errorf("spec: max_sim_time_days must be non-negative, got %v", s.MaxSimTimeDays)
+	}
+	return nil
+}
+
+// normalize fills the defaults that have named spellings, so equivalent
+// specs share one canonical encoding and therefore one hash.
+func (s Spec) normalize() Spec {
+	if s.SchemaVersion == 0 {
+		s.SchemaVersion = Version
+	}
+	s.Params = s.Params.normalize()
+	s.Workload = s.Workload.normalize()
+	return s
+}
+
+// Canonical returns the spec's canonical encoding: compact JSON of the
+// normalised, validated spec with the schema's fixed field order.
+// Encoding, decoding and re-encoding a canonical form is byte-identical.
+func (s Spec) Canonical() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(s.normalize())
+}
+
+// Hash is the hex SHA-256 of the canonical encoding — the spec's content
+// address, used as the result-cache key and the physchedd result handle.
+func (s Spec) Hash() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Scenario compiles the spec into a runnable lab.Scenario, resolving the
+// policy and workload names through their registries. All validation
+// happens here; the returned scenario's closures cannot fail.
+func (s Spec) Scenario() (lab.Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return lab.Scenario{}, err
+	}
+	params, err := s.Params.Model()
+	if err != nil {
+		return lab.Scenario{}, err
+	}
+	pol, wl := s.Policy, s.Workload
+	sc := lab.Scenario{
+		Params: params,
+		NewPolicy: func() sched.Policy {
+			p, err := pol.New()
+			if err != nil {
+				panic(err) // validated above; registries are append-only
+			}
+			return p
+		},
+		// NewWorkload mirrors lab.Run's default seed discipline (run seed
+		// + 1), so a compiled "poisson" spec is bit-identical to the same
+		// scenario built from closures.
+		NewWorkload: func(seed int64, jobsPerHour float64) workload.Source {
+			src, err := wl.resolve(params, seed, jobsPerHour)
+			if err != nil {
+				panic(err)
+			}
+			return src
+		},
+		Load:            s.Load,
+		Seed:            s.Seed,
+		WarmupJobs:      s.WarmupJobs,
+		MeasureJobs:     s.MeasureJobs,
+		OverloadBacklog: s.OverloadBacklog,
+		MaxSimTime:      s.MaxSimTimeDays * model.Day,
+		DelayIncluded:   s.DelayIncluded,
+	}
+	if err := sc.Validate(); err != nil {
+		return lab.Scenario{}, err
+	}
+	return sc, nil
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"physched/internal/model"
+)
+
+func testArgs() Args {
+	return Args{Params: model.PaperCalibrated(), Seed: 1, JobsPerHour: 1.5}
+}
+
+func TestResolveBuiltins(t *testing.T) {
+	for _, name := range []string{"", "poisson", "daynight"} {
+		src, err := Resolve(name, testArgs())
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", name, err)
+			continue
+		}
+		j := src.Next()
+		if j == nil || j.Arrival < 0 || j.Range.Len() <= 0 {
+			t.Errorf("Resolve(%q) produced a bad first job: %+v", name, j)
+		}
+	}
+}
+
+func TestResolveEmptyNameIsPoisson(t *testing.T) {
+	a, err := Resolve("", testArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve("poisson", testArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ja, jb := a.Next(), b.Next()
+		if ja.Arrival != jb.Arrival || ja.Range != jb.Range {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, ja, jb)
+		}
+	}
+}
+
+func TestResolveUnknownKind(t *testing.T) {
+	if _, err := Resolve("bogus", testArgs()); err == nil {
+		t.Error("unknown workload kind accepted")
+	}
+}
+
+func TestResolveValidatesArgs(t *testing.T) {
+	bad := []struct {
+		name string
+		args Args
+	}{
+		{"poisson", Args{Params: model.PaperCalibrated()}},                                      // zero rate
+		{"poisson", Args{Params: model.PaperCalibrated(), JobsPerHour: 1, Swing: 0.5}},          // dead swing
+		{"poisson", Args{Params: model.PaperCalibrated(), JobsPerHour: 1, PeakJobsPerHour: 2}},  // dead peak
+		{"daynight", Args{Params: model.PaperCalibrated(), JobsPerHour: 1, Swing: 1.5}},         // swing out of range
+		{"daynight", Args{Params: model.PaperCalibrated(), JobsPerHour: 2, PeakJobsPerHour: 1}}, // peak below mean
+	}
+	for i, tc := range bad {
+		if _, err := Resolve(tc.name, tc.args); err == nil {
+			t.Errorf("case %d (%s): invalid args accepted", i, tc.name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndBadInput(t *testing.T) {
+	if err := Register("poisson", func(Args) (Source, error) { return nil, nil }); err == nil {
+		t.Error("double registration of \"poisson\" accepted")
+	}
+	if err := Register("", func(Args) (Source, error) { return nil, nil }); err == nil {
+		t.Error("empty-name registration accepted")
+	}
+	if err := Register("nilfactory", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}

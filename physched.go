@@ -21,6 +21,18 @@
 //	})
 //	fmt.Printf("speedup %.1f, waiting %.0fs\n", res.AvgSpeedup, res.AvgWaiting)
 //
+// Scenarios exist in two forms. The programmatic form (Scenario) carries
+// Go closures and is what Run executes. The declarative form (Spec,
+// GridSpec) is serialisable, canonical JSON: policies and workloads are
+// named PolicySpec/WorkloadSpec values resolved through extensible
+// registries (sched.Register, workload.Register), Spec.Scenario compiles
+// a spec into a Scenario, and the SHA-256 of a spec's canonical encoding
+// content-addresses its result for caching (OpenResultCache) and for the
+// cmd/physchedd HTTP service, which executes POSTed grid specs with
+// streamed NDJSON progress and serves cached results by hash. A spec
+// file drives `physchedsim -spec` and `experiments -spec` unchanged; see
+// examples/specfile.
+//
 // The experiment recipes behind every figure of the paper are exposed via
 // the Fig2..Fig7, Replication, MaxLoad and FarmVsMErM functions; the
 // cmd/experiments binary renders them as tables, ASCII plots and CSV.
@@ -33,7 +45,9 @@ import (
 	"physched/internal/experiments"
 	"physched/internal/lab"
 	"physched/internal/model"
+	"physched/internal/resultcache"
 	"physched/internal/sched"
+	"physched/internal/spec"
 	"physched/internal/workload"
 )
 
@@ -165,8 +179,51 @@ func NewWorkloadReplay(r io.Reader) (WorkloadSource, error) {
 	return workload.NewReplay(r)
 }
 
-// Run executes one scenario to completion.
+// Spec is the declarative, serialisable form of one scenario: canonical
+// JSON with registry-resolved policy and workload names. Spec.Scenario
+// compiles it; Spec.Hash content-addresses it.
+type Spec = spec.Spec
+
+// GridSpec is the declarative form of a scenario grid — a base Spec
+// crossed with variants, a load axis and a seed axis. GridSpec.Compile
+// yields a Grid; GridSpec.Keys feeds Options for result caching.
+type GridSpec = spec.Grid
+
+// PolicySpec names a scheduling policy plus its serialisable arguments,
+// resolved through the sched registry (sched.Register extends it).
+type PolicySpec = spec.Policy
+
+// WorkloadSpec names a workload kind plus its serialisable arguments,
+// resolved through the workload registry (workload.Register extends it).
+type WorkloadSpec = spec.Workload
+
+// ParamsSpec is the declarative cluster-parameter overlay of a Spec.
+type ParamsSpec = spec.Params
+
+// VariantSpec is one declarative grid variant (whole-field overlays).
+type VariantSpec = spec.Variant
+
+// ParseSpec and ParseGridSpec read JSON spec files, rejecting unknown
+// fields.
+func ParseSpec(r io.Reader) (Spec, error)         { return spec.Parse(r) }
+func ParseGridSpec(r io.Reader) (GridSpec, error) { return spec.ParseGrid(r) }
+
+// ResultCache is a content-addressed store of results keyed by spec hash;
+// set it (with GridSpec.Keys) on Options so re-executed grids skip every
+// cell already simulated under the same key.
+type ResultCache = lab.ResultCache
+
+// OpenResultCache opens the conventional cache stack: an in-process
+// memory layer over an on-disk store at dir, or memory only when dir is
+// empty.
+func OpenResultCache(dir string) (ResultCache, error) { return resultcache.Open(dir) }
+
+// Run executes one scenario to completion, panicking on an invalid
+// scenario; RunE reports the problem as an error instead.
 func Run(s Scenario) Result { return lab.Run(s) }
+
+// RunE executes one scenario to completion.
+func RunE(s Scenario) (Result, error) { return lab.RunE(s) }
 
 // Sweep runs the scenario at each load (jobs/hour) on a bounded worker
 // pool. Results carry summaries only; use Run for the full Collector.
