@@ -1,0 +1,129 @@
+// Command benchsnap converts `go test -bench` output on stdin into a
+// compact JSON snapshot on stdout — the perf-trajectory format CI writes
+// to BENCH_run.json so successive PRs can diff headline numbers (ns/op,
+// allocs/op, custom metrics) without parsing benchmark text.
+//
+// Usage:
+//
+//	go test -run XXX -bench BenchmarkRun -benchmem ./internal/lab | benchsnap
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed benchmark result line.
+type benchmark struct {
+	// Name is the benchmark's name exactly as printed, including any
+	// -P GOMAXPROCS suffix: a trailing -N is textually indistinguishable
+	// from a sub-benchmark name ending in a number, so stripping it
+	// would corrupt those names. Snapshots are compared within one
+	// environment (the cpu field identifies it), where the suffix is
+	// stable.
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds b.ReportMetric extras, keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// snapshot is the whole document.
+type snapshot struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	snap, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads go test benchmark output: header key: value lines, then
+// "BenchmarkName-P  N  value unit  value unit ..." result lines.
+func parse(r io.Reader) (snapshot, error) {
+	var snap snapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseResult(line)
+			if err != nil {
+				return snap, fmt.Errorf("line %q: %w", line, err)
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseResult parses one benchmark result line.
+func parseResult(line string) (benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return benchmark{}, fmt.Errorf("want at least name and iterations")
+	}
+	b := benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, fmt.Errorf("iterations %q: %w", fields[1], err)
+	}
+	b.Iterations = iters
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return benchmark{}, fmt.Errorf("odd value/unit tail %v", rest)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		value, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return benchmark{}, fmt.Errorf("value %q: %w", rest[i], err)
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = value
+		case "B/op":
+			b.BytesPerOp = value
+		case "allocs/op":
+			b.AllocsPerOp = value
+		default:
+			b.Metrics[unit] = value
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, nil
+}

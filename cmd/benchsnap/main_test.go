@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: physched/internal/lab
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkRun-8   	     100	  10012345 ns/op	 5678901 B/op	   37953 allocs/op
+BenchmarkFig2_FCFSPolicies-8  	       1	1234567890 ns/op	        6.500 farm_speedup	        1.200 farm_maxload_j/h
+PASS
+ok  	physched/internal/lab	2.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.Pkg != "physched/internal/lab" {
+		t.Errorf("bad header: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+
+	run := snap.Benchmarks[0]
+	if run.Name != "BenchmarkRun-8" || run.Iterations != 100 {
+		t.Errorf("bad BenchmarkRun identity: %+v", run)
+	}
+	if run.NsPerOp != 10012345 || run.BytesPerOp != 5678901 || run.AllocsPerOp != 37953 {
+		t.Errorf("bad BenchmarkRun numbers: %+v", run)
+	}
+	if run.Metrics != nil {
+		t.Errorf("BenchmarkRun has unexpected custom metrics: %+v", run.Metrics)
+	}
+
+	fig := snap.Benchmarks[1]
+	if fig.Name != "BenchmarkFig2_FCFSPolicies-8" {
+		t.Errorf("bad name %q", fig.Name)
+	}
+	if fig.Metrics["farm_speedup"] != 6.5 || fig.Metrics["farm_maxload_j/h"] != 1.2 {
+		t.Errorf("custom metrics not captured: %+v", fig.Metrics)
+	}
+}
+
+func TestParseRejectsMalformedResult(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-4",                  // no iterations
+		"BenchmarkBroken-4 12 34",            // value without unit
+		"BenchmarkBroken-4 twelve 34 ns/op",  // non-numeric iterations
+		"BenchmarkBroken-4 12 thirty4 ns/op", // non-numeric value
+	} {
+		if _, err := parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("parse accepted malformed line %q", line)
+		}
+	}
+}

@@ -68,7 +68,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := lab.Options{Workers: *parallel, Context: ctx}
+	// One process-wide pool serves every experiment grid, so -parallel
+	// bounds concurrent simulation runs across the whole invocation.
+	pool := lab.NewPool(*parallel)
+	defer pool.Close()
+	opts := lab.Options{Pool: pool, Context: ctx}
 	if *progress {
 		opts.Progress = func(u lab.ProgressUpdate) {
 			state := "steady"

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// jobState is the lifecycle of an asynchronously submitted grid.
+type jobState string
+
+const (
+	jobRunning jobState = "running"
+	jobDone    jobState = "done"
+	jobFailed  jobState = "failed"
+)
+
+// job is one async grid execution: its identity, progress counters, and
+// every NDJSON line produced so far, kept so a stream client can attach
+// — or re-attach — at any time and replay the run from the beginning.
+// Lines are append-only and stop once state leaves jobRunning. The
+// replay buffer is the deliberate memory cost of re-attachment: it is
+// bounded by -max-jobs × -max-cells lines, which operators size
+// together (cell results also stay addressable through the content
+// cache after eviction).
+type job struct {
+	id       string
+	gridHash string
+	created  time.Time
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	lines     [][]byte
+	state     jobState
+	done      int
+	total     int
+	cacheHits int
+	errMsg    string
+	finished  time.Time
+}
+
+func newJob(gridHash string, total int) *job {
+	j := &job{
+		id:       newJobID(),
+		gridHash: gridHash,
+		created:  time.Now(),
+		state:    jobRunning,
+		total:    total,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// newJobID returns a random 16-hex-character job handle.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // the platform RNG is gone; nothing sensible to serve
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// append records one stream line and folds it into the status counters;
+// a result or error line completes the job. It is the emit callback of
+// runGrid, called sequentially from the job's goroutine.
+func (j *job) append(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.lines = append(j.lines, b)
+	switch l := v.(type) {
+	case progressLine:
+		j.done, j.total = l.Done, l.Total
+	case resultLine:
+		j.state = jobDone
+		j.cacheHits = l.CacheHits
+		j.finished = time.Now()
+	case errorLine:
+		j.state = jobFailed
+		j.errMsg = l.Error
+		j.finished = time.Now()
+	}
+	j.cond.Broadcast()
+	return nil
+}
+
+// seal marks a job that ended without a terminal line as failed — a
+// belt-and-braces guard so no job stays "running" forever.
+func (j *job) seal() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == jobRunning {
+		j.state = jobFailed
+		j.errMsg = "execution ended without a result"
+		j.finished = time.Now()
+	}
+	j.cond.Broadcast()
+}
+
+// jobStatus is the GET /v1/jobs/{id} body.
+type jobStatus struct {
+	ID        string     `json:"id"`
+	GridHash  string     `json:"grid_hash"`
+	State     string     `json:"state"` // running | done | failed
+	Done      int        `json:"done"`
+	Total     int        `json:"total"`
+	CacheHits int        `json:"cache_hits"`
+	Created   time.Time  `json:"created"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID: j.id, GridHash: j.gridHash, State: string(j.state),
+		Done: j.done, Total: j.total, CacheHits: j.cacheHits,
+		Created: j.created, Error: j.errMsg,
+	}
+	if j.state != jobRunning {
+		f := j.finished
+		st.Finished = &f
+	}
+	return st
+}
+
+// jobSubmitted is the 202 body of POST /v1/grids?async=1.
+type jobSubmitted struct {
+	JobID     string `json:"job_id"`
+	GridHash  string `json:"grid_hash"`
+	StatusURL string `json:"status_url"`
+	StreamURL string `json:"stream_url"`
+}
+
+func (j *job) submitted() jobSubmitted {
+	return jobSubmitted{
+		JobID:     j.id,
+		GridHash:  j.gridHash,
+		StatusURL: "/v1/jobs/" + j.id,
+		StreamURL: "/v1/jobs/" + j.id + "/stream",
+	}
+}
+
+// jobManager tracks async jobs with bounded retention: once more than max
+// jobs are held, finished ones are evicted oldest-first. Running jobs are
+// never evicted (admission control bounds how many can exist at once), so
+// the held count can transiently exceed max until they finish.
+type jobManager struct {
+	mu    sync.Mutex
+	max   int
+	jobs  map[string]*job
+	order []*job // insertion order, oldest first
+}
+
+func newJobManager(max int) *jobManager {
+	return &jobManager{max: max, jobs: map[string]*job{}}
+}
+
+func (m *jobManager) add(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	for len(m.order) > m.max {
+		evicted := false
+		for i, old := range m.order {
+			old.mu.Lock()
+			running := old.state == jobRunning
+			old.mu.Unlock()
+			if running {
+				continue
+			}
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			delete(m.jobs, old.id)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything retained is still running
+		}
+	}
+}
+
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// startJob launches the planned grid on the shared pool in the
+// background. The job runs to completion even if the submitter
+// disconnects — that is the point of async submission — and releases its
+// admission slot when execution finishes.
+func (s *server) startJob(plan *gridPlan) *job {
+	j := newJob(plan.hash, len(plan.cells))
+	s.jobs.add(j)
+	go func() {
+		defer s.release()
+		s.runGrid(context.Background(), plan, j.append)
+		j.seal()
+	}()
+	return j
+}
+
+// handleJob serves an async job's status and progress counters.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+var errNoJob = errors.New("no such job (finished jobs are retained up to -max-jobs)")
+
+// handleJobStream (re)attaches to an async job's NDJSON stream: it
+// replays every line produced so far, then follows the live run until
+// the terminal result or error line. A failed write — the client went
+// away — stops the stream; the job itself keeps running.
+func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoJob)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	go func() { // wake the wait loop when the client disconnects
+		<-ctx.Done()
+		// Broadcast under the mutex: otherwise the wakeup could land
+		// between the loop's ctx check and its cond.Wait and be lost.
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}()
+	cursor := 0
+	for {
+		j.mu.Lock()
+		for cursor >= len(j.lines) && j.state == jobRunning && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		batch := j.lines[cursor:]
+		finished := j.state != jobRunning
+		j.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+		for _, line := range batch {
+			if _, err := w.Write(line); err != nil {
+				return // dead connection: stop the stream
+			}
+			cursor++
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if finished {
+			// No lines are appended after the terminal one, and the
+			// snapshot above was taken at or after it, so the batch we
+			// just wrote was the remainder.
+			return
+		}
+	}
+}

@@ -1,10 +1,16 @@
 // Command physchedd is the simulation service: it accepts declarative
-// scenario and grid specs (internal/spec) over HTTP, executes them on the
-// internal/lab worker pool under the request's context, streams NDJSON
-// progress while a grid runs, and serves previously computed results from
-// a content-addressed cache (internal/resultcache) by spec hash — the
-// same spec file that drives `physchedsim -spec` can be POSTed here
-// unchanged.
+// scenario and grid specs (internal/spec) over HTTP, executes them on one
+// server-wide internal/lab pool — like the paper's master scheduler, a
+// single arbiter that bounds what runs at once — streams NDJSON progress
+// while a grid runs, and serves previously computed results from a
+// content-addressed cache (internal/resultcache) by spec hash. The same
+// spec file that drives `physchedsim -spec` can be POSTed here unchanged.
+//
+// Every request shares the pool: -parallel bounds the total number of
+// simulation cells in flight across all requests, cells from concurrent
+// grids are interleaved fairly, and -max-inflight rejects work beyond
+// the admission bound with 429 instead of queueing it. Long campaigns
+// submit asynchronously (?async=1) and attach to the stream later.
 //
 // Endpoints:
 //
@@ -14,12 +20,18 @@
 //	POST /v1/specs                run one spec; JSON result (cache-aware)
 //	POST /v1/grids                run a grid spec; NDJSON progress stream
 //	                              terminated by a result line
+//	POST /v1/grids?async=1        submit a grid as a background job; 202
+//	                              with the job id
+//	GET  /v1/jobs/{id}            async job status and progress counters
+//	GET  /v1/jobs/{id}/stream     (re)attach to an async job's NDJSON
+//	                              stream; replays from the beginning
 //	GET  /v1/results/{hash}       cached run result by spec hash
 //	GET  /v1/aggregates/{hash}    cached replica aggregate by hash
 //
 // Usage:
 //
 //	physchedd [-addr :8080] [-cache-dir DIR] [-parallel N] [-max-cells N]
+//	          [-max-inflight N] [-max-jobs N]
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 	"net/http"
 	"time"
 
+	"physched/internal/lab"
 	"physched/internal/resultcache"
 )
 
@@ -35,10 +48,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("physchedd: ")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cacheDir = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulation runs per grid (0 = GOMAXPROCS)")
-		maxCells = flag.Int("max-cells", 10_000, "reject grids with more cells than this (0 = unlimited)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheDir    = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+		parallel    = flag.Int("parallel", 0, "max concurrent simulation cells across ALL requests (0 = GOMAXPROCS)")
+		maxCells    = flag.Int("max-cells", 10_000, "reject grids with more cells than this (0 = unlimited)")
+		maxInflight = flag.Int("max-inflight", 64, "reject new grid/spec executions with 429 past this many in flight (0 = unlimited)")
+		maxJobs     = flag.Int("max-jobs", 64, "retain at most this many async jobs (finished jobs evicted oldest-first)")
 	)
 	flag.Parse()
 
@@ -46,14 +61,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	pool := lab.NewPool(*parallel)
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: newServer(cache, *parallel, *maxCells).routes(),
+		Addr: *addr,
+		Handler: newServer(serverConfig{
+			Cache:       cache,
+			Pool:        pool,
+			MaxCells:    *maxCells,
+			MaxInflight: *maxInflight,
+			MaxJobs:     *maxJobs,
+		}).routes(),
 		// Simulations stream for as long as they run; only reads and
 		// idle connections get fixed deadlines.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("listening on %s (cache-dir %q)", *addr, *cacheDir)
+	log.Printf("listening on %s (cache-dir %q, pool %d workers)", *addr, *cacheDir, pool.Workers())
 	log.Fatal(srv.ListenAndServe())
 }

@@ -4,18 +4,30 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
-
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"physched/internal/lab"
 	"physched/internal/resultcache"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(resultcache.NewMemory(), 0, 100).routes())
+	return testServerWith(t, serverConfig{Cache: resultcache.NewMemory(), MaxCells: 100})
+}
+
+// testServerWith starts a service over cfg, closing the pool and the
+// listener with the test.
+func testServerWith(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	if cfg.Pool == nil {
+		cfg.Pool = lab.NewPool(0)
+	}
+	t.Cleanup(cfg.Pool.Close)
+	ts := httptest.NewServer(newServer(cfg).routes())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -251,8 +263,7 @@ func TestRejectsInvalidSpecs(t *testing.T) {
 }
 
 func TestRejectsOversizedGrids(t *testing.T) {
-	ts := httptest.NewServer(newServer(resultcache.NewMemory(), 0, 3).routes())
-	defer ts.Close()
+	ts := testServerWith(t, serverConfig{Cache: resultcache.NewMemory(), MaxCells: 3})
 	resp, err := http.Post(ts.URL+"/v1/grids", "application/json", strings.NewReader(gridBody))
 	if err != nil {
 		t.Fatal(err)
@@ -309,7 +320,7 @@ func TestDiskBackedServiceSharesCacheAcrossRestarts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return httptest.NewServer(newServer(cache, 0, 100).routes())
+		return httptest.NewServer(newServer(serverConfig{Cache: cache, MaxCells: 100}).routes())
 	}
 	ts1 := open()
 	_, first := postGrid(t, ts1, gridBody)
@@ -326,5 +337,47 @@ func TestDiskBackedServiceSharesCacheAcrossRestarts(t *testing.T) {
 	b, _ := json.Marshal(second.Cells)
 	if !bytes.Equal(a, b) {
 		t.Errorf("results diverged across restart:\n%s\n%s", b, a)
+	}
+}
+
+// TestSpecCacheHitMissBodiesIdentical pins the satellite fix: the body of
+// a cache hit and a cache miss of the same spec are byte-identical apart
+// from the from_cache marker — the miss path responds with the stored
+// copy, so nothing the first caller sees can be absent for later ones.
+func TestSpecCacheHitMissBodiesIdentical(t *testing.T) {
+	ts := testServer(t)
+	body := `{
+		"params": {"nodes": 3, "cache_gb": 6, "mean_job_events": 1000, "dataspace_gb": 60},
+		"policy": {"name": "outoforder"},
+		"load_jobs_per_hour": 0.6,
+		"seed": 9,
+		"warmup_jobs": 10,
+		"measure_jobs": 30
+	}`
+	post := func() []byte {
+		resp, err := http.Post(ts.URL+"/v1/specs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	miss, hit := post(), post()
+	if !bytes.Contains(miss, []byte(`"from_cache":false`)) {
+		t.Fatalf("first POST not marked as a miss: %s", miss)
+	}
+	if !bytes.Contains(hit, []byte(`"from_cache":true`)) {
+		t.Fatalf("second POST not marked as a hit: %s", hit)
+	}
+	normalised := bytes.Replace(miss, []byte(`"from_cache":false`), []byte(`"from_cache":true`), 1)
+	if !bytes.Equal(normalised, hit) {
+		t.Errorf("hit and miss bodies differ beyond from_cache:\nmiss: %s\nhit:  %s", miss, hit)
 	}
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sync"
 
 	"physched/internal/lab"
 	"physched/internal/resultcache"
@@ -13,16 +16,52 @@ import (
 	"physched/internal/workload"
 )
 
-// server wires the spec layer, the lab worker pool and the result cache
-// behind the HTTP API.
-type server struct {
-	cache    resultcache.Store
-	workers  int
-	maxCells int
+// serverConfig wires the spec layer, the shared lab pool and the result
+// cache behind the HTTP API.
+type serverConfig struct {
+	Cache resultcache.Store
+	// Pool is the server-wide execution pool: every request's simulation
+	// cells run on it, so its worker bound caps concurrent simulations
+	// across all in-flight requests. nil creates a GOMAXPROCS-wide pool.
+	Pool *lab.Pool
+	// MaxCells rejects grids with more cells than this (0 = unlimited).
+	MaxCells int
+	// MaxInflight rejects new executions with 429 once this many grid or
+	// spec requests are already executing (0 = unlimited). Admission
+	// control, not queueing: rejected clients retry, they do not pile up.
+	MaxInflight int
+	// MaxJobs bounds async-job retention (finished jobs are evicted
+	// oldest-first past the cap). 0 means defaultMaxJobs.
+	MaxJobs int
 }
 
-func newServer(cache resultcache.Store, workers, maxCells int) *server {
-	return &server{cache: cache, workers: workers, maxCells: maxCells}
+const defaultMaxJobs = 64
+
+type server struct {
+	cache       resultcache.Store
+	pool        *lab.Pool
+	maxCells    int
+	maxInflight int
+	jobs        *jobManager
+
+	mu       sync.Mutex
+	inflight int
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.Pool == nil {
+		cfg.Pool = lab.NewPool(0)
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = defaultMaxJobs
+	}
+	return &server{
+		cache:       cfg.Cache,
+		pool:        cfg.Pool,
+		maxCells:    cfg.MaxCells,
+		maxInflight: cfg.MaxInflight,
+		jobs:        newJobManager(cfg.MaxJobs),
+	}
 }
 
 func (s *server) routes() http.Handler {
@@ -32,17 +71,38 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/specs", s.handleSpec)
 	mux.HandleFunc("POST /v1/grids", s.handleGrid)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /v1/aggregates/{hash}", s.handleAggregate)
 	return mux
 }
 
-// writeJSON writes v as one JSON document.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// admit reserves one execution slot; false means the server is at its
+// -max-inflight bound and the request must be rejected with 429.
+func (s *server) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxInflight > 0 && s.inflight >= s.maxInflight {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// release returns an execution slot taken by admit.
+func (s *server) release() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
+
+// writeJSON writes v as one JSON document, reporting a failed write (the
+// client is gone; there is nothing further to send it).
+func writeJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	return json.NewEncoder(w).Encode(v)
 }
 
 // writeError reports err as {"error": "..."}.
@@ -69,8 +129,10 @@ type specResponse struct {
 	Result    lab.Result `json:"result"`
 }
 
-// handleSpec runs one declarative spec, serving and feeding the
-// content-addressed cache.
+// handleSpec runs one declarative spec on the shared pool, serving and
+// feeding the content-addressed cache. Hit and miss responses are built
+// from the same stored value, so apart from from_cache they are
+// byte-identical.
 func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	sp, err := spec.Parse(r.Body)
 	if err != nil {
@@ -91,16 +153,34 @@ func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	res, err := lab.RunE(sc)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+	if !s.admit() {
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server is executing %d requests, the -max-inflight limit", s.maxInflight))
 		return
 	}
-	res.Collector = nil
-	stored := res
-	stored.Scenario = lab.Scenario{}
+	defer s.release()
+	var res lab.Result
+	var runErr error
+	ran := false
+	err = s.pool.Run(r.Context(), 1, func(int) { ran = true; res, runErr = lab.RunE(sc) })
+	if !ran {
+		// Cancelled before the run started, or the pool is shutting
+		// down; say so rather than sending an empty 200.
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("spec not executed: %w", err))
+		return
+	}
+	// A cancellation that landed mid-run (err != nil, ran == true) still
+	// produced a complete result: cache it and respond — if the client
+	// really is gone the write simply fails.
+	if runErr != nil {
+		writeError(w, http.StatusUnprocessableEntity, runErr)
+		return
+	}
+	// Responding with the stored copy keeps hit and miss bodies
+	// identical.
+	stored := res.Stored()
 	s.cache.Put(hash, stored)
-	writeJSON(w, http.StatusOK, specResponse{Hash: hash, Result: res})
+	writeJSON(w, http.StatusOK, specResponse{Hash: hash, Result: stored})
 }
 
 // progressLine is one NDJSON progress event of a grid run.
@@ -146,106 +226,149 @@ type errorLine struct {
 	Error string `json:"error"`
 }
 
-// handleGrid executes a declarative grid spec on the lab pool under the
-// request's context, streaming NDJSON progress and finishing with a
-// result line. Every cell is served from — and saved to — the
-// content-addressed cache, so re-POSTing a grid re-simulates nothing.
-func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
-	g, err := spec.ParseGrid(r.Body)
+// gridPlan is a fully validated grid request: compiled, size-checked, and
+// with every cell and aggregate content key resolved upfront, so nothing
+// can fail between the first simulated cell and the final result line.
+type gridPlan struct {
+	grid           lab.Grid
+	hash           string
+	cells          []lab.Cell
+	keys           []string // one per cell, indexed like RunSet.Results
+	aggKeys        []string // (variant*nLoads + load), nil without a seed axis
+	nLoads, nSeeds int
+}
+
+// cellIndex maps grid coordinates to the flat cell/key index. Execute
+// enumerates cells in the same coordinate order, so this is exact.
+func (p *gridPlan) cellIndex(c lab.Cell) int {
+	return (c.Variant*p.nLoads+c.LoadIdx)*p.nSeeds + c.SeedIdx
+}
+
+// planGrid parses and fully validates one grid request body, returning
+// the HTTP status to report on failure. Cell-key hashing errors fail the
+// whole request here, before any cell runs — a key that silently failed
+// would disable the result cache for that cell.
+func (s *server) planGrid(body io.Reader) (*gridPlan, int, error) {
+	g, err := spec.ParseGrid(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, http.StatusBadRequest, err
 	}
 	gridHash, err := g.Hash() // validates
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
+		return nil, http.StatusUnprocessableEntity, err
 	}
 	lg, err := g.Compile()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
+		return nil, http.StatusUnprocessableEntity, err
 	}
 	cells := lg.Cells()
 	if s.maxCells > 0 && len(cells) > s.maxCells {
-		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("grid has %d cells, limit is %d", len(cells), s.maxCells))
-		return
+		return nil, http.StatusUnprocessableEntity,
+			fmt.Errorf("grid has %d cells, limit is %d", len(cells), s.maxCells)
+	}
+	p := &gridPlan{
+		grid:   lg,
+		hash:   gridHash,
+		cells:  cells,
+		nLoads: max(len(lg.Loads), 1),
+		nSeeds: max(len(lg.Seeds), 1),
 	}
 	// Hash every cell spec once upfront; Options.Keys and the result line
 	// both read this slice (hashing re-validates the spec, so doing it per
-	// lookup would double the work on large grids). Execute re-enumerates
-	// cells in the same coordinate order, so indexing by grid coordinates
-	// is exact.
-	keyOf := g.Keys()
-	keys := make([]string, len(cells))
+	// lookup would double the work on large grids).
+	p.keys = make([]string, len(cells))
 	for i, c := range cells {
-		keys[i], _ = keyOf(c)
+		key, err := g.CellSpec(c).Hash()
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity,
+				fmt.Errorf("cell %d (variant %q, load %v, seed %d): %w",
+					i, c.Label, c.Scenario.Load, c.Scenario.Seed, err)
+		}
+		p.keys[i] = key
 	}
-	nLoads, nSeeds := len(lg.Loads), len(lg.Seeds)
-	if nLoads == 0 {
-		nLoads = 1
-	}
-	if nSeeds == 0 {
-		nSeeds = 1
-	}
-	cellIndex := func(c lab.Cell) int {
-		return (c.Variant*nLoads+c.LoadIdx)*nSeeds + c.SeedIdx
-	}
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(v any) {
-		enc.Encode(v)
-		if flusher != nil {
-			flusher.Flush()
+	if len(lg.Seeds) > 1 {
+		nVariants := max(len(lg.Variants), 1)
+		p.aggKeys = make([]string, nVariants*p.nLoads)
+		for vi := 0; vi < nVariants; vi++ {
+			for li := 0; li < p.nLoads; li++ {
+				key, err := g.AggregateKey(vi, li)
+				if err != nil {
+					return nil, http.StatusUnprocessableEntity,
+						fmt.Errorf("aggregate (variant %d, load index %d): %w", vi, li, err)
+				}
+				p.aggKeys[vi*p.nLoads+li] = key
+			}
 		}
 	}
+	return p, 0, nil
+}
 
-	opts := lab.Options{
-		Workers: s.workers,
-		Context: r.Context(),
-		Cache:   s.cache,
-		Keys: func(c lab.Cell) (string, bool) {
-			key := keys[cellIndex(c)]
-			return key, key != ""
-		},
-		// Progress callbacks are serialised by the lab, so writing to the
-		// response from here is safe. A client that stops reading blocks
-		// the write and thereby this grid's own worker pool — deliberate
-		// backpressure: every request runs on its own pool, so a slow
-		// consumer throttles only its own simulation, and a disconnect
-		// cancels it through the request context.
-		Progress: func(u lab.ProgressUpdate) {
-			emit(progressLine{
-				Type: "progress", Done: u.Done, Total: u.Total,
-				Label: u.Label, Load: u.Load, Seed: u.Seed,
-				Overloaded: u.Overloaded, FromCache: u.FromCache,
-			})
-		},
+// runGrid executes the plan on the server's shared pool under ctx,
+// calling emit sequentially with every NDJSON line: progress lines, then
+// exactly one result or error line. A failed emit (disconnected client)
+// stops further writes without aborting the execution — cancelling is
+// ctx's job — and cell results still reach the cache either way.
+func (s *server) runGrid(ctx context.Context, p *gridPlan, emit func(any) error) {
+	// One slot per cell: the serialised Progress callback can always
+	// deposit its line without blocking a shared pool worker on a slow
+	// stream consumer.
+	progress := make(chan progressLine, len(p.cells))
+	type outcome struct {
+		rs  *lab.RunSet
+		err error
 	}
-	rs, err := lg.Execute(opts)
-	if err != nil {
-		// The client cancelled (or the server is shutting down); the
+	done := make(chan outcome, 1)
+	go func() {
+		rs, err := p.grid.Execute(lab.Options{
+			Pool:    s.pool,
+			Context: ctx,
+			Cache:   s.cache,
+			Keys:    func(c lab.Cell) (string, bool) { return p.keys[p.cellIndex(c)], true },
+			Progress: func(u lab.ProgressUpdate) {
+				progress <- progressLine{
+					Type: "progress", Done: u.Done, Total: u.Total,
+					Label: u.Label, Load: u.Load, Seed: u.Seed,
+					Overloaded: u.Overloaded, FromCache: u.FromCache,
+				}
+			},
+		})
+		close(progress)
+		done <- outcome{rs, err}
+	}()
+
+	var emitErr error
+	for line := range progress {
+		if emitErr == nil {
+			emitErr = emit(line)
+		}
+	}
+	out := <-done
+	if out.err != nil {
+		// The request was cancelled or the server is shutting down; the
 		// line documents the abort for partial readers.
-		emit(errorLine{Type: "error", Error: err.Error()})
+		if emitErr == nil {
+			emit(errorLine{Type: "error", Error: out.err.Error()})
+		}
 		return
 	}
+	line := s.resultLineFor(p, out.rs)
+	if emitErr == nil {
+		emit(line)
+	}
+}
 
-	line := resultLine{Type: "result", GridHash: gridHash, CacheHits: rs.CacheHits}
+// resultLineFor assembles the final stream line and saves replica
+// aggregates to the cache. Aggregate keys were validated by planGrid.
+func (s *server) resultLineFor(p *gridPlan, rs *lab.RunSet) resultLine {
+	line := resultLine{Type: "result", GridHash: p.hash, CacheHits: rs.CacheHits}
 	for i, res := range rs.Results {
-		line.Cells = append(line.Cells, cellResult{Hash: keys[i], Label: rs.Cells[i].Label, Result: res})
+		line.Cells = append(line.Cells, cellResult{Hash: p.keys[i], Label: rs.Cells[i].Label, Result: res})
 	}
 	if len(rs.Seeds) > 1 {
 		for vi, label := range rs.Labels {
 			for li, load := range rs.Loads {
 				agg := rs.Aggregate(vi, li)
-				hash, err := g.AggregateKey(vi, li)
-				if err != nil {
-					continue
-				}
+				hash := p.aggKeys[vi*p.nLoads+li]
 				s.cache.PutAggregate(hash, agg)
 				line.Aggregates = append(line.Aggregates, aggregateResult{
 					Hash: hash, Label: label, Load: load, Aggregate: agg,
@@ -253,7 +376,47 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	emit(line)
+	return line
+}
+
+// handleGrid executes a declarative grid spec on the server's shared
+// pool. The synchronous form streams NDJSON progress under the request
+// context and finishes with a result line; with ?async=1 it returns 202
+// and a job id immediately (see jobs.go). Every cell is served from —
+// and saved to — the content-addressed cache, so re-POSTing a grid
+// re-simulates nothing.
+func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	plan, status, err := s.planGrid(r.Body)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if !s.admit() {
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server is executing %d requests, the -max-inflight limit", s.maxInflight))
+		return
+	}
+	if async := r.URL.Query().Get("async"); async != "" && async != "0" && async != "false" {
+		job := s.startJob(plan) // releases the admission slot when done
+		w.Header().Set("Location", "/v1/jobs/"+job.id)
+		writeJSON(w, http.StatusAccepted, job.submitted())
+		return
+	}
+	defer s.release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	s.runGrid(r.Context(), plan, func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err // dead connection: stop the stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
 }
 
 // handleResult serves a cached run result by its spec hash.

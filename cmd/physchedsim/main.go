@@ -125,7 +125,9 @@ func replicateScenario(s lab.Scenario, n, parallel int, timeout time.Duration, p
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	opts := lab.Options{Workers: parallel, Context: ctx}
+	pool := lab.NewPool(parallel)
+	defer pool.Close()
+	opts := lab.Options{Pool: pool, Context: ctx}
 	if progress {
 		opts.Progress = func(u lab.ProgressUpdate) {
 			state := "steady"

@@ -8,9 +8,11 @@
 // wider) and Full (the scale used for EXPERIMENTS.md).
 //
 // Every recipe executes through an internal/lab grid; Configure installs
-// the execution options (worker bound, cancellation context, progress
-// hook) that all recipes share — cmd/experiments wires its -parallel,
-// -timeout and -progress flags through it.
+// the execution options (shared lab.Pool or per-call worker bound,
+// cancellation context, progress hook) that all recipes share —
+// cmd/experiments wires one process-wide pool plus its -parallel,
+// -timeout and -progress flags through it, so concurrent recipes cannot
+// oversubscribe the host.
 package experiments
 
 import (

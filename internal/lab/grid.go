@@ -2,6 +2,7 @@ package lab
 
 import (
 	"context"
+	"runtime"
 	"sync"
 
 	"physched/internal/sched"
@@ -38,7 +39,14 @@ type Grid struct {
 type Options struct {
 	// Workers bounds concurrent runs; ≤0 means runtime.GOMAXPROCS(0) and
 	// 1 forces serial execution (results are identical either way).
+	// Ignored when Pool is set.
 	Workers int
+	// Pool, when non-nil, executes cells on this shared, long-lived
+	// worker pool instead of a per-call one; the pool's own bound then
+	// applies and Workers is ignored. Concurrent Execute calls on one
+	// pool share its bound, with cells interleaved fairly across grids.
+	// Results are byte-identical either way.
+	Pool *Pool
 	// Context cancels execution between runs; see Pool.Run.
 	Context context.Context
 	// Progress, when non-nil, is invoked after every completed run,
@@ -185,7 +193,7 @@ func (g Grid) Execute(opts Options) (*RunSet, error) {
 
 	var mu sync.Mutex
 	completed := 0
-	err := Pool{Workers: opts.Workers}.Run(opts.Context, len(cells), func(i int) {
+	task := func(i int) {
 		var res Result
 		fromCache := false
 		if caching && keys[i] != "" {
@@ -202,12 +210,7 @@ func (g Grid) Execute(opts Options) (*RunSet, error) {
 				res.Collector = nil
 			}
 			if caching && keys[i] != "" {
-				// Store the summary only: no Collector (it would pin every
-				// job record) and no Scenario (closures don't serialise).
-				stored := res
-				stored.Scenario = Scenario{}
-				stored.Collector = nil
-				opts.Cache.Put(keys[i], stored)
+				opts.Cache.Put(keys[i], res.Stored())
 			}
 		}
 		rs.Results[i] = res
@@ -226,9 +229,32 @@ func (g Grid) Execute(opts Options) (*RunSet, error) {
 			})
 		}
 		mu.Unlock()
-	})
+	}
+	err := runCells(opts, len(cells), task)
 	rs.Err = err
 	return rs, err
+}
+
+// runCells dispatches cell tasks to the shared pool when Options.Pool is
+// set, otherwise to an ephemeral per-call pool (serial inline when one
+// worker suffices — results are byte-identical on every path).
+func runCells(opts Options, n int, task func(int)) error {
+	if opts.Pool != nil {
+		return opts.Pool.Run(opts.Context, n, task)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return runSerial(opts.Context, n, task)
+	}
+	pool := NewPool(workers)
+	defer pool.Close()
+	return pool.Run(opts.Context, n, task)
 }
 
 // Result returns the result at (variant, load, seed) indices.

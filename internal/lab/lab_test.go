@@ -135,8 +135,10 @@ func TestGridDropsCollectors(t *testing.T) {
 // TestPoolBoundsConcurrency: no more than Workers tasks run at once.
 func TestPoolBoundsConcurrency(t *testing.T) {
 	const workers = 3
+	pool := NewPool(workers)
+	defer pool.Close()
 	var cur, peak int32
-	err := Pool{Workers: workers}.Run(context.Background(), 64, func(int) {
+	err := pool.Run(context.Background(), 64, func(int) {
 		n := atomic.AddInt32(&cur, 1)
 		for {
 			p := atomic.LoadInt32(&peak)
@@ -159,8 +161,10 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 // surfaces the error; started tasks complete.
 func TestPoolCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
+	pool := NewPool(2)
+	defer pool.Close()
 	var done int32
-	err := Pool{Workers: 2}.Run(ctx, 100, func(i int) {
+	err := pool.Run(ctx, 100, func(i int) {
 		if atomic.AddInt32(&done, 1) == 4 {
 			cancel()
 		}

@@ -2,66 +2,190 @@ package lab
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 )
 
-// Pool executes index-addressed tasks over a bounded set of workers.
+// ErrPoolClosed is returned by Pool.Run once the pool has been closed.
+var ErrPoolClosed = errors.New("lab: pool is closed")
+
+// Pool executes index-addressed tasks over a bounded set of workers. One
+// long-lived Pool may serve many concurrent Run calls — every grid a
+// server executes, for example — and its worker bound then caps the total
+// number of simulations in flight process-wide. Tasks from concurrent Run
+// calls are interleaved fairly: workers pick round-robin across the
+// active submissions, so a large grid cannot starve a small one.
+//
 // Tasks receive their index and write their own results; the pool
 // guarantees nothing about execution order, which is why every lab task
 // must be a pure function of its index (see the package comment).
 type Pool struct {
-	// Workers bounds concurrent tasks; ≤0 means runtime.GOMAXPROCS(0).
-	Workers int
+	workers int
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	subs   []*submission // submissions with tasks still to hand out
+	next   int           // round-robin cursor into subs
+	closed bool
 }
 
-// Run executes task(0..n-1) and blocks until all started tasks finished.
-// When ctx is cancelled, tasks not yet started are skipped — a simulation
-// run is not interruptible midway — and ctx.Err() is returned; completed
-// indices keep their results.
-func (p Pool) Run(ctx context.Context, n int, task func(int)) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	workers := p.Workers
+// submission is one Run call's task set. Guarded by the pool's mutex.
+type submission struct {
+	task       func(int)
+	n          int // total tasks
+	nextIdx    int // next index to hand out
+	inflight   int // tasks currently running
+	cancelled  bool
+	done       chan struct{} // closed when no tasks remain pending or running
+	doneClosed bool
+}
+
+// NewPool starts a pool of workers goroutines; ≤0 means
+// runtime.GOMAXPROCS(0). Close releases them.
+func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			task(i)
-		}
+	return p
+}
+
+// Workers reports the pool's worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes task(0..n-1) on the pool and blocks until all started
+// tasks finished. When ctx is cancelled, tasks not yet started are
+// skipped — a simulation run is not interruptible midway — and ctx.Err()
+// is returned once in-flight tasks complete; completed indices keep
+// their results. Concurrent Run calls share the pool's worker bound.
+func (p *Pool) Run(ctx context.Context, n int, task func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
 		return nil
 	}
-
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				task(i)
-			}
-		}()
+	sub := &submission{task: task, n: n, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
 	}
-	var err error
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case <-ctx.Done():
-			err = ctx.Err()
-			break dispatch
-		case idx <- i:
+	p.subs = append(p.subs, sub)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	select {
+	case <-sub.done:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		sub.cancelled = true
+		p.remove(sub)
+		p.finishIfDone(sub)
+		p.mu.Unlock()
+		<-sub.done // started tasks run to completion
+		return ctx.Err()
+	}
+}
+
+// Close marks the pool closed and waits for the workers to exit. Tasks
+// already submitted are drained first; Run calls after Close fail with
+// ErrPoolClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		sub, i := p.take()
+		for sub == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			sub, i = p.take()
+		}
+		p.mu.Unlock()
+		sub.task(i)
+		p.mu.Lock()
+		sub.inflight--
+		p.finishIfDone(sub)
+	}
+}
+
+// take pops the next task, round-robin across active submissions, and
+// drops exhausted submissions from the rotation. Caller holds p.mu.
+func (p *Pool) take() (*submission, int) {
+	for len(p.subs) > 0 {
+		if p.next >= len(p.subs) {
+			p.next = 0
+		}
+		sub := p.subs[p.next]
+		if sub.cancelled || sub.nextIdx >= sub.n {
+			p.subs = append(p.subs[:p.next], p.subs[p.next+1:]...)
+			continue
+		}
+		i := sub.nextIdx
+		sub.nextIdx++
+		sub.inflight++
+		if sub.nextIdx >= sub.n {
+			p.subs = append(p.subs[:p.next], p.subs[p.next+1:]...)
+		} else {
+			p.next++
+		}
+		return sub, i
+	}
+	return nil, 0
+}
+
+// remove takes sub out of the rotation. Caller holds p.mu.
+func (p *Pool) remove(sub *submission) {
+	for i, s := range p.subs {
+		if s == sub {
+			p.subs = append(p.subs[:i], p.subs[i+1:]...)
+			return
 		}
 	}
-	close(idx)
-	wg.Wait()
-	return err
+}
+
+// finishIfDone closes sub.done when no tasks remain pending or running.
+// Caller holds p.mu.
+func (p *Pool) finishIfDone(sub *submission) {
+	if sub.inflight == 0 && (sub.cancelled || sub.nextIdx >= sub.n) && !sub.doneClosed {
+		sub.doneClosed = true
+		close(sub.done)
+	}
+}
+
+// runSerial executes task(0..n-1) inline with cancellation between tasks
+// — the worker-free path grid execution takes for serial runs.
+func runSerial(ctx context.Context, n int, task func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		task(i)
+	}
+	return nil
 }

@@ -1,0 +1,208 @@
+package lab
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSharedPoolBoundsConcurrentRuns: one pool serving several concurrent
+// Run calls never exceeds its worker bound in total — the property a
+// server needs so N simultaneous requests cannot oversubscribe the host.
+func TestSharedPoolBoundsConcurrentRuns(t *testing.T) {
+	const workers = 3
+	pool := NewPool(workers)
+	defer pool.Close()
+
+	var cur, peak, total int32
+	task := func(int) {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&total, 1)
+		atomic.AddInt32(&cur, -1)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 5; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := pool.Run(context.Background(), 20, task); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers across concurrent Runs", peak, workers)
+	}
+	if total != 5*20 {
+		t.Errorf("ran %d tasks, want %d", total, 5*20)
+	}
+}
+
+// TestPoolFairInterleaving: with one worker and two submissions queued,
+// tasks alternate between the submissions (round-robin), so a long grid
+// cannot starve a short one.
+func TestPoolFairInterleaving(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var gateWG sync.WaitGroup
+	gateWG.Add(1)
+	go func() {
+		defer gateWG.Done()
+		pool.Run(context.Background(), 1, func(int) { close(started); <-gate })
+	}()
+	<-started // the single worker is now parked; submissions queue behind it
+
+	type step struct{ sub, idx int }
+	var mu sync.Mutex
+	var order []step
+	record := func(sub int) func(int) {
+		return func(i int) {
+			mu.Lock()
+			order = append(order, step{sub, i})
+			mu.Unlock()
+		}
+	}
+	var wg sync.WaitGroup
+	for sub := 0; sub < 2; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			pool.Run(context.Background(), 4, record(sub))
+		}(sub)
+	}
+	// Wait until both submissions are queued behind the gate, then open it.
+	for {
+		pool.mu.Lock()
+		queued := len(pool.subs)
+		pool.mu.Unlock()
+		if queued == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	gateWG.Wait()
+
+	if len(order) != 8 {
+		t.Fatalf("ran %d tasks, want 8", len(order))
+	}
+	for k := 1; k < len(order); k++ {
+		if order[k].sub == order[k-1].sub {
+			t.Fatalf("tasks not interleaved round-robin: %v", order)
+		}
+	}
+	for _, s := range order {
+		if s.idx < 0 || s.idx > 3 {
+			t.Fatalf("bad index in %v", order)
+		}
+	}
+}
+
+// TestPoolCancelOneRunKeepsOthers: cancelling one submission's context
+// stops only that submission; a concurrent one completes fully.
+func TestPoolCancelOneRunKeepsOthers(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelled, kept int32
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errc := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		errc <- pool.Run(ctx, 1000, func(int) {
+			if atomic.AddInt32(&cancelled, 1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		if err := pool.Run(context.Background(), 10, func(int) {
+			atomic.AddInt32(&kept, 1)
+			time.Sleep(time.Millisecond)
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Run returned %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&cancelled); n >= 1000 {
+		t.Errorf("cancellation did not stop dispatch (ran %d)", n)
+	}
+	if kept != 10 {
+		t.Errorf("concurrent submission ran %d of 10 tasks", kept)
+	}
+}
+
+// TestPoolRunAfterClose: a closed pool rejects new work.
+func TestPoolRunAfterClose(t *testing.T) {
+	pool := NewPool(2)
+	pool.Close()
+	if err := pool.Run(context.Background(), 3, func(int) {}); err != ErrPoolClosed {
+		t.Fatalf("Run on closed pool returned %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolZeroTasks: an empty submission returns immediately.
+func TestPoolZeroTasks(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	if err := pool.Run(context.Background(), 0, func(int) { t.Error("task ran") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridSharedPoolMatchesSerial extends the serial≡parallel contract to
+// the shared pool: two grids executing concurrently on one pool are each
+// byte-identical to their serial executions.
+func TestGridSharedPoolMatchesSerial(t *testing.T) {
+	serialA, err := testGrid(3).Execute(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialB, err := testGrid(11).Execute(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewPool(4)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	var sharedA, sharedB *RunSet
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sharedA, _ = testGrid(3).Execute(Options{Pool: pool})
+	}()
+	go func() {
+		defer wg.Done()
+		sharedB, _ = testGrid(11).Execute(Options{Pool: pool})
+	}()
+	wg.Wait()
+
+	if a, b := marshal(t, serialA.Results), marshal(t, sharedA.Results); string(a) != string(b) {
+		t.Errorf("shared-pool grid A differs from serial:\nserial: %s\nshared: %s", a, b)
+	}
+	if a, b := marshal(t, serialB.Results), marshal(t, sharedB.Results); string(a) != string(b) {
+		t.Errorf("shared-pool grid B differs from serial:\nserial: %s\nshared: %s", a, b)
+	}
+}

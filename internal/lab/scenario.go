@@ -95,6 +95,17 @@ type Result struct {
 	Collector *metrics.Collector `json:"-"`
 }
 
+// Stored is the cacheable summary form of the result: no Collector (it
+// would pin every job record) and no Scenario (closures don't
+// serialise). Every result-cache write — grid execution and the
+// physchedd spec endpoint — stores exactly this shape, so cache hits
+// and fresh runs serialise byte-identically.
+func (r Result) Stored() Result {
+	r.Scenario = Scenario{}
+	r.Collector = nil
+	return r
+}
+
 // withDefaults fills unset scenario fields.
 func (s Scenario) withDefaults() Scenario {
 	if s.WarmupJobs == 0 {
