@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// faultedGridBody crosses a fault-free base with two churn variants over
+// a small load×seed grid — the declarative form of a node-dynamics study.
+const faultedGridBody = `{
+	"base": {
+		"params": {"nodes": 3, "cache_gb": 6, "mean_job_events": 1000, "dataspace_gb": 60},
+		"policy": {"name": "outoforder"},
+		"load_jobs_per_hour": 1.0,
+		"seed": 5,
+		"warmup_jobs": 10,
+		"measure_jobs": 40
+	},
+	"variants": [
+		{"label": "no churn"},
+		{"label": "churn", "faults": {"mtbf_hours": 24, "repair_hours": 2, "cache_loss": true}},
+		{"label": "decommission", "faults": {"mtbf_hours": 48, "decommission_prob": 0.5, "spare_nodes": 2}}
+	],
+	"loads": [0.9],
+	"seeds": [1, 2]
+}`
+
+// TestFaultedGridPOST: a grid spec carrying faults blocks runs through
+// the service unchanged — the block rides the spec wire format — and the
+// churn variants report failures, wasted work and goodput while the
+// fault-free variant reports none.
+func TestFaultedGridPOST(t *testing.T) {
+	ts := testServer(t)
+	_, result := postGrid(t, ts, faultedGridBody)
+	if len(result.Cells) != 6 {
+		t.Fatalf("%d cells, want 6", len(result.Cells))
+	}
+	for _, cell := range result.Cells {
+		st := cell.Result.Cluster
+		switch cell.Label {
+		case "no churn":
+			if st.Failures != 0 || cell.Result.Goodput != 0 || st.EventsLost != 0 {
+				t.Errorf("fault-free cell reports churn: goodput=%v %+v", cell.Result.Goodput, st)
+			}
+		case "churn", "decommission":
+			if cell.Result.Overloaded {
+				continue // an overloaded replica reports no metrics
+			}
+			if st.Failures == 0 {
+				t.Errorf("cell %q saw no failures", cell.Label)
+			}
+			if cell.Result.Goodput <= 0 || cell.Result.Goodput > 1 {
+				t.Errorf("cell %q goodput %v out of (0,1]", cell.Label, cell.Result.Goodput)
+			}
+		default:
+			t.Errorf("unexpected cell label %q", cell.Label)
+		}
+	}
+
+	// The same POST again must be served entirely from the result cache,
+	// churn variants included.
+	_, again := postGrid(t, ts, faultedGridBody)
+	if again.CacheHits != len(again.Cells) {
+		t.Errorf("second POST re-simulated cells: %d hits of %d", again.CacheHits, len(again.Cells))
+	}
+	a, _ := json.Marshal(result.Cells)
+	b, _ := json.Marshal(again.Cells)
+	if string(a) != string(b) {
+		t.Error("cache-served faulted cells differ from fresh ones")
+	}
+}
+
+// TestFaultedSpecRejected: invalid fault parameters fail at admission
+// with 422, like any other invalid spec.
+func TestFaultedSpecRejected(t *testing.T) {
+	ts := testServer(t)
+	body := strings.Replace(faultedGridBody, `"mtbf_hours": 24`, `"mtbf_hours": -24`, 1)
+	resp, err := http.Post(ts.URL+"/v1/grids", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status %d, want 422", resp.StatusCode)
+	}
+}

@@ -157,6 +157,10 @@ func reportReplicas(agg lab.Aggregate, params model.Params) {
 	fmt.Printf("avg waiting       %s ± %s (std %s)\n",
 		stats.FormatDuration(agg.WaitingMean), stats.FormatDuration(agg.WaitingCI95),
 		stats.FormatDuration(agg.WaitingStd))
+	if agg.GoodputMean > 0 || agg.WastedEventsMean > 0 || agg.ReexecutionsMean > 0 {
+		fmt.Printf("goodput           %.4f mean (%.0f events wasted, %.1f re-executions per replica)\n",
+			agg.GoodputMean, agg.WastedEventsMean, agg.ReexecutionsMean)
+	}
 }
 
 // report prints the run's metrics.
@@ -184,6 +188,12 @@ func report(res lab.Result, params model.Params, histogram bool) {
 			pct(st.EventsFromTape, total), pct(st.EventsReplicated, total))
 	}
 	fmt.Printf("dispatches        %d (%d preemptions)\n", st.Dispatches, st.Preemptions)
+	if st.Failures > 0 || st.NodeJoins > 0 {
+		fmt.Printf("node churn        %d failures (%d repaired, %d decommissioned, %d joins)\n",
+			st.Failures, st.Repairs, st.Decommissions, st.NodeJoins)
+		fmt.Printf("goodput           %.4f (%d events wasted, %d subjobs re-executed)\n",
+			res.Goodput, st.EventsLost, st.Reexecutions)
+	}
 	if histogram {
 		fmt.Println("\nwaiting-time distribution:")
 		fmt.Print(res.Collector.WaitingHistogram().String())

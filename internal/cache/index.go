@@ -22,6 +22,14 @@ func NewIndex(n int, capacityEvents int64, policy EvictPolicy) *Index {
 // Nodes returns the number of node caches.
 func (ix *Index) Nodes() int { return len(ix.caches) }
 
+// Add appends one more node cache — a node joining the cluster late —
+// and returns it.
+func (ix *Index) Add(capacityEvents int64, policy EvictPolicy) *LRU {
+	c := NewLRU(capacityEvents, policy)
+	ix.caches = append(ix.caches, c)
+	return c
+}
+
 // Node returns the cache of node i.
 func (ix *Index) Node(i int) *LRU { return ix.caches[i] }
 

@@ -122,6 +122,18 @@ func (c *LRU) Evict(iv dataspace.Interval) {
 	}
 }
 
+// Clear empties the cache — a node failure that takes the disk with it.
+// The dropped events count as evictions in the churn statistics. One
+// pass, not per-segment dropSegment: Clear runs on every disk-losing
+// failure.
+func (c *LRU) Clear() {
+	c.evicted += c.used
+	c.used = 0
+	c.set = dataspace.Set{}
+	c.order.Init()
+	c.segs = nil
+}
+
 // makeRoom evicts segments until need events fit. Segments overlapping
 // protect are never evicted (they belong to the insertion in progress).
 func (c *LRU) makeRoom(need int64, protect dataspace.Interval) {

@@ -78,10 +78,25 @@ type Node struct {
 	ID    int
 	Cache *cache.LRU
 	run   *Running
+	up    bool // false while failed/decommissioned or before a spare joins
+	// decommissioned marks a node that left the cluster permanently; it
+	// implies !up forever after.
+	decommissioned bool
 }
 
-// Idle reports whether the node is not executing a subjob.
-func (n *Node) Idle() bool { return n.run == nil }
+// Up reports whether the node is in service (see faults.go). Nodes of a
+// fault-free cluster are always up.
+func (n *Node) Up() bool { return n.up }
+
+// Decommissioned reports whether the node left the cluster permanently
+// (see Cluster.DecommissionNode). Policies use it to stop routing work
+// to a partition owner that will never return.
+func (n *Node) Decommissioned() bool { return n.decommissioned }
+
+// Idle reports whether the node can accept a subjob: in service and not
+// executing one. Down nodes are never idle, so the idle scans every
+// policy dispatches through skip them without fault-specific code.
+func (n *Node) Idle() bool { return n.up && n.run == nil }
 
 // Running returns the subjob executing on the node, or nil.
 func (n *Node) Running() *job.Subjob {
@@ -111,7 +126,10 @@ type Config struct {
 	Eviction cache.EvictPolicy
 }
 
-// Stats aggregates the data-path counters of a simulation run.
+// Stats aggregates the data-path and node-dynamics counters of a
+// simulation run. The fault counters are omitted from the wire format
+// when zero, so fault-free runs encode byte-identically to builds that
+// predate node dynamics.
 type Stats struct {
 	EventsFromCache  int64 `json:"events_from_cache"`
 	EventsFromRemote int64 `json:"events_from_remote"`
@@ -119,6 +137,16 @@ type Stats struct {
 	EventsReplicated int64 `json:"events_replicated"`
 	Preemptions      int64 `json:"preemptions"`
 	Dispatches       int64 `json:"dispatches"`
+
+	// Node dynamics (see faults.go). EventsLost is the wasted work: events
+	// whose computation was discarded because their node failed mid-subjob.
+	// Reexecutions counts the subjobs killed by failures and re-enqueued.
+	Failures      int64 `json:"failures,omitempty"`
+	Repairs       int64 `json:"repairs,omitempty"`
+	Decommissions int64 `json:"decommissions,omitempty"`
+	NodeJoins     int64 `json:"node_joins,omitempty"`
+	EventsLost    int64 `json:"events_lost,omitempty"`
+	Reexecutions  int64 `json:"reexecutions,omitempty"`
 }
 
 // Cluster ties the nodes, cache index and tertiary storage to a simulation
@@ -144,6 +172,13 @@ type Cluster struct {
 	// metrics collector hooks them. Either may be nil.
 	JobStarted func(*job.Job)
 	JobDone    func(*job.Job)
+
+	// NodeDown fires when a node fails (see faults.go), after the node is
+	// marked down and its running subjob killed; lost is the subjob to
+	// re-execute, or nil when the node was idle. NodeUp fires when a node
+	// is repaired or a spare joins. Either may be nil.
+	NodeDown func(n *Node, lost *job.Subjob)
+	NodeUp   func(n *Node)
 
 	// Tracer, when non-nil, records dispatches, completions and job
 	// lifecycle transitions.
@@ -171,7 +206,7 @@ func New(eng *sim.Engine, params model.Params, cfg Config) *Cluster {
 	}
 	c.nodes = make([]*Node, params.Nodes)
 	for i := range c.nodes {
-		c.nodes[i] = &Node{ID: i, Cache: c.index.Node(i)}
+		c.nodes[i] = &Node{ID: i, Cache: c.index.Node(i), up: true}
 	}
 	return c
 }
@@ -246,7 +281,10 @@ func (c *Cluster) planInto(buf []Piece, n *Node, iv dataspace.Interval) []Piece 
 			continue
 		}
 		for _, np := range c.index.PartitionByNode(run.Interval) {
-			if np.Node < 0 || np.Node == n.ID {
+			// A down node cannot serve remote reads: data its cache still
+			// indexes (a repairable outage preserves the disk) re-streams
+			// from tape until the node returns.
+			if np.Node < 0 || np.Node == n.ID || !c.nodes[np.Node].up {
 				pieces = append(pieces, c.tapePiece(n, np.Interval))
 				continue
 			}
@@ -306,6 +344,9 @@ func (c *Cluster) releaseRunning(r *Running) {
 // Dispatch starts subjob sj on idle node n. It panics if n is busy or the
 // subjob is empty — both indicate a policy bug.
 func (c *Cluster) Dispatch(n *Node, sj *job.Subjob) {
+	if !n.up {
+		panic(fmt.Sprintf("cluster: dispatch on down node %d", n.ID))
+	}
 	if !n.Idle() {
 		panic(fmt.Sprintf("cluster: dispatch on busy node %d", n.ID))
 	}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"physched/internal/cluster"
+	"physched/internal/lab"
+	"physched/internal/sched"
+	"physched/internal/stats"
+)
+
+// FaultStudy sweeps node churn against load for the out-of-order policy:
+// an MTBF axis from the never-failing paper cluster down to a node
+// failing every two days, with disk-losing failures and four-hour
+// repairs. The study quantifies what the paper's fault-free evaluation
+// hides — how much sustainable load, speedup and goodput a real PC farm
+// gives up to churn, with cache rebuilds (every failure cold-starts the
+// node's disk) compounding the direct loss of re-executed work.
+func FaultStudy(q Quality, seed int64) []AblationRow {
+	loads := loadGrid(q, 0.6, 1.6)
+	var variants []lab.Variant
+	for _, mtbf := range []float64{0, 500, 150, 48} {
+		mtbf := mtbf
+		label := "no failures"
+		if mtbf > 0 {
+			label = fmt.Sprintf("MTBF %.0f h", mtbf)
+		}
+		variants = append(variants, lab.Variant{
+			Label:     label,
+			NewPolicy: func() sched.Policy { return sched.NewOutOfOrder() },
+			Mutate: func(s *lab.Scenario) {
+				if mtbf == 0 {
+					return
+				}
+				s.Faults = cluster.FaultModel{MTBFHours: mtbf, RepairHours: 4, CacheLoss: true}
+			},
+		})
+	}
+	return ablate(baseScenario(q, seed), loads, variants)
+}
+
+// RenderFaults renders a fault study with its churn columns: goodput,
+// wasted events and re-executions alongside the headline metrics.
+func RenderFaults(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: node churn (stochastic failures, exponential repairs, disk loss)\n\n")
+	var lastVariant string
+	for _, r := range rows {
+		if r.Variant != lastVariant {
+			fmt.Fprintf(&b, "  %s\n", r.Variant)
+			fmt.Fprintf(&b, "    %-10s %-10s %-14s %-9s %-12s %-8s %s\n",
+				"load", "speedup", "avg waiting", "goodput", "wasted ev", "re-exec", "state")
+			lastVariant = r.Variant
+		}
+		if r.Result.Overloaded {
+			fmt.Fprintf(&b, "    %-10.2f %-10s %-14s %-9s %-12s %-8s overloaded\n",
+				r.Load, "-", "-", "-", "-", "-")
+			continue
+		}
+		goodput := "-"
+		if r.Result.Goodput > 0 {
+			goodput = fmt.Sprintf("%.3f", r.Result.Goodput)
+		}
+		fmt.Fprintf(&b, "    %-10.2f %-10.2f %-14s %-9s %-12d %-8d steady\n",
+			r.Load, r.Result.AvgSpeedup, stats.FormatDuration(r.Result.AvgWaiting),
+			goodput, r.Result.Cluster.EventsLost, r.Result.Cluster.Reexecutions)
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"physched/internal/cluster"
+	"physched/internal/lab"
+	"physched/internal/sched"
+)
+
+// TestFaultStudyDirection runs a miniature churn-vs-steady comparison:
+// heavy churn must cost speedup (re-executions plus cache rebuilds),
+// produce wasted work, and never beat the fault-free run clearly.
+func TestFaultStudyDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation comparison")
+	}
+	s := tiny(baseScenario(Quick, 5))
+	s.NewPolicy = func() sched.Policy { return sched.NewOutOfOrder() }
+	s.Load = 0.5 * s.Params.FarmMaxLoad()
+	steady := lab.Run(s)
+	churned := s
+	// The tiny window covers only a couple of simulated days; fail nodes
+	// every few hours so losses are certain inside it.
+	churned.Faults = cluster.FaultModel{MTBFHours: 3, RepairHours: 1, CacheLoss: true}
+	faulty := lab.Run(churned)
+	if steady.Overloaded || faulty.Overloaded {
+		t.Skip("overloaded at this scale; direction test not applicable")
+	}
+	if faulty.Cluster.Failures == 0 || faulty.Cluster.EventsLost == 0 {
+		t.Fatalf("churn run saw no faults: %+v", faulty.Cluster)
+	}
+	if faulty.Goodput >= 1 || faulty.Goodput <= 0 {
+		t.Errorf("goodput %v out of (0,1)", faulty.Goodput)
+	}
+	if faulty.AvgSpeedup > 1.1*steady.AvgSpeedup {
+		t.Errorf("churn improved speedup: %.2f vs steady %.2f", faulty.AvgSpeedup, steady.AvgSpeedup)
+	}
+}
+
+// TestRenderFaults pins the churn columns of the study's rendering.
+func TestRenderFaults(t *testing.T) {
+	rows := []AblationRow{
+		{Variant: "MTBF 48 h", Load: 1.0, Result: lab.Result{
+			AvgSpeedup: 5.0, AvgWaiting: 60, Goodput: 0.97,
+			Cluster: cluster.Stats{EventsLost: 1234, Reexecutions: 7},
+		}},
+		{Variant: "MTBF 48 h", Load: 1.4, Result: lab.Result{Overloaded: true}},
+	}
+	out := RenderFaults(rows)
+	for _, want := range []string{"goodput", "wasted ev", "re-exec", "0.970", "1234", "overloaded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}

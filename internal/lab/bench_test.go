@@ -3,6 +3,7 @@ package lab
 import (
 	"testing"
 
+	"physched/internal/cluster"
 	"physched/internal/sched"
 )
 
@@ -13,6 +14,20 @@ func BenchmarkRun(b *testing.B) {
 	b.ReportAllocs()
 	p := smallParams()
 	s := policyScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(s)
+	}
+}
+
+// BenchmarkRunFaults is BenchmarkRun under heavy node churn: it prices
+// the fault path — failure/repair events, subjob kills, requeues and
+// cache rebuilds — against the fault-free baseline snapshot.
+func BenchmarkRunFaults(b *testing.B) {
+	b.ReportAllocs()
+	p := smallParams()
+	s := policyScenario(func() sched.Policy { return sched.NewOutOfOrder() }, 0.5*p.FarmMaxLoad())
+	s.Faults = cluster.FaultModel{MTBFHours: 24, RepairHours: 2, CacheLoss: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Run(s)

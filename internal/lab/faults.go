@@ -1,0 +1,73 @@
+package lab
+
+import (
+	"physched/internal/cluster"
+	"physched/internal/job"
+	"physched/internal/sched"
+)
+
+// faultSeedStream is the SplitMix64 branch reserved for the fault RNG:
+// each run derives its fault randomness as DeriveSeed(Seed, faultSeedStream),
+// a subtree disjoint from the engine seed (Seed) and the workload seed
+// (Seed+1). Faults therefore never shift workload draws — a scenario with
+// FaultModel{} is bit-identical to one without the field — and fault
+// sequences are reproducible per (scenario, seed) independent of grid
+// shape or worker count.
+const faultSeedStream = 0xfa
+
+// requeuer adapts any sched.Policy to a cluster with node churn. It owns
+// the subjobs failing nodes lost and re-dispatches each on the first node
+// observed idle — ahead of the policy's own queue on arrivals (crashed
+// work is the oldest work in the system), behind it on completions (the
+// policy reacts to SubjobDone first; whatever capacity it leaves idle
+// goes to lost work). Policies implementing sched.NodeStateObserver take
+// the lost work themselves and the requeuer stays out of their way.
+type requeuer struct {
+	c      *cluster.Cluster
+	policy sched.Policy
+	lost   []*job.Subjob // FIFO of subjobs awaiting re-execution
+}
+
+func (q *requeuer) jobArrived(j *job.Job) {
+	q.drain()
+	q.policy.JobArrived(j)
+}
+
+func (q *requeuer) subjobDone(n *cluster.Node, sj *job.Subjob) {
+	q.policy.SubjobDone(n, sj)
+	q.drain()
+}
+
+func (q *requeuer) nodeDown(n *cluster.Node, lost *job.Subjob) {
+	if obs, ok := q.policy.(sched.NodeStateObserver); ok {
+		obs.NodeDown(n, lost)
+		return
+	}
+	if lost != nil {
+		q.lost = append(q.lost, lost)
+	}
+	q.drain() // another node may be idle right now
+}
+
+func (q *requeuer) nodeUp(n *cluster.Node) {
+	if obs, ok := q.policy.(sched.NodeStateObserver); ok {
+		obs.NodeUp(n)
+		return
+	}
+	q.drain()
+}
+
+// drain dispatches queued lost subjobs while idle nodes exist.
+func (q *requeuer) drain() {
+	for len(q.lost) > 0 {
+		n := q.c.FirstIdle()
+		if n == nil {
+			return
+		}
+		sj := q.lost[0]
+		copy(q.lost, q.lost[1:])
+		q.lost[len(q.lost)-1] = nil
+		q.lost = q.lost[:len(q.lost)-1]
+		q.c.Dispatch(n, sj)
+	}
+}

@@ -1,0 +1,282 @@
+package lab
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"physched/internal/cluster"
+	"physched/internal/job"
+	"physched/internal/model"
+	"physched/internal/sched"
+	"physched/internal/workload"
+)
+
+// faultScenario is a small scenario with aggressive churn: MTBF short
+// enough that every run sees many failures inside its measurement window.
+func faultScenario(seed int64) Scenario {
+	p := model.PaperCalibrated()
+	p.Nodes = 4
+	p.CacheBytes = 20 * model.GB
+	p.DataspaceBytes = 200 * model.GB
+	p.MeanJobEvents = 2000
+	return Scenario{
+		Params:      p,
+		NewPolicy:   func() sched.Policy { return sched.NewOutOfOrder() },
+		Load:        1.0,
+		Seed:        seed,
+		WarmupJobs:  20,
+		MeasureJobs: 80,
+		Faults: cluster.FaultModel{
+			MTBFHours:   48,
+			RepairHours: 2,
+			CacheLoss:   true,
+		},
+	}
+}
+
+// TestRunWithFaults: a fault-enabled run completes its measurement
+// window, observes failures and repairs, and accounts wasted work
+// consistently.
+func TestRunWithFaults(t *testing.T) {
+	res := Run(faultScenario(7))
+	if res.Overloaded {
+		t.Fatalf("fault run overloaded: %+v", res)
+	}
+	st := res.Cluster
+	if st.Failures == 0 {
+		t.Fatal("no failures observed; MTBF too long for the window?")
+	}
+	if st.Repairs == 0 {
+		t.Fatal("no repairs observed")
+	}
+	if st.Repairs+st.Decommissions > st.Failures {
+		t.Errorf("repairs %d + decommissions %d exceed failures %d", st.Repairs, st.Decommissions, st.Failures)
+	}
+	if st.Reexecutions > st.Dispatches {
+		t.Errorf("reexecutions %d exceed dispatches %d", st.Reexecutions, st.Dispatches)
+	}
+	if res.Goodput <= 0 || res.Goodput > 1 {
+		t.Errorf("goodput %v out of (0,1]", res.Goodput)
+	}
+	total := st.EventsFromCache + st.EventsFromRemote + st.EventsFromTape
+	if want := 1 - float64(st.EventsLost)/float64(total); res.Goodput != want {
+		t.Errorf("goodput %v inconsistent with counters (want %v)", res.Goodput, want)
+	}
+}
+
+// finiteWorkload yields n jobs then nil — the replay-style source shape.
+type finiteWorkload struct {
+	inner workload.Source
+	left  int
+}
+
+func (f *finiteWorkload) Next() *job.Job {
+	if f.left == 0 {
+		return nil
+	}
+	f.left--
+	return f.inner.Next()
+}
+
+// TestFiniteWorkloadWithFaults: a finite source under churn must end
+// when its last job completes — the churn process alone keeps the event
+// queue non-empty forever, so the run must not spin to MaxSimTime and
+// report a phantom overload.
+func TestFiniteWorkloadWithFaults(t *testing.T) {
+	s := faultScenario(9)
+	s.WarmupJobs = 5
+	s.MeasureJobs = 40
+	s.NewWorkload = func(seed int64, jobsPerHour float64) workload.Source {
+		return &finiteWorkload{
+			inner: workload.New(s.Params, rand.New(rand.NewSource(seed)), jobsPerHour),
+			left:  60,
+		}
+	}
+	res := Run(s)
+	if res.Overloaded {
+		t.Fatalf("finite faulted workload reported overloaded: %+v", res)
+	}
+	if res.MeasuredJobs == 0 || res.AvgSpeedup == 0 {
+		t.Errorf("finite faulted workload lost its metrics: %+v", res)
+	}
+	if res.SimTime > 30*model.Day {
+		t.Errorf("run spun on churn events for %v sim seconds after the trace ended", res.SimTime)
+	}
+}
+
+// TestPartitionedDecommissionReassigns: the partitioned policy moves a
+// decommissioned owner's backlog — and its partition's future work — to
+// live nodes instead of stranding them (its NodeStateObserver). One node
+// is decommissioned deterministically early in the run; every job must
+// still complete, including those whose range lies in the dead node's
+// partition.
+func TestPartitionedDecommissionReassigns(t *testing.T) {
+	s := faultScenario(13)
+	s.Load = 0.7
+	s.NewPolicy = func() sched.Policy { return sched.NewPartitioned() }
+	// An (effectively) failure-free model keeps the churn wiring — the
+	// requeuer and observer callbacks — installed.
+	s.Faults = cluster.FaultModel{MTBFHours: 1e9}
+	s.Hooks = func(c *cluster.Cluster) {
+		c.Engine().After(2*model.Hour, func() { c.DecommissionNode(c.Node(1)) })
+	}
+	res := Run(s)
+	if res.Cluster.Decommissions != 1 {
+		t.Fatalf("decommissions = %d, want 1", res.Cluster.Decommissions)
+	}
+	if res.Overloaded {
+		t.Fatalf("partitioned run with one decommission reported overloaded: %+v", res.Cluster)
+	}
+	if res.MeasuredJobs != s.MeasureJobs {
+		t.Errorf("measured %d of %d jobs — partition work stranded", res.MeasuredJobs, s.MeasureJobs)
+	}
+}
+
+// TestFaultsDisabledBitIdentical: the zero FaultModel must not perturb a
+// run in any way — same results, no fault counters, no goodput field.
+func TestFaultsDisabledBitIdentical(t *testing.T) {
+	s := faultScenario(3)
+	s.Faults = cluster.FaultModel{}
+	plain := Run(s)
+	if plain.Goodput != 0 {
+		t.Errorf("fault-free run reports goodput %v", plain.Goodput)
+	}
+	if st := plain.Cluster; st.Failures != 0 || st.EventsLost != 0 || st.Reexecutions != 0 {
+		t.Errorf("fault-free run reports fault counters: %+v", st)
+	}
+	baseline := faultScenario(3)
+	baseline.Faults = cluster.FaultModel{}
+	again := Run(baseline)
+	if a, b := marshal(t, []Result{plain}), marshal(t, []Result{again}); string(a) != string(b) {
+		t.Errorf("fault-free runs of one scenario differ:\n%s\n%s", a, b)
+	}
+}
+
+// faultGrid crosses the fault scenario with loads, seeds and a fault
+// variant axis (including one with decommissions and spares), the shape
+// the determinism property must hold over.
+func faultGrid(base int64) Grid {
+	return Grid{
+		Base:  faultScenario(base),
+		Loads: []float64{0.8, 1.1},
+		Seeds: Seeds(base, 2),
+		Variants: []Variant{
+			{Label: "churn"},
+			{Label: "churn, cache survives", Mutate: func(s *Scenario) {
+				s.Faults.CacheLoss = false
+			}},
+			{Label: "decommission+spares", Mutate: func(s *Scenario) {
+				s.Faults.DecommissionProb = 0.3
+				s.Faults.SpareNodes = 2
+				s.Faults.JoinHours = 24
+				s.Faults.DayNightSwing = 0.5
+			}},
+		},
+	}
+}
+
+// TestFaultGridSharedPoolMatchesSerial extends the serial ≡ parallel ≡
+// shared-pool byte-identity contract (TestGridSharedPoolMatchesSerial)
+// to fault-enabled grids: churn draws come from a per-cell SplitMix64
+// stream, so execution shape must not leak into results.
+func TestFaultGridSharedPoolMatchesSerial(t *testing.T) {
+	serial, err := faultGrid(5).Execute(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := faultGrid(5).Execute(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(4)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	var shared, sibling *RunSet
+	var sharedErr, siblingErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		shared, sharedErr = faultGrid(5).Execute(Options{Pool: pool})
+	}()
+	go func() {
+		defer wg.Done()
+		sibling, siblingErr = faultGrid(17).Execute(Options{Pool: pool})
+	}()
+	wg.Wait()
+	if sharedErr != nil || siblingErr != nil {
+		t.Fatalf("shared-pool executions failed: %v, %v", sharedErr, siblingErr)
+	}
+
+	want := marshal(t, serial.Results)
+	if got := marshal(t, parallel.Results); string(got) != string(want) {
+		t.Errorf("parallel fault grid differs from serial:\nserial: %s\nparallel: %s", want, got)
+	}
+	if got := marshal(t, shared.Results); string(got) != string(want) {
+		t.Errorf("shared-pool fault grid differs from serial:\nserial: %s\nshared: %s", want, got)
+	}
+	sibSerial, err := faultGrid(17).Execute(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := marshal(t, sibSerial.Results), marshal(t, sibling.Results); string(a) != string(b) {
+		t.Errorf("concurrent sibling fault grid differs from its serial run:\n%s\n%s", a, b)
+	}
+}
+
+// TestCancelDuringRepairStorm cancels one shared-pool submission while
+// its cells are mid-repair-storm and asserts the sibling submission is
+// untouched (byte-identical to its serial execution) and no goroutines
+// leak past the pool's own workers.
+func TestCancelDuringRepairStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	pool := NewPool(4)
+	storm := faultGrid(23)
+	// A repair storm: nodes fail every few simulated hours and spend half
+	// their life down, so requeues are constant.
+	storm.Base.Faults = cluster.FaultModel{MTBFHours: 4, RepairHours: 4, CacheLoss: true}
+	storm.Seeds = Seeds(23, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan *RunSet, 1)
+	go func() {
+		opts := Options{Pool: pool, Context: ctx, Progress: func(ProgressUpdate) { cancel() }}
+		rs, _ := storm.Execute(opts)
+		cancelled <- rs
+	}()
+
+	sibling, err := faultGrid(29).Execute(Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := <-cancelled
+	if rs.Err == nil {
+		t.Log("storm grid finished before the cancel landed; leak and sibling checks still apply")
+	}
+
+	serial, err := faultGrid(29).Execute(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := marshal(t, serial.Results), marshal(t, sibling.Results); string(a) != string(b) {
+		t.Errorf("sibling submission corrupted by cancelled storm:\n%s\n%s", a, b)
+	}
+
+	pool.Close()
+	// The pool's workers exit on Close; give the runtime a moment before
+	// comparing goroutine counts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -39,6 +39,34 @@ func goldenResult() Result {
 	}
 }
 
+// goldenFaultResult populates the node-dynamics extension of the wire
+// format. It lives in separate golden files so result.golden.json keeps
+// proving that fault-free results encode byte-identically to builds that
+// predate node dynamics.
+func goldenFaultResult() Result {
+	r := goldenResult()
+	r.Goodput = 0.96875
+	r.Cluster.Failures = 7
+	r.Cluster.Repairs = 5
+	r.Cluster.Decommissions = 1
+	r.Cluster.NodeJoins = 2
+	r.Cluster.EventsLost = 32_258
+	r.Cluster.Reexecutions = 8
+	return r
+}
+
+func goldenFaultAggregate() Aggregate {
+	r := goldenFaultResult()
+	agg := goldenAggregate()
+	agg.GoodputMean = 0.96875
+	agg.WastedEventsMean = 32_258
+	agg.ReexecutionsMean = 8
+	agg.Results = []Result{r}
+	agg.Replicas = 1
+	agg.Overloaded = 0
+	return agg
+}
+
 func goldenAggregate() Aggregate {
 	r := goldenResult()
 	o := goldenResult()
@@ -94,6 +122,31 @@ func checkGolden(t *testing.T, name string, v any) {
 func TestWireFormatResult(t *testing.T) { checkGolden(t, "result.golden.json", goldenResult()) }
 func TestWireFormatAggregate(t *testing.T) {
 	checkGolden(t, "aggregate.golden.json", goldenAggregate())
+}
+
+// TestWireFormatFaultResult and TestWireFormatFaultAggregate pin the
+// node-dynamics fields (goodput, wasted work, re-executions, churn
+// counters) added for cluster.FaultModel scenarios.
+func TestWireFormatFaultResult(t *testing.T) {
+	checkGolden(t, "result_faults.golden.json", goldenFaultResult())
+}
+func TestWireFormatFaultAggregate(t *testing.T) {
+	checkGolden(t, "aggregate_faults.golden.json", goldenFaultAggregate())
+}
+
+// TestWireFormatFaultFreeOmitsFaultFields: the fault extension must be
+// invisible in fault-free encodings — the property that keeps old golden
+// files, cached results and spec hashes byte-stable.
+func TestWireFormatFaultFreeOmitsFaultFields(t *testing.T) {
+	b, err := json.Marshal(goldenResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"goodput", "failures", "repairs", "decommissions", "node_joins", "events_lost", "reexecutions"} {
+		if bytes.Contains(b, []byte(field)) {
+			t.Errorf("fault-free result encodes %q:\n%s", field, b)
+		}
+	}
 }
 
 // TestWireFormatRoundTrip: decoding the wire format back must restore the

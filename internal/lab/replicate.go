@@ -24,13 +24,20 @@ type Aggregate struct {
 	WaitingStd  float64 `json:"waiting_std_sec"`
 	WaitingCI95 float64 `json:"waiting_ci95_sec"`
 
+	// Node-dynamics means over the steady replicas. Zero — and omitted
+	// from the wire format — for fault-free scenarios, keeping their
+	// encodings byte-identical to earlier builds.
+	GoodputMean      float64 `json:"goodput_mean,omitempty"`
+	WastedEventsMean float64 `json:"wasted_events_mean,omitempty"`
+	ReexecutionsMean float64 `json:"reexecutions_mean,omitempty"`
+
 	Results []Result `json:"results"`
 }
 
 // NewAggregate summarises a set of replica results.
 func NewAggregate(results []Result) Aggregate {
 	agg := Aggregate{Replicas: len(results), Results: results}
-	var sp, wt stats.Summary
+	var sp, wt, gp, wasted, reexec stats.Summary
 	for _, r := range results {
 		if r.Overloaded {
 			agg.Overloaded++
@@ -38,11 +45,17 @@ func NewAggregate(results []Result) Aggregate {
 		}
 		sp.Add(r.AvgSpeedup)
 		wt.Add(r.AvgWaiting)
+		gp.Add(r.Goodput)
+		wasted.Add(float64(r.Cluster.EventsLost))
+		reexec.Add(float64(r.Cluster.Reexecutions))
 	}
 	agg.SpeedupMean, agg.SpeedupStd = sp.Mean(), sp.Std()
 	agg.WaitingMean, agg.WaitingStd = wt.Mean(), wt.Std()
 	agg.SpeedupCI95 = ci95(sp)
 	agg.WaitingCI95 = ci95(wt)
+	agg.GoodputMean = gp.Mean()
+	agg.WastedEventsMean = wasted.Mean()
+	agg.ReexecutionsMean = reexec.Mean()
 	return agg
 }
 
@@ -71,7 +84,7 @@ func (a Aggregate) MeanResult() Result {
 		out.Overloaded = true
 		return out
 	}
-	var speed, wait, maxw, p99, proc, simt stats.Summary
+	var speed, wait, maxw, p99, proc, simt, good stats.Summary
 	jobs := 0
 	for _, r := range a.Results {
 		if r.Overloaded {
@@ -83,8 +96,10 @@ func (a Aggregate) MeanResult() Result {
 		p99.Add(r.P99Waiting)
 		proc.Add(r.AvgProc)
 		simt.Add(r.SimTime)
+		good.Add(r.Goodput)
 		jobs += r.MeasuredJobs
 	}
+	out.Goodput = good.Mean()
 	out.AvgSpeedup = speed.Mean()
 	out.AvgWaiting = wait.Mean()
 	out.MaxWaiting = maxw.Max()

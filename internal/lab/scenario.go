@@ -63,12 +63,29 @@ type Scenario struct {
 	// Workload.
 	NewWorkload func(seed int64, jobsPerHour float64) workload.Source
 
+	// Faults configures node churn (failures, repairs, decommissions,
+	// late joins; see cluster.FaultModel). The zero value — the default —
+	// simulates the paper's never-failing cluster, bit-identically to
+	// builds that predate node dynamics: fault randomness branches off a
+	// dedicated SplitMix64 seed stream and never touches the workload or
+	// engine draws.
+	Faults cluster.FaultModel
+
 	// Trace, when non-nil, records job/subjob lifecycle events and
 	// periodic cluster samples.
 	Trace *trace.Recorder
 	// SampleEvery is the cluster sampling period for Trace, in seconds
 	// (default 1 hour when Trace is set).
 	SampleEvery float64
+
+	// Hooks, when non-nil, runs after the cluster is built and fully
+	// wired (policy attached, collector and fault callbacks installed)
+	// and before the first arrival. It may wrap the cluster's callbacks —
+	// internal/simtest instruments invariant checking through it. Hooks
+	// must not retain state across runs when the scenario is used in a
+	// grid: every cell invokes the same closure, concurrently under
+	// parallel execution.
+	Hooks func(*cluster.Cluster)
 }
 
 // Result summarises one simulation run. The JSON field names are the wire
@@ -79,15 +96,21 @@ type Result struct {
 	PolicyName string   `json:"policy"`
 	Load       float64  `json:"load_jobs_per_hour"`
 
-	Overloaded   bool          `json:"overloaded"`
-	AvgSpeedup   float64       `json:"avg_speedup"`
-	AvgWaiting   float64       `json:"avg_waiting_sec"`    // seconds
-	MaxWaiting   float64       `json:"max_waiting_sec"`    // seconds
-	P99Waiting   float64       `json:"p99_waiting_sec"`    // seconds
-	AvgProc      float64       `json:"avg_processing_sec"` // seconds
-	MeasuredJobs int           `json:"measured_jobs"`
-	SimTime      float64       `json:"sim_time_sec"` // seconds of simulated time covered
-	Cluster      cluster.Stats `json:"cluster"`
+	Overloaded   bool    `json:"overloaded"`
+	AvgSpeedup   float64 `json:"avg_speedup"`
+	AvgWaiting   float64 `json:"avg_waiting_sec"`    // seconds
+	MaxWaiting   float64 `json:"max_waiting_sec"`    // seconds
+	P99Waiting   float64 `json:"p99_waiting_sec"`    // seconds
+	AvgProc      float64 `json:"avg_processing_sec"` // seconds
+	MeasuredJobs int     `json:"measured_jobs"`
+	SimTime      float64 `json:"sim_time_sec"` // seconds of simulated time covered
+	// Goodput is the fraction of computed event-work that survived —
+	// 1 − EventsLost/(events processed from all sources). Only set for
+	// fault-enabled scenarios (omitted otherwise, keeping fault-free
+	// encodings byte-identical to earlier builds); the raw wasted-work
+	// and re-execution counters live in Cluster.
+	Goodput float64       `json:"goodput,omitempty"`
+	Cluster cluster.Stats `json:"cluster"`
 	// Collector holds the full per-job record of the run. Run keeps it;
 	// grid execution drops it unless Options.KeepCollectors is set, so
 	// sweeps retain only the summary above instead of pinning every
@@ -141,6 +164,9 @@ func (s Scenario) Validate() error {
 	if s.WarmupJobs < 0 || s.MeasureJobs < 0 {
 		return fmt.Errorf("lab: negative job window (warmup %d, measure %d)", s.WarmupJobs, s.MeasureJobs)
 	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
 	return nil
 }
 
@@ -164,12 +190,29 @@ func RunE(s Scenario) (Result, error) {
 	eng := sim.New(s.Seed)
 	policy := s.NewPolicy()
 	cl := cluster.New(eng, s.Params, policy.ClusterConfig())
+	faulted := s.Faults.Enabled()
+	if faulted {
+		// Spare nodes must exist before Attach so policies that size
+		// their structures off Nodes() see the full roster.
+		frng := rand.New(rand.NewSource(DeriveSeed(s.Seed, faultSeedStream)))
+		if err := cluster.InstallFaults(cl, s.Faults, frng); err != nil {
+			return Result{}, err
+		}
+	}
 	policy.Attach(cl)
 
 	coll := metrics.NewCollector(s.Params, s.WarmupJobs, s.MeasureJobs)
 	coll.DelayIncluded = s.DelayIncluded
 	cl.JobDone = coll.JobFinished
 	cl.SubjobDone = policy.SubjobDone
+	admit := policy.JobArrived
+	if faulted {
+		rq := &requeuer{c: cl, policy: policy}
+		admit = rq.jobArrived
+		cl.SubjobDone = rq.subjobDone
+		cl.NodeDown = rq.nodeDown
+		cl.NodeUp = rq.nodeUp
+	}
 
 	var gen workload.Source
 	switch {
@@ -192,7 +235,9 @@ func RunE(s Scenario) (Result, error) {
 			busy := 0
 			var cacheUsed int64
 			for _, n := range cl.Nodes() {
-				if !n.Idle() {
+				// Running, not !Idle: a down node is never idle but is
+				// not busy either.
+				if n.Running() != nil {
 					busy++
 				}
 				cacheUsed += n.Cache.Used()
@@ -213,19 +258,25 @@ func RunE(s Scenario) (Result, error) {
 		eng.After(period, sample)
 	}
 
+	if s.Hooks != nil {
+		s.Hooks(cl)
+	}
+
 	overloaded := false
+	exhausted := false // a finite workload source returned nil
 	var scheduleArrival func()
 	scheduleArrival = func() {
 		j := gen.Next()
 		if j == nil {
-			return // workload trace exhausted
+			exhausted = true
+			return
 		}
 		eng.At(j.Arrival, func() {
 			coll.JobArrived(j)
 			if s.Trace != nil {
 				s.Trace.Add(trace.Event{Time: eng.Now(), Kind: trace.JobArrived, JobID: j.ID, Events: j.Events()})
 			}
-			policy.JobArrived(j)
+			admit(j)
 			if coll.Backlog() >= s.OverloadBacklog {
 				overloaded = true
 				return // stop feeding; the run ends below
@@ -237,6 +288,15 @@ func RunE(s Scenario) (Result, error) {
 
 	drained := false // a finite workload trace ran out of jobs
 	for !coll.Done() && !overloaded && eng.Now() < s.MaxSimTime {
+		// A fault-enabled engine never empties — every repair arms the
+		// next failure — so a finite workload ends when its last job
+		// does, not when the queue drains. (Fault-free runs keep the
+		// drain exit untouched: their event tail — aging timers and the
+		// like — is part of the pinned behaviour.)
+		if faulted && exhausted && coll.Backlog() == 0 {
+			drained = true
+			break
+		}
 		if !eng.Step() {
 			drained = true
 			break
@@ -256,6 +316,12 @@ func RunE(s Scenario) (Result, error) {
 		SimTime:      eng.Now(),
 		Cluster:      cl.Stats(),
 		Collector:    coll,
+	}
+	if faulted {
+		st := res.Cluster
+		if total := st.EventsFromCache + st.EventsFromRemote + st.EventsFromTape; total > 0 {
+			res.Goodput = 1 - float64(st.EventsLost)/float64(total)
+		}
 	}
 	if !overloaded && complete && len(coll.Results()) > 0 {
 		res.AvgSpeedup = coll.AvgSpeedup()

@@ -1,0 +1,69 @@
+// Invariant coverage for the scenarios the rest of this package's tests
+// exercise, routed through the internal/simtest harness. This lives in
+// the external test package: simtest imports lab, so an internal test
+// file could not import it back.
+package lab_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"physched/internal/cluster"
+	"physched/internal/lab"
+	"physched/internal/model"
+	"physched/internal/sched"
+	"physched/internal/simtest"
+	"physched/internal/workload"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func smallScenario() lab.Scenario {
+	p := model.PaperCalibrated()
+	p.Nodes = 4
+	p.CacheBytes = 20 * model.GB
+	p.DataspaceBytes = 200 * model.GB
+	p.MeanJobEvents = 2000
+	return lab.Scenario{
+		Params:      p,
+		NewPolicy:   func() sched.Policy { return sched.NewOutOfOrder() },
+		Load:        1.0,
+		Seed:        5,
+		WarmupJobs:  20,
+		MeasureJobs: 80,
+	}
+}
+
+// TestInvariantsBaseline holds the paper's fault-free configuration to
+// the simtest contract.
+func TestInvariantsBaseline(t *testing.T) {
+	simtest.Run(t, smallScenario())
+}
+
+// TestInvariantsUnderChurn holds the same scenario to the contract with
+// every fault mechanism enabled at once.
+func TestInvariantsUnderChurn(t *testing.T) {
+	s := smallScenario()
+	s.Faults = cluster.FaultModel{
+		MTBFHours: 36, RepairHours: 3, CacheLoss: true,
+		DayNightSwing: 0.5, DecommissionProb: 0.1, SpareNodes: 2, JoinHours: 24,
+	}
+	res := simtest.Run(t, s)
+	if !res.Overloaded && res.Cluster.Failures == 0 {
+		t.Error("churn scenario saw no failures")
+	}
+}
+
+// TestInvariantsInhomogeneousWorkload holds the day/night workload — the
+// other stochastic extension — to the contract, with and without churn.
+func TestInvariantsInhomogeneousWorkload(t *testing.T) {
+	s := smallScenario()
+	params := s.Params
+	s.NewWorkload = func(seed int64, jobsPerHour float64) workload.Source {
+		return workload.NewInhomogeneous(params, newRand(seed),
+			workload.DayNight(jobsPerHour, 0.8), jobsPerHour*1.8)
+	}
+	simtest.Run(t, s)
+	s.Faults = cluster.FaultModel{MTBFHours: 48, RepairHours: 2}
+	simtest.Run(t, s)
+}

@@ -183,9 +183,11 @@ func (p Params) Validate() error {
 }
 
 // SpeedFactor returns node i's CPU time multiplier (1 for identical
-// nodes).
+// nodes). Nodes beyond the configured factors — spares that joined a
+// running cluster late, which Validate cannot know about — run at the
+// reference speed.
 func (p Params) SpeedFactor(i int) float64 {
-	if len(p.NodeSpeedFactors) == 0 {
+	if i >= len(p.NodeSpeedFactors) {
 		return 1
 	}
 	return p.NodeSpeedFactors[i]

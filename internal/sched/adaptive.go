@@ -156,3 +156,8 @@ func (p *Adaptive) flushPending() {
 func (p *Adaptive) SubjobDone(n *cluster.Node, sj *job.Subjob) {
 	p.inner.SubjobDone(n, sj)
 }
+
+// NodeDown and NodeUp forward node churn to the inner delayed scheduler
+// (sched.NodeStateObserver).
+func (p *Adaptive) NodeDown(n *cluster.Node, lost *job.Subjob) { p.inner.NodeDown(n, lost) }
+func (p *Adaptive) NodeUp(n *cluster.Node)                     { p.inner.NodeUp(n) }

@@ -192,6 +192,9 @@ func (p *CacheOriented) splitForNode(n *cluster.Node) {
 			continue
 		}
 		r := m.Running()
+		if r == nil {
+			continue // down node: not idle, yet running nothing
+		}
 		tail := dataspace.Iv(r.Range.End-rem/2, r.Range.End)
 		benefit := p.c.Index().CachedOn(n.ID, tail)
 		if benefit > donorBenefit || (benefit == donorBenefit && rem > donorRem) {

@@ -61,7 +61,8 @@ func (*Delayed) ClusterConfig() cluster.Config {
 
 func (p *Delayed) Attach(c *cluster.Cluster) {
 	p.base.Attach(c)
-	p.nodeQ = make([]subjobDeque, p.params.Nodes)
+	// len(c.Nodes()) covers spare nodes joining late (cluster.FaultModel).
+	p.nodeQ = make([]subjobDeque, len(c.Nodes()))
 	if p.Period > 0 {
 		p.timer = p.eng.At(p.Period, p.periodEnd)
 	}
@@ -209,3 +210,44 @@ const (
 	Delay2Days = 2 * model.Day
 	Delay1Week = model.Week
 )
+
+// NodeDown implements sched.NodeStateObserver. The killed subjob returns
+// to the front of its node's queue — its data is most likely still
+// cached there and the node may be repaired soon. A decommissioned
+// node's backlog (queue plus killed subjob) instead loses its affinity
+// along with the disk and is re-striped as uncached work for the
+// surviving nodes.
+func (p *Delayed) NodeDown(n *cluster.Node, lost *job.Subjob) {
+	if !n.Decommissioned() {
+		if lost != nil {
+			p.nodeQ[n.ID].PushFront(lost)
+		}
+		return
+	}
+	var orphans []*job.Subjob
+	if lost != nil {
+		orphans = append(orphans, lost)
+	}
+	q := &p.nodeQ[n.ID]
+	for !q.Empty() {
+		orphans = append(orphans, q.PopFront())
+	}
+	if len(orphans) == 0 {
+		return
+	}
+	for _, sub := range orphans {
+		sub.NoCacheQueue = true
+		sub.Origin = -1
+	}
+	p.stripeAndGroup(orphans)
+	p.feedIdleNodes()
+}
+
+// NodeUp implements sched.NodeStateObserver: a repaired or late-joining
+// node feeds itself immediately — nothing else would dispatch its
+// private queue before the next arrival or period boundary.
+func (p *Delayed) NodeUp(n *cluster.Node) {
+	if n.Idle() {
+		p.feedNode(n)
+	}
+}

@@ -145,3 +145,60 @@ func TestDelayedTimerNotDuplicated(t *testing.T) {
 		t.Error("a duplicate period timer scheduled the batch after the tracked timer was cancelled")
 	}
 }
+
+// TestDelayedRepairResumesPrivateQueue reproduces the churn liveness
+// trap of per-node queues: work queued on a node that fails is invisible
+// to every other dispatch path, so the repaired node must feed itself on
+// NodeUp — in zero-period mode no period boundary ever comes, and with
+// no further arrivals or completions nothing else would run it.
+func TestDelayedRepairResumesPrivateQueue(t *testing.T) {
+	pol := NewDelayed(0, 1000)
+	h := newHarness(t, pol, nil)
+	h.c.NodeDown = pol.NodeDown
+	h.c.NodeUp = pol.NodeUp
+
+	// Warm node 0's cache so the next jobs queue on its private queue.
+	j1 := h.submit(dataspace.Iv(0, 1000))
+	h.eng.Run()
+	if !j1.Finished {
+		t.Fatal("warm-up job incomplete")
+	}
+	j2 := h.submit(dataspace.Iv(0, 1000)) // runs on node 0 (cached there)
+	j3 := h.submit(dataspace.Iv(0, 1000)) // queues behind it
+	if h.c.Node(0).Running() == nil {
+		t.Fatal("node 0 should be running j2")
+	}
+
+	h.c.FailNode(h.c.Node(0), false)
+	h.eng.Run() // no events left: without NodeUp feeding, j2/j3 strand
+	if j2.Finished || j3.Finished {
+		t.Fatal("jobs finished while their node was down")
+	}
+	h.c.RepairNode(h.c.Node(0))
+	h.eng.Run()
+	if !j2.Finished || !j3.Finished {
+		t.Errorf("repaired node never resumed its queue: j2=%v j3=%v", j2.Finished, j3.Finished)
+	}
+}
+
+// TestDelayedDecommissionRestripes: a decommissioned node's private
+// backlog is re-striped for the surviving nodes instead of stranding.
+func TestDelayedDecommissionRestripes(t *testing.T) {
+	pol := NewDelayed(0, 1000)
+	h := newHarness(t, pol, nil)
+	h.c.NodeDown = pol.NodeDown
+	h.c.NodeUp = pol.NodeUp
+
+	j1 := h.submit(dataspace.Iv(0, 1000))
+	h.eng.Run()
+	if !j1.Finished {
+		t.Fatal("warm-up job incomplete")
+	}
+	j2 := h.submit(dataspace.Iv(0, 1000))
+	j3 := h.submit(dataspace.Iv(0, 1000))
+	h.c.DecommissionNode(h.c.Node(0))
+	h.eng.Run()
+	if !j2.Finished || !j3.Finished {
+		t.Errorf("decommissioned node's backlog stranded: j2=%v j3=%v", j2.Finished, j3.Finished)
+	}
+}

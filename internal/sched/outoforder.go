@@ -56,7 +56,9 @@ func (p *OutOfOrder) ClusterConfig() cluster.Config {
 
 func (p *OutOfOrder) Attach(c *cluster.Cluster) {
 	p.base.Attach(c)
-	p.nodeQ = make([]subjobDeque, p.params.Nodes)
+	// The roster may exceed Params.Nodes when spare nodes join late
+	// (cluster.FaultModel); every node needs a queue from the start.
+	p.nodeQ = make([]subjobDeque, len(c.Nodes()))
 }
 
 func (p *OutOfOrder) JobArrived(j *job.Job) {
@@ -88,7 +90,7 @@ func (p *OutOfOrder) placeCached(sub *job.Subjob, node int) {
 		p.c.Dispatch(n, sub)
 		return
 	}
-	if r := n.Running(); r.NoCacheQueue || r.Yielding {
+	if r := n.Running(); r != nil && (r.NoCacheQueue || r.Yielding) {
 		// Suspend the non-cached worker back to the front of the queue it
 		// came from (Table 3).
 		rem := p.c.Preempt(n)
@@ -229,4 +231,22 @@ func (p *OutOfOrder) steal(n *cluster.Node) {
 	stolen.Yielding = true
 	stolen.Origin = donor.ID
 	p.c.Dispatch(n, stolen)
+}
+
+// NodeDown implements sched.NodeStateObserver: the killed subjob goes
+// back to the front of the queue it came from, exactly like a preempted
+// remainder, and the idle-node rules run immediately — another node may
+// adopt it or steal the down node's queued work on the spot.
+func (p *OutOfOrder) NodeDown(n *cluster.Node, lost *job.Subjob) {
+	if lost != nil {
+		p.requeueFront(lost)
+	}
+	p.feedIdleNodes()
+}
+
+// NodeUp implements sched.NodeStateObserver: the repaired or joining
+// node feeds itself — private queue, shared queues, then stealing —
+// without waiting for the next arrival or completion.
+func (p *OutOfOrder) NodeUp(n *cluster.Node) {
+	p.feedIdleNodes()
 }

@@ -36,7 +36,9 @@ func (*Partitioned) ClusterConfig() cluster.Config {
 
 func (p *Partitioned) Attach(c *cluster.Cluster) {
 	p.base.Attach(c)
-	n := p.params.Nodes
+	// Partition over the full roster, including spare nodes that join
+	// late (cluster.FaultModel): a spare's slice queues until it arrives.
+	n := len(c.Nodes())
 	total := p.params.TotalEvents()
 	p.bounds = make([]int64, n+1)
 	for i := 0; i <= n; i++ {
@@ -70,6 +72,18 @@ func (p *Partitioned) JobArrived(j *job.Job) {
 }
 
 func (p *Partitioned) enqueue(node int, sub *job.Subjob) {
+	// A decommissioned owner never returns; its partition's work moves
+	// to the live node with the shortest queue. A merely-down owner
+	// keeps its queue — the backlog resumes on repair.
+	if p.c.Node(node).Decommissioned() {
+		live := p.fallback()
+		if live == nil {
+			p.nodeQ[node].PushBack(sub) // whole cluster gone; park it
+			return
+		}
+		node = live.ID
+		sub.Origin = node
+	}
 	n := p.c.Node(node)
 	if n.Idle() {
 		p.c.Dispatch(n, sub)
@@ -78,9 +92,64 @@ func (p *Partitioned) enqueue(node int, sub *job.Subjob) {
 	p.nodeQ[node].PushBack(sub)
 }
 
+// fallback returns the node to inherit a dead partition's work: up nodes
+// before down-but-repairable ones (work parked on a down node waits out
+// its whole repair), shortest queue within each class, lowest ID on
+// ties; nil when every node is decommissioned.
+func (p *Partitioned) fallback() *cluster.Node {
+	var best *cluster.Node
+	var bestLen int
+	for _, n := range p.c.Nodes() {
+		if n.Decommissioned() {
+			continue
+		}
+		l := p.nodeQ[n.ID].Len()
+		switch {
+		case best == nil,
+			n.Up() && !best.Up(),
+			n.Up() == best.Up() && l < bestLen:
+			best, bestLen = n, l
+		}
+	}
+	return best
+}
+
 func (p *Partitioned) SubjobDone(n *cluster.Node, _ *job.Subjob) {
 	if !p.nodeQ[n.ID].Empty() {
 		p.c.Dispatch(n, p.nodeQ[n.ID].PopFront())
+	}
+}
+
+// NodeDown implements sched.NodeStateObserver. The killed subjob returns
+// to the front of its owner's queue — the partition still owns the data
+// — and a decommissioned owner's entire backlog is reassigned, since
+// nothing would ever drain it.
+func (p *Partitioned) NodeDown(n *cluster.Node, lost *job.Subjob) {
+	if lost != nil {
+		p.nodeQ[n.ID].PushFront(lost)
+	}
+	if n.Decommissioned() {
+		p.reassign(n)
+	}
+}
+
+// NodeUp implements sched.NodeStateObserver: a repaired or late-joining
+// owner resumes its backlog immediately.
+func (p *Partitioned) NodeUp(n *cluster.Node) {
+	if n.Idle() && !p.nodeQ[n.ID].Empty() {
+		p.c.Dispatch(n, p.nodeQ[n.ID].PopFront())
+	}
+}
+
+// reassign drains a decommissioned owner's queue through enqueue, which
+// re-targets each subjob at the live fallback node.
+func (p *Partitioned) reassign(dead *cluster.Node) {
+	if p.fallback() == nil {
+		return // all nodes decommissioned; the run is ending anyway
+	}
+	q := &p.nodeQ[dead.ID]
+	for !q.Empty() {
+		p.enqueue(dead.ID, q.PopFront())
 	}
 }
 

@@ -166,3 +166,42 @@ func TestPartitionedVersusDynamicPolicies(t *testing.T) {
 		t.Errorf("out-of-order makespan %.0f should beat partitioned %.0f on skewed load", mO, mP)
 	}
 }
+
+// TestPartitionedDecommissionPrefersUpNodes: a decommissioned owner's
+// backlog must land on an up node, not be parked on a down-but-repairable
+// one that happens to have the shortest queue and the lowest ID.
+func TestPartitionedDecommissionPrefersUpNodes(t *testing.T) {
+	pol := NewPartitioned()
+	h := newHarness(t, pol, nil)
+	h.c.NodeDown = pol.NodeDown
+	h.c.NodeUp = pol.NodeUp
+	third := h.c.Params().TotalEvents() / 3
+
+	// Two jobs inside partition 1: the first runs on node 1, the second
+	// queues behind it.
+	j1 := h.submit(dataspace.Iv(third+100, third+600))
+	j2 := h.submit(dataspace.Iv(third+700, third+1200))
+	if got := pol.QueueDepth(1); got != 1 {
+		t.Fatalf("node 1 queue depth %d, want 1", got)
+	}
+
+	// Node 0 goes down repairable (idle, empty queue, lowest ID) —
+	// the trap fallback must not fall into.
+	h.c.FailNode(h.c.Node(0), false)
+	// Node 1 leaves for good with its running subjob and backlog.
+	h.c.DecommissionNode(h.c.Node(1))
+
+	if got := pol.QueueDepth(0); got != 0 {
+		t.Errorf("reassigned work parked on down node 0 (queue depth %d)", got)
+	}
+	if h.c.Node(2).Running() == nil {
+		t.Error("up node 2 idle while reassigned work waits")
+	}
+	if got := pol.QueueDepth(1); got != 0 {
+		t.Errorf("dead owner keeps %d queued subjobs", got)
+	}
+	h.eng.Run()
+	if !j1.Finished || !j2.Finished {
+		t.Errorf("reassigned jobs incomplete: j1=%+v j2=%+v", j1, j2)
+	}
+}

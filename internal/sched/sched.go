@@ -39,6 +39,21 @@ type Policy interface {
 	SubjobDone(n *cluster.Node, sj *job.Subjob)
 }
 
+// NodeStateObserver is optionally implemented by a Policy that wants to
+// own its reaction to node churn (cluster.FaultModel). NodeDown receives
+// the subjob the failing node lost, or nil when it was idle; the policy
+// then owns the lost work and must eventually re-dispatch it. NodeUp
+// fires on repair and late join.
+//
+// Policies that do not implement it keep working unchanged: a down node
+// reports Idle() == false and Running() == nil, so idle scans skip it and
+// preemption logic never touches it, and the lab's generic requeue
+// adapter re-dispatches lost subjobs on the next node that goes idle.
+type NodeStateObserver interface {
+	NodeDown(n *cluster.Node, lost *job.Subjob)
+	NodeUp(n *cluster.Node)
+}
+
 // base carries the state shared by all policies.
 type base struct {
 	c      *cluster.Cluster

@@ -1,0 +1,131 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+
+	"physched/internal/cluster"
+	"physched/internal/job"
+	"physched/internal/lab"
+	"physched/internal/model"
+	"physched/internal/sched"
+)
+
+// scenario returns a small, fast scenario for the given policy.
+func scenario(t *testing.T, policy string, faults cluster.FaultModel) lab.Scenario {
+	t.Helper()
+	p := model.PaperCalibrated()
+	p.Nodes = 4
+	p.CacheBytes = 20 * model.GB
+	p.DataspaceBytes = 200 * model.GB
+	p.MeanJobEvents = 2000
+	return lab.Scenario{
+		Params: p,
+		NewPolicy: func() sched.Policy {
+			pol, err := sched.New(policy, sched.Args{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pol
+		},
+		Load:        0.9,
+		Seed:        11,
+		WarmupJobs:  15,
+		MeasureJobs: 60,
+		Faults:      faults,
+	}
+}
+
+// TestInvariantsAcrossPolicies runs every registered policy through the
+// harness, fault-free and under two churn regimes — the cross-cutting
+// assertion that node dynamics violate no simulation invariant under any
+// scheduling logic.
+func TestInvariantsAcrossPolicies(t *testing.T) {
+	regimes := []struct {
+		name   string
+		faults cluster.FaultModel
+	}{
+		{"no faults", cluster.FaultModel{}},
+		{"churn", cluster.FaultModel{MTBFHours: 72, RepairHours: 2, CacheLoss: true}},
+		{"harsh churn", cluster.FaultModel{
+			MTBFHours: 24, RepairHours: 4, CacheLoss: true,
+			DayNightSwing: 0.6, DecommissionProb: 0.05, SpareNodes: 2, JoinHours: 12,
+		}},
+	}
+	for _, name := range sched.Names() {
+		for _, reg := range regimes {
+			t.Run(name+"/"+strings.ReplaceAll(reg.name, " ", "-"), func(t *testing.T) {
+				s := scenario(t, name, reg.faults)
+				res := Run(t, s)
+				if reg.faults.Enabled() && !res.Overloaded && res.Cluster.Failures == 0 {
+					t.Error("churn regime produced no failures; window too short?")
+				}
+			})
+		}
+	}
+}
+
+// TestFaultGridDeterminism: fault-enabled grids — every churn mechanism
+// at once — must stay byte-identical across serial, parallel and
+// shared-pool execution, extending the TestGridSharedPoolMatchesSerial
+// family to node dynamics.
+func TestFaultGridDeterminism(t *testing.T) {
+	base := scenario(t, "outoforder", cluster.FaultModel{
+		MTBFHours: 36, RepairHours: 2, CacheLoss: true,
+		DayNightSwing: 0.5, DecommissionProb: 0.1, SpareNodes: 1,
+	})
+	rs := CheckGridDeterminism(t, lab.Grid{
+		Base:  base,
+		Loads: []float64{0.7, 1.0},
+		Seeds: lab.Seeds(3, 2),
+		Variants: []lab.Variant{
+			{Label: "churn"},
+			{Label: "cache survives", Mutate: func(s *lab.Scenario) { s.Faults.CacheLoss = false }},
+		},
+	})
+	churned := 0
+	for _, r := range rs.Results {
+		if r.Cluster.Failures > 0 {
+			churned++
+		}
+	}
+	if churned == 0 {
+		t.Error("determinism grid exercised no failures")
+	}
+}
+
+// recordingTB counts Errorf calls instead of failing the enclosing test,
+// so checker-detects-breakage tests can assert on them.
+type recordingTB struct {
+	testing.TB
+	errors int
+}
+
+func (r *recordingTB) Errorf(string, ...any) { r.errors++ }
+func (r *recordingTB) Helper()               {}
+
+// TestCheckerCatchesDoubleCompletion: the harness must fail, not pass,
+// on a broken simulation — here one whose JobDone fires twice per job.
+func TestCheckerCatchesDoubleCompletion(t *testing.T) {
+	s := scenario(t, "farm", cluster.FaultModel{})
+	ck := New()
+	ck.Instrument(&s)
+	prev := s.Hooks
+	s.Hooks = func(c *cluster.Cluster) {
+		prev(c) // checker attaches first, so the sabotage wraps its view
+		inner := c.JobDone
+		c.JobDone = func(j *job.Job) {
+			inner(j)
+			inner(j)
+		}
+	}
+	res, err := lab.RunE(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingTB{TB: t}
+	ck.Verify(rec, res)
+	if rec.errors == 0 {
+		t.Fatal("checker accepted a run with double job completions")
+	}
+}

@@ -1,0 +1,179 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"physched/internal/cluster"
+)
+
+// TestFaultsSpecCompiles: a faults block reaches the compiled scenario as
+// a validated cluster.FaultModel with the named defaults filled in.
+func TestFaultsSpecCompiles(t *testing.T) {
+	s := smallSpec()
+	s.Faults = Faults{MTBFHours: 200, CacheLoss: true, SpareNodes: 1}
+	sc, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.FaultModel{
+		MTBFHours:   200,
+		RepairHours: cluster.DefaultRepairHours,
+		CacheLoss:   true,
+		SpareNodes:  1,
+		JoinHours:   cluster.DefaultJoinHours,
+	}
+	if sc.Faults != want {
+		t.Errorf("compiled faults %+v, want %+v", sc.Faults, want)
+	}
+}
+
+// TestFaultsBackwardCompatibleHash: the zero faults block encodes to
+// nothing, so a spec written before node dynamics existed keeps its
+// canonical form and hash.
+func TestFaultsBackwardCompatibleHash(t *testing.T) {
+	c, err := smallSpec().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(c, []byte("faults")) {
+		t.Errorf("fault-free canonical form mentions faults:\n%s", c)
+	}
+}
+
+// TestFaultsDefaultsHashIdentical: leaving repair_hours/join_hours to
+// default and naming the default values explicitly mean the same
+// scenario, so they must share one hash.
+func TestFaultsDefaultsHashIdentical(t *testing.T) {
+	implicit := smallSpec()
+	implicit.Faults = Faults{MTBFHours: 100, SpareNodes: 2}
+	explicit := smallSpec()
+	explicit.Faults = Faults{
+		MTBFHours:   100,
+		RepairHours: cluster.DefaultRepairHours,
+		SpareNodes:  2,
+		JoinHours:   cluster.DefaultJoinHours,
+	}
+	h1, err1 := implicit.Hash()
+	h2, err2 := explicit.Hash()
+	if err1 != nil || err2 != nil || h1 != h2 {
+		t.Errorf("defaulted and explicit faults hash differently: %q (%v) vs %q (%v)", h1, err1, h2, err2)
+	}
+}
+
+// TestFaultsUnknownFieldRejected: a typo inside the faults block must
+// fail parsing like any other unknown field.
+func TestFaultsUnknownFieldRejected(t *testing.T) {
+	body := `{
+		"params": {"nodes": 4, "cache_gb": 10, "mean_job_events": 2000, "dataspace_gb": 200},
+		"policy": {"name": "outoforder"},
+		"load_jobs_per_hour": 1.2,
+		"faults": {"mtbf_hours": 100, "mtfb_hours": 9}
+	}`
+	if _, err := Parse(strings.NewReader(body)); err == nil {
+		t.Fatal("unknown faults field accepted")
+	}
+}
+
+// TestFaultsRejectsOutOfRange: out-of-range fault parameters fail spec
+// validation with a diagnosable error.
+func TestFaultsRejectsOutOfRange(t *testing.T) {
+	cases := []Faults{
+		{MTBFHours: -1},
+		{MTBFHours: 10, RepairHours: -2},
+		{MTBFHours: 10, DayNightSwing: 1.5},
+		{MTBFHours: 10, DecommissionProb: 2},
+		{SpareNodes: -1},
+		{DayNightSwing: 0.5},  // swing without failures
+		{CacheLoss: true},     // failure knobs without a failure rate
+		{RepairHours: 3},      //
+		{JoinHours: 12},       // join timing without spares
+		{DecommissionProb: 1}, //
+	}
+	for _, f := range cases {
+		s := smallSpec()
+		s.Faults = f
+		if err := s.Validate(); err == nil {
+			t.Errorf("faults %+v accepted", f)
+		}
+	}
+}
+
+// FuzzFaultsCanonicalRoundTrip drives the canonicalisation identity over
+// the faults block: for every valid faulted spec the fuzzer reaches,
+// encode→decode→encode of the canonical form must be byte-identical and
+// the hash stable — the property content-addressed caching of faulted
+// scenarios rests on.
+func FuzzFaultsCanonicalRoundTrip(f *testing.F) {
+	f.Add(100.0, 0.0, 0.0, false, 0.0, 0, 0.0)
+	f.Add(48.0, 2.0, 0.8, true, 0.05, 3, 12.0)
+	f.Add(0.0, 0.0, 0.0, false, 0.0, 2, 0.0)
+	f.Fuzz(func(t *testing.T, mtbf, repair, swing float64, cacheLoss bool,
+		decom float64, spares int, join float64) {
+		s := smallSpec()
+		s.Faults = Faults{
+			MTBFHours:        mtbf,
+			RepairHours:      repair,
+			DayNightSwing:    swing,
+			CacheLoss:        cacheLoss,
+			DecommissionProb: decom,
+			SpareNodes:       spares,
+			JoinHours:        join,
+		}
+		c, err := s.Canonical()
+		if err != nil {
+			t.Skip() // invalid faults: rejection is under test above
+		}
+		back, err := Parse(bytes.NewReader(c))
+		if err != nil {
+			t.Fatalf("canonical form does not parse: %v\n%s", err, c)
+		}
+		c2, err := back.Canonical()
+		if err != nil {
+			t.Fatalf("canonical form does not re-canonicalise: %v\n%s", err, c)
+		}
+		if !bytes.Equal(c, c2) {
+			t.Fatalf("canonical form unstable:\n%s\n%s", c, c2)
+		}
+		h1, err1 := s.Hash()
+		h2, err2 := back.Hash()
+		if err1 != nil || err2 != nil || h1 != h2 {
+			t.Fatalf("hash unstable: %q (%v) vs %q (%v)", h1, err1, h2, err2)
+		}
+	})
+}
+
+// TestGridFaultsVariantOverlay: a variant's faults block replaces the
+// base's wholesale and reaches the compiled cell scenario.
+func TestGridFaultsVariantOverlay(t *testing.T) {
+	base := smallSpec()
+	base.Faults = Faults{MTBFHours: 500}
+	g := Grid{
+		Base: base,
+		Variants: []Variant{
+			{Label: "base churn"},
+			{Label: "harsh churn", Faults: &Faults{MTBFHours: 10, RepairHours: 8, CacheLoss: true}},
+		},
+		Loads: []float64{1.0},
+	}
+	lg, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := lg.Cells()
+	if got := cells[0].Scenario.Faults.MTBFHours; got != 500 {
+		t.Errorf("base variant MTBF %v, want 500", got)
+	}
+	harsh := cells[1].Scenario.Faults
+	if harsh.MTBFHours != 10 || harsh.RepairHours != 8 || !harsh.CacheLoss {
+		t.Errorf("variant faults not applied: %+v", harsh)
+	}
+	// The overlay must also split the cell content keys.
+	keys := g.Keys()
+	k0, ok0 := keys(cells[0])
+	k1, ok1 := keys(cells[1])
+	if !ok0 || !ok1 || k0 == k1 {
+		t.Errorf("fault variants share a cell key: %q vs %q", k0, k1)
+	}
+}

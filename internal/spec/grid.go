@@ -20,6 +20,7 @@ type Variant struct {
 	Policy   *Policy   `json:"policy,omitempty"`
 	Params   *Params   `json:"params,omitempty"`
 	Workload *Workload `json:"workload,omitempty"`
+	Faults   *Faults   `json:"faults,omitempty"`
 }
 
 // Grid is a declarative scenario space — a base spec crossed with
@@ -75,6 +76,9 @@ func (g Grid) variantSpec(vi int) Spec {
 	}
 	if v.Workload != nil {
 		s.Workload = *v.Workload
+	}
+	if v.Faults != nil {
+		s.Faults = *v.Faults
 	}
 	return s
 }
@@ -176,6 +180,10 @@ func (g Grid) normalize() Grid {
 			if v.Workload != nil {
 				w := v.Workload.normalize()
 				vs[i].Workload = &w
+			}
+			if v.Faults != nil {
+				f := v.Faults.normalize()
+				vs[i].Faults = &f
 			}
 		}
 		g.Variants = vs

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 
+	"physched/internal/cluster"
 	"physched/internal/lab"
 	"physched/internal/model"
 	"physched/internal/sched"
@@ -161,6 +162,69 @@ func (w Workload) normalize() Workload {
 	return w
 }
 
+// Faults is the declarative node-churn block, mirroring
+// cluster.FaultModel field by field. The zero value — and an absent
+// "faults" key — means the paper's never-failing cluster and encodes to
+// nothing, so specs written before node dynamics existed keep their
+// hashes.
+type Faults struct {
+	// MTBFHours is each up node's mean time between failures, in hours.
+	// Zero disables failures.
+	MTBFHours float64 `json:"mtbf_hours,omitempty"`
+	// RepairHours is the mean repair time; zero means the default
+	// (cluster.DefaultRepairHours), which canonicalisation makes explicit.
+	RepairHours float64 `json:"repair_hours,omitempty"`
+	// DayNightSwing in [0,1) modulates the failure rate over a 24 h cycle.
+	DayNightSwing float64 `json:"daynight_swing,omitempty"`
+	// CacheLoss wipes the failing node's disk cache.
+	CacheLoss bool `json:"cache_loss,omitempty"`
+	// DecommissionProb is the probability a failure is permanent.
+	DecommissionProb float64 `json:"decommission_prob,omitempty"`
+	// SpareNodes is the number of extra nodes that join the cluster late.
+	SpareNodes int `json:"spare_nodes,omitempty"`
+	// JoinHours is the mean time until a spare joins; zero means the
+	// default (cluster.DefaultJoinHours), made explicit by normalisation.
+	JoinHours float64 `json:"join_hours,omitempty"`
+}
+
+// Model resolves the block into a validated cluster.FaultModel.
+func (f Faults) Model() (cluster.FaultModel, error) {
+	m := cluster.FaultModel{
+		MTBFHours:        f.MTBFHours,
+		RepairHours:      f.RepairHours,
+		DayNightSwing:    f.DayNightSwing,
+		CacheLoss:        f.CacheLoss,
+		DecommissionProb: f.DecommissionProb,
+		SpareNodes:       f.SpareNodes,
+		JoinHours:        f.JoinHours,
+	}
+	if err := m.Validate(); err != nil {
+		return cluster.FaultModel{}, err
+	}
+	return m.WithDefaults(), nil
+}
+
+// normalize fills the defaulted time constants so a spec relying on them
+// hashes identically to one naming them. The default rules live solely
+// in cluster.FaultModel.WithDefaults (via Model), so the canonical form
+// cannot drift from what actually runs. A disabled block stays zero, and
+// an invalid one passes through for Validate to report.
+func (f Faults) normalize() Faults {
+	m, err := f.Model()
+	if err != nil {
+		return f
+	}
+	return Faults{
+		MTBFHours:        m.MTBFHours,
+		RepairHours:      m.RepairHours,
+		DayNightSwing:    m.DayNightSwing,
+		CacheLoss:        m.CacheLoss,
+		DecommissionProb: m.DecommissionProb,
+		SpareNodes:       m.SpareNodes,
+		JoinHours:        m.JoinHours,
+	}
+}
+
 // Spec is one declarative simulation scenario: everything lab.Scenario
 // expresses, minus the closures. It is the unit of canonicalisation,
 // hashing and caching.
@@ -171,6 +235,7 @@ type Spec struct {
 	Params   Params   `json:"params,omitzero"`
 	Policy   Policy   `json:"policy"`
 	Workload Workload `json:"workload,omitzero"`
+	Faults   Faults   `json:"faults,omitzero"`
 
 	// Load is the mean arrival rate, in jobs per hour.
 	Load float64 `json:"load_jobs_per_hour"`
@@ -219,6 +284,9 @@ func (s Spec) Validate() error {
 	if _, err := s.Workload.resolve(params, 1, s.Load); err != nil {
 		return err
 	}
+	if _, err := s.Faults.Model(); err != nil {
+		return fmt.Errorf("spec: faults: %w", err)
+	}
 	if s.WarmupJobs < 0 || s.MeasureJobs < 0 {
 		return fmt.Errorf("spec: negative job window (warmup %d, measure %d)", s.WarmupJobs, s.MeasureJobs)
 	}
@@ -239,6 +307,7 @@ func (s Spec) normalize() Spec {
 	}
 	s.Params = s.Params.normalize()
 	s.Workload = s.Workload.normalize()
+	s.Faults = s.Faults.normalize()
 	return s
 }
 
@@ -274,6 +343,10 @@ func (s Spec) Scenario() (lab.Scenario, error) {
 	if err != nil {
 		return lab.Scenario{}, err
 	}
+	faults, err := s.Faults.Model()
+	if err != nil {
+		return lab.Scenario{}, err
+	}
 	pol, wl := s.Policy, s.Workload
 	sc := lab.Scenario{
 		Params: params,
@@ -301,6 +374,7 @@ func (s Spec) Scenario() (lab.Scenario, error) {
 		OverloadBacklog: s.OverloadBacklog,
 		MaxSimTime:      s.MaxSimTimeDays * model.Day,
 		DelayIncluded:   s.DelayIncluded,
+		Faults:          faults,
 	}
 	if err := sc.Validate(); err != nil {
 		return lab.Scenario{}, err

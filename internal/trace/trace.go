@@ -23,7 +23,13 @@ const (
 	JobFinished    Kind = "job_finished"
 	SubjobStarted  Kind = "subjob_started"
 	SubjobFinished Kind = "subjob_finished"
-	Sample         Kind = "sample" // periodic cluster state sample
+	// SubjobLost records a subjob killed by its node failing; Events
+	// carries the wasted work (events computed then discarded).
+	SubjobLost Kind = "subjob_lost"
+	// NodeDown and NodeUp record node churn (failure, repair, late join).
+	NodeDown Kind = "node_down"
+	NodeUp   Kind = "node_up"
+	Sample   Kind = "sample" // periodic cluster state sample
 )
 
 // Event is one trace record. Fields are pointers-free and JSON-friendly;
@@ -177,7 +183,7 @@ func Timeline(events []Event, nodes int, horizon float64) []float64 {
 		switch e.Kind {
 		case SubjobStarted:
 			open[e.Node] = e.Time
-		case SubjobFinished:
+		case SubjobFinished, SubjobLost:
 			if t0, ok := open[e.Node]; ok {
 				busy[e.Node] += e.Time - t0
 				delete(open, e.Node)

@@ -42,6 +42,7 @@ import (
 	"io"
 	"math/rand"
 
+	"physched/internal/cluster"
 	"physched/internal/experiments"
 	"physched/internal/lab"
 	"physched/internal/model"
@@ -88,6 +89,12 @@ type Aggregate = lab.Aggregate
 
 // Policy is the scheduling-policy plugin interface.
 type Policy = sched.Policy
+
+// FaultModel configures node churn — stochastic failures (optionally
+// day/night-modulated), repairs, permanent decommissions and late node
+// joins — via Scenario.Faults. The zero value simulates the paper's
+// never-failing cluster.
+type FaultModel = cluster.FaultModel
 
 // Figure is a reproduced paper figure.
 type Figure = experiments.Figure
@@ -199,6 +206,10 @@ type WorkloadSpec = spec.Workload
 
 // ParamsSpec is the declarative cluster-parameter overlay of a Spec.
 type ParamsSpec = spec.Params
+
+// FaultsSpec is the declarative node-churn block of a Spec, mirroring
+// FaultModel field by field.
+type FaultsSpec = spec.Faults
 
 // VariantSpec is one declarative grid variant (whole-field overlays).
 type VariantSpec = spec.Variant
