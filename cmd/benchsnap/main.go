@@ -76,7 +76,15 @@ func parse(r io.Reader) (snapshot, error) {
 		case strings.HasPrefix(line, "goarch:"):
 			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			// Concatenated runs from several packages (CI pipes them into
+			// one snapshot) list every package instead of keeping the last.
+			pkg := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			switch {
+			case snap.Pkg == "":
+				snap.Pkg = pkg
+			case !strings.Contains(";"+snap.Pkg+";", ";"+pkg+";"):
+				snap.Pkg += ";" + pkg
+			}
 		case strings.HasPrefix(line, "cpu:"):
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):

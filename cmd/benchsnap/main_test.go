@@ -47,6 +47,29 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+// TestParseConcatenatedPackages: CI pipes several packages' benchmark
+// runs into one snapshot; every distinct pkg header must be retained.
+func TestParseConcatenatedPackages(t *testing.T) {
+	input := sample + `goos: linux
+goarch: amd64
+pkg: physched/internal/opt
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkStudyRandom-8   	      10	  80123456 ns/op	 2655400 B/op	   21817 allocs/op
+PASS
+ok  	physched/internal/opt	1.234s
+`
+	snap, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Pkg != "physched/internal/lab;physched/internal/opt" {
+		t.Errorf("pkg = %q, want both packages listed", snap.Pkg)
+	}
+	if len(snap.Benchmarks) != 3 || snap.Benchmarks[2].Name != "BenchmarkStudyRandom-8" {
+		t.Errorf("benchmarks not concatenated: %+v", snap.Benchmarks)
+	}
+}
+
 func TestParseRejectsMalformedResult(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkBroken-4",                  // no iterations

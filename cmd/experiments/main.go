@@ -9,7 +9,7 @@
 //
 //	experiments [-fig all|fig2|fig3|fig4|fig5|fig6|fig7|rep|max|farm|
 //	             ab-eviction|ab-steal|ab-replication|ab-hotspot|nodes|
-//	             pipeline|baselines|hetero|daynight|faults]
+//	             pipeline|baselines|hetero|daynight|faults|tune]
 //	            [-quality quick|full] [-seed N] [-csv DIR] [-plots]
 //	            [-parallel N] [-timeout D] [-progress]
 //	experiments -spec grid.json [-cache-dir DIR] [-csv DIR] [-plots] ...
@@ -39,7 +39,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		figFlag  = flag.String("fig", "all", "experiment to run: all, fig2..fig7, rep, max, farm, ab-*, nodes, pipeline, baselines, hetero, daynight, faults")
+		figFlag  = flag.String("fig", "all", "experiment to run: all, fig2..fig7, rep, max, farm, ab-*, nodes, pipeline, baselines, hetero, daynight, faults, tune")
 		quality  = flag.String("quality", "quick", "quick (benchmark scale) or full (report scale)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
@@ -175,6 +175,12 @@ func run(ctx context.Context, id string, q experiments.Quality, seed int64, csvD
 			experiments.DayNight(q, seed))
 	case "faults":
 		out = experiments.RenderFaults(experiments.FaultStudy(q, seed))
+	case "tune":
+		tr, err := experiments.Tune(q, seed)
+		if err != nil {
+			return err
+		}
+		out = experiments.RenderTune(tr)
 	default:
 		return fmt.Errorf("unknown experiment %q (known: %s)",
 			id, strings.Join(experiments.AllFigureIDs(), ", "))

@@ -7,36 +7,42 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
 
-// jobState is the lifecycle of an asynchronously submitted grid.
+// jobState is the lifecycle of an asynchronously submitted execution.
 type jobState string
 
 const (
-	jobRunning jobState = "running"
-	jobDone    jobState = "done"
-	jobFailed  jobState = "failed"
+	jobRunning   jobState = "running"
+	jobDone      jobState = "done"
+	jobFailed    jobState = "failed"
+	jobCancelled jobState = "cancelled"
 )
 
-// job is one async grid execution: its identity, progress counters, and
-// every NDJSON line produced so far, kept so a stream client can attach
-// — or re-attach — at any time and replay the run from the beginning.
-// Lines are append-only and stop once state leaves jobRunning. The
-// replay buffer is the deliberate memory cost of re-attachment: it is
-// bounded by -max-jobs × -max-cells lines, which operators size
-// together (cell results also stay addressable through the content
-// cache after eviction).
+// job is one async execution — a grid or a study: its identity, progress
+// counters, and every NDJSON line produced so far, kept so a stream
+// client can attach — or re-attach — at any time and replay the run from
+// the beginning. Lines are append-only and stop once state leaves
+// jobRunning. The replay buffer is the deliberate memory cost of
+// re-attachment: it is bounded by -max-jobs × -max-cells lines, which
+// operators size together (cell results also stay addressable through
+// the content cache after eviction).
 type job struct {
-	id       string
-	gridHash string
-	created  time.Time
+	id      string
+	kind    string // "grid" | "study"
+	hash    string // grid or study content hash
+	created time.Time
+	// cancel aborts the job's execution context (DELETE /v1/jobs/{id}).
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	lines     [][]byte
 	state     jobState
+	cancelled bool // cancel requested; colours the terminal state
 	done      int
 	total     int
 	cacheHits int
@@ -44,13 +50,14 @@ type job struct {
 	finished  time.Time
 }
 
-func newJob(gridHash string, total int) *job {
+func newJob(kind, hash string, total int) *job {
 	j := &job{
-		id:       newJobID(),
-		gridHash: gridHash,
-		created:  time.Now(),
-		state:    jobRunning,
-		total:    total,
+		id:      newJobID(),
+		kind:    kind,
+		hash:    hash,
+		created: time.Now(),
+		state:   jobRunning,
+		total:   total,
 	}
 	j.cond = sync.NewCond(&j.mu)
 	return j
@@ -66,8 +73,9 @@ func newJobID() string {
 }
 
 // append records one stream line and folds it into the status counters;
-// a result or error line completes the job. It is the emit callback of
-// runGrid, called sequentially from the job's goroutine.
+// a result, study or error line completes the job. It is the emit
+// callback of runGrid/runStudy, called sequentially from the job's
+// goroutine.
 func (j *job) append(v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -84,8 +92,20 @@ func (j *job) append(v any) error {
 		j.state = jobDone
 		j.cacheHits = l.CacheHits
 		j.finished = time.Now()
+	case studyLine:
+		j.state = jobDone
+		j.cacheHits = l.Report.CacheHits
+		// Progress counted executed cells (halving re-reads earlier rungs,
+		// so the live total can exceed the budget); the finished job
+		// reports the budget accounting instead.
+		j.done = l.Report.EvaluatedCells
+		j.total = l.Report.Budget
+		j.finished = time.Now()
 	case errorLine:
 		j.state = jobFailed
+		if j.cancelled {
+			j.state = jobCancelled
+		}
 		j.errMsg = l.Error
 		j.finished = time.Now()
 	}
@@ -100,21 +120,43 @@ func (j *job) seal() {
 	defer j.mu.Unlock()
 	if j.state == jobRunning {
 		j.state = jobFailed
+		if j.cancelled {
+			j.state = jobCancelled
+		}
 		j.errMsg = "execution ended without a result"
 		j.finished = time.Now()
 	}
 	j.cond.Broadcast()
 }
 
-// jobStatus is the GET /v1/jobs/{id} body.
+// requestCancel aborts the job's context. It reports false when the job
+// had already finished.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	running := j.state == jobRunning
+	if running {
+		j.cancelled = true
+	}
+	j.mu.Unlock()
+	if running && j.cancel != nil {
+		j.cancel()
+	}
+	return running
+}
+
+// jobStatus is the GET /v1/jobs/{id} body and one row of GET /v1/jobs.
 type jobStatus struct {
-	ID        string     `json:"id"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"` // grid | study
+	// GridHash is the content hash of the submitted document — the study
+	// hash for study jobs (field name kept for wire compatibility).
 	GridHash  string     `json:"grid_hash"`
-	State     string     `json:"state"` // running | done | failed
+	State     string     `json:"state"` // running | done | failed | cancelled
 	Done      int        `json:"done"`
 	Total     int        `json:"total"`
 	CacheHits int        `json:"cache_hits"`
 	Created   time.Time  `json:"created"`
+	AgeSec    float64    `json:"age_sec"`
 	Finished  *time.Time `json:"finished,omitempty"`
 	Error     string     `json:"error,omitempty"`
 }
@@ -123,9 +165,10 @@ func (j *job) status() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := jobStatus{
-		ID: j.id, GridHash: j.gridHash, State: string(j.state),
+		ID: j.id, Kind: j.kind, GridHash: j.hash, State: string(j.state),
 		Done: j.done, Total: j.total, CacheHits: j.cacheHits,
-		Created: j.created, Error: j.errMsg,
+		Created: j.created, AgeSec: time.Since(j.created).Seconds(),
+		Error: j.errMsg,
 	}
 	if j.state != jobRunning {
 		f := j.finished
@@ -134,7 +177,7 @@ func (j *job) status() jobStatus {
 	return st
 }
 
-// jobSubmitted is the 202 body of POST /v1/grids?async=1.
+// jobSubmitted is the 202 body of an async submission.
 type jobSubmitted struct {
 	JobID     string `json:"job_id"`
 	GridHash  string `json:"grid_hash"`
@@ -145,7 +188,7 @@ type jobSubmitted struct {
 func (j *job) submitted() jobSubmitted {
 	return jobSubmitted{
 		JobID:     j.id,
-		GridHash:  j.gridHash,
+		GridHash:  j.hash,
 		StatusURL: "/v1/jobs/" + j.id,
 		StreamURL: "/v1/jobs/" + j.id + "/stream",
 	}
@@ -198,19 +241,49 @@ func (m *jobManager) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// startJob launches the planned grid on the shared pool in the
-// background. The job runs to completion even if the submitter
-// disconnects — that is the point of async submission — and releases its
-// admission slot when execution finishes.
-func (s *server) startJob(plan *gridPlan) *job {
-	j := newJob(plan.hash, len(plan.cells))
+// list snapshots every retained job's status, oldest first (creation
+// order, ties broken by id so the listing is stable).
+func (m *jobManager) list() []jobStatus {
+	m.mu.Lock()
+	jobs := append([]*job(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]jobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.Before(out[b].Created)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// startJob launches run in the background as a tracked, cancellable job.
+// The job runs to completion even if the submitter disconnects — that is
+// the point of async submission — and releases its admission slot when
+// execution finishes. DELETE /v1/jobs/{id} cancels it through its
+// context.
+func (s *server) startJob(kind, hash string, total int, run func(ctx context.Context, emit func(any) error)) *job {
+	j := newJob(kind, hash, total)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
 	s.jobs.add(j)
 	go func() {
 		defer s.release()
-		s.runGrid(context.Background(), plan, j.append)
+		defer cancel()
+		run(ctx, j.append)
 		j.seal()
 	}()
 	return j
+}
+
+// handleJobs lists every retained async job with its status and age.
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobStatus `json:"jobs"`
+	}{s.jobs.list()})
 }
 
 // handleJob serves an async job's status and progress counters.
@@ -218,6 +291,23 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errNoJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobCancel cancels a running async job through its context: the
+// execution stops between cells (completed cells keep their cached
+// results), the job transitions to "cancelled", and its stream terminates
+// with an error line. Unknown jobs 404; finished jobs 409.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoJob)
+		return
+	}
+	if !j.requestCancel() {
+		writeError(w, http.StatusConflict, errors.New("job already finished"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())

@@ -252,6 +252,96 @@ func TestAdmissionControl429(t *testing.T) {
 	}
 }
 
+// TestJobsListAndCancel covers the job lifecycle endpoints: GET /v1/jobs
+// lists jobs with status and age, DELETE /v1/jobs/{id} cancels a running
+// job through its context (404 unknown, 409 already finished).
+func TestJobsListAndCancel(t *testing.T) {
+	pool := lab.NewPool(1)
+	ts := testServerWith(t, serverConfig{
+		Cache:    resultcache.NewMemory(),
+		Pool:     pool,
+		MaxCells: 100,
+	})
+
+	// Park the pool's only worker so the submitted job deterministically
+	// has cells still pending when it is cancelled.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		pool.Run(t.Context(), 1, func(int) { close(started); <-gate })
+	}()
+	<-started
+
+	sub := postAsync(t, ts, gridBody)
+
+	// The running job appears in the listing with its metadata.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 {
+		t.Fatalf("listing has %d jobs, want 1: %+v", len(listing.Jobs), listing)
+	}
+	j := listing.Jobs[0]
+	if j.ID != sub.JobID || j.Kind != "grid" || j.State != string(jobRunning) || j.AgeSec < 0 {
+		t.Errorf("bad listed job: %+v", j)
+	}
+
+	// Cancel it; the job transitions to "cancelled" once its execution
+	// unwinds, and its stream terminates with an error line.
+	del := func() *http.Response {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.JobID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	first := del()
+	first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d, want 200", first.StatusCode)
+	}
+	close(gate)
+	<-blockerDone
+	st := waitDone(t, ts, sub.JobID)
+	if st.State != string(jobCancelled) || st.Error == "" {
+		t.Errorf("cancelled job status %+v, want state cancelled with an error message", st)
+	}
+
+	// Cancelling again conflicts; unknown jobs 404.
+	again := del()
+	again.Body.Close()
+	if again.StatusCode != http.StatusConflict {
+		t.Errorf("second cancel status %d, want 409", again.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/deadbeefdeadbeef", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown-job cancel status %d, want 404", missing.StatusCode)
+	}
+}
+
 // TestJobRetentionBounded: finished jobs past -max-jobs are evicted
 // oldest-first and their handles 404.
 func TestJobRetentionBounded(t *testing.T) {

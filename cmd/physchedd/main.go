@@ -22,7 +22,15 @@
 //	                              terminated by a result line
 //	POST /v1/grids?async=1        submit a grid as a background job; 202
 //	                              with the job id
+//	POST /v1/studies              run a budgeted scenario search
+//	                              (internal/opt study spec); NDJSON
+//	                              progress terminated by the report, or
+//	                              ?async=1 for a background job
+//	GET  /v1/studies/{hash}       finished study report by study hash
+//	GET  /v1/jobs                 list async jobs with status and age
 //	GET  /v1/jobs/{id}            async job status and progress counters
+//	DELETE /v1/jobs/{id}          cancel a running async job (409 when
+//	                              already finished)
 //	GET  /v1/jobs/{id}/stream     (re)attach to an async job's NDJSON
 //	                              stream; replays from the beginning
 //	GET  /v1/results/{hash}       cached run result by spec hash

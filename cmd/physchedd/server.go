@@ -43,10 +43,15 @@ type server struct {
 	maxCells    int
 	maxInflight int
 	jobs        *jobManager
+	studies     *reportStore
 
 	mu       sync.Mutex
 	inflight int
 }
+
+// maxStudyReports bounds in-memory study-report retention (oldest-first
+// eviction; an evicted report is rebuilt at cache speed by re-POSTing).
+const maxStudyReports = 256
 
 func newServer(cfg serverConfig) *server {
 	if cfg.Pool == nil {
@@ -61,6 +66,7 @@ func newServer(cfg serverConfig) *server {
 		maxCells:    cfg.MaxCells,
 		maxInflight: cfg.MaxInflight,
 		jobs:        newJobManager(cfg.MaxJobs),
+		studies:     newReportStore(maxStudyReports),
 	}
 }
 
@@ -71,7 +77,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/specs", s.handleSpec)
 	mux.HandleFunc("POST /v1/grids", s.handleGrid)
+	mux.HandleFunc("POST /v1/studies", s.handleStudies)
+	mux.HandleFunc("GET /v1/studies/{hash}", s.handleStudyReport)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /v1/aggregates/{hash}", s.handleAggregate)
@@ -303,37 +313,27 @@ func (s *server) planGrid(body io.Reader) (*gridPlan, int, error) {
 	return p, 0, nil
 }
 
-// runGrid executes the plan on the server's shared pool under ctx,
-// calling emit sequentially with every NDJSON line: progress lines, then
-// exactly one result or error line. A failed emit (disconnected client)
-// stops further writes without aborting the execution — cancelling is
-// ctx's job — and cell results still reach the cache either way.
-func (s *server) runGrid(ctx context.Context, p *gridPlan, emit func(any) error) {
-	// One slot per cell: the serialised Progress callback can always
-	// deposit its line without blocking a shared pool worker on a slow
-	// stream consumer.
-	progress := make(chan progressLine, len(p.cells))
+// streamExec is the shared shape of a streamed execution (grids and
+// studies): exec runs in a goroutine depositing progress lines into a
+// buffered channel — sized so the executor's serialised progress
+// callback never blocks a pool worker on a slow stream consumer — while
+// emit is called sequentially with every line, then exactly one terminal
+// or error line. A failed emit (disconnected client) stops further
+// writes without aborting the execution — cancelling is the context's
+// job. terminal always runs (its side effects — caching aggregates,
+// retaining reports — must not depend on the client still listening);
+// only the write is skipped.
+func streamExec[T any](buf int, exec func(progress func(progressLine)) (T, error), terminal func(T) any, emit func(any) error) {
+	progress := make(chan progressLine, buf)
 	type outcome struct {
-		rs  *lab.RunSet
+		val T
 		err error
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		rs, err := p.grid.Execute(lab.Options{
-			Pool:    s.pool,
-			Context: ctx,
-			Cache:   s.cache,
-			Keys:    func(c lab.Cell) (string, bool) { return p.keys[p.cellIndex(c)], true },
-			Progress: func(u lab.ProgressUpdate) {
-				progress <- progressLine{
-					Type: "progress", Done: u.Done, Total: u.Total,
-					Label: u.Label, Load: u.Load, Seed: u.Seed,
-					Overloaded: u.Overloaded, FromCache: u.FromCache,
-				}
-			},
-		})
+		v, err := exec(func(p progressLine) { progress <- p })
 		close(progress)
-		done <- outcome{rs, err}
+		done <- outcome{v, err}
 	}()
 
 	var emitErr error
@@ -351,10 +351,32 @@ func (s *server) runGrid(ctx context.Context, p *gridPlan, emit func(any) error)
 		}
 		return
 	}
-	line := s.resultLineFor(p, out.rs)
+	line := terminal(out.val)
 	if emitErr == nil {
 		emit(line)
 	}
+}
+
+// runGrid executes the plan on the server's shared pool under ctx,
+// calling emit sequentially with every NDJSON line: progress lines, then
+// exactly one result or error line. Cell results reach the cache even
+// when the client disconnects mid-stream.
+func (s *server) runGrid(ctx context.Context, p *gridPlan, emit func(any) error) {
+	streamExec(len(p.cells), func(progress func(progressLine)) (*lab.RunSet, error) {
+		return p.grid.Execute(lab.Options{
+			Pool:    s.pool,
+			Context: ctx,
+			Cache:   s.cache,
+			Keys:    func(c lab.Cell) (string, bool) { return p.keys[p.cellIndex(c)], true },
+			Progress: func(u lab.ProgressUpdate) {
+				progress(progressLine{
+					Type: "progress", Done: u.Done, Total: u.Total,
+					Label: u.Label, Load: u.Load, Seed: u.Seed,
+					Overloaded: u.Overloaded, FromCache: u.FromCache,
+				})
+			},
+		})
+	}, func(rs *lab.RunSet) any { return s.resultLineFor(p, rs) }, emit)
 }
 
 // resultLineFor assembles the final stream line and saves replica
@@ -397,7 +419,9 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if async := r.URL.Query().Get("async"); async != "" && async != "0" && async != "false" {
-		job := s.startJob(plan) // releases the admission slot when done
+		// startJob releases the admission slot when execution finishes.
+		job := s.startJob("grid", plan.hash, len(plan.cells),
+			func(ctx context.Context, emit func(any) error) { s.runGrid(ctx, plan, emit) })
 		w.Header().Set("Location", "/v1/jobs/"+job.id)
 		writeJSON(w, http.StatusAccepted, job.submitted())
 		return

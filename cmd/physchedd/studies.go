@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"physched/internal/opt"
+)
+
+// studyLine terminates a study stream: the full report of the finished
+// search.
+type studyLine struct {
+	Type      string      `json:"type"` // "study"
+	StudyHash string      `json:"study_hash"`
+	Report    *opt.Report `json:"report"`
+}
+
+// studyPlan is a fully validated study request: prepared once (validated,
+// normalised, hashed, space enumerated) and run as-is.
+type studyPlan struct {
+	prep *opt.Prepared
+}
+
+func (p *studyPlan) hash() string { return p.prep.Hash }
+
+// planStudy parses and fully validates one study request body, returning
+// the HTTP status to report on failure. The budget is bounded by
+// -max-cells: a study charges at most budget cells, so the same knob
+// that caps grids caps searches.
+func (s *server) planStudy(body io.Reader) (*studyPlan, int, error) {
+	st, err := opt.Parse(body)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	prep, err := st.Prepare() // validates, normalises, hashes, enumerates
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	if s.maxCells > 0 && prep.Study.Search.BudgetCells > s.maxCells {
+		return nil, http.StatusUnprocessableEntity,
+			fmt.Errorf("study budget is %d cells, limit is %d", prep.Study.Search.BudgetCells, s.maxCells)
+	}
+	return &studyPlan{prep: prep}, 0, nil
+}
+
+// runStudy executes the plan on the server's shared pool under ctx,
+// calling emit sequentially with every NDJSON line: progress lines, then
+// exactly one study or error line. Candidate evaluations read and feed
+// the server's content-addressed cache, so a re-POSTed study re-simulates
+// nothing; the finished report is additionally retained in memory for
+// GET /v1/studies/{hash}. A failed emit (disconnected client) stops
+// further writes without aborting the search — cancelling is ctx's job.
+func (s *server) runStudy(ctx context.Context, p *studyPlan, emit func(any) error) {
+	// Channel slack: successive halving re-reads each rung's earlier
+	// replications, so the executed cell count exceeds the budget by at
+	// most a factor of eta/(eta-1) ≤ 2.
+	streamExec(2*p.prep.Study.Search.BudgetCells+64, func(progress func(progressLine)) (*opt.Report, error) {
+		return p.prep.Run(opt.Options{
+			Pool:    s.pool,
+			Context: ctx,
+			Cache:   s.cache,
+			Progress: func(u opt.Progress) {
+				progress(progressLine{
+					Type: "progress", Done: u.Done, Total: u.Total,
+					Label: u.Label, Seed: u.Seed,
+					Overloaded: u.Overloaded, FromCache: u.FromCache,
+				})
+			},
+		})
+	}, func(report *opt.Report) any {
+		s.studies.put(p.hash(), report)
+		return studyLine{Type: "study", StudyHash: p.hash(), Report: report}
+	}, emit)
+}
+
+// handleStudies executes a budgeted scenario search (internal/opt) on the
+// server's shared pool. The synchronous form streams NDJSON progress
+// under the request context and finishes with a study line carrying the
+// report; with ?async=1 it returns 202 and a job id immediately, sharing
+// the grid jobs' lifecycle endpoints (status, stream, list, cancel).
+func (s *server) handleStudies(w http.ResponseWriter, r *http.Request) {
+	plan, status, err := s.planStudy(r.Body)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if !s.admit() {
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server is executing %d requests, the -max-inflight limit", s.maxInflight))
+		return
+	}
+	if async := r.URL.Query().Get("async"); async != "" && async != "0" && async != "false" {
+		job := s.startJob("study", plan.hash(), plan.prep.Study.Search.BudgetCells,
+			func(ctx context.Context, emit func(any) error) { s.runStudy(ctx, plan, emit) })
+		w.Header().Set("Location", "/v1/jobs/"+job.id)
+		writeJSON(w, http.StatusAccepted, job.submitted())
+		return
+	}
+	defer s.release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	s.runStudy(r.Context(), plan, func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err // dead connection: stop the stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+// handleStudyReport serves a finished study's report by its study hash.
+func (s *server) handleStudyReport(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	report, ok := s.studies.get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			errors.New("no report for this study hash (reports are retained in memory; re-POST the study — a warm cache re-simulates nothing)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, studyLine{Type: "study", StudyHash: hash, Report: report})
+}
+
+// reportStore retains finished study reports by hash with bounded,
+// oldest-first eviction. Reports are small (a leaderboard, a trajectory)
+// and rebuildable at cache speed, so memory retention suffices.
+type reportStore struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string]*opt.Report
+	order []string
+}
+
+func newReportStore(max int) *reportStore {
+	return &reportStore{max: max, m: map[string]*opt.Report{}}
+}
+
+func (r *reportStore) put(hash string, rep *opt.Report) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[hash]; !ok {
+		r.order = append(r.order, hash)
+	}
+	r.m[hash] = rep
+	for len(r.order) > r.max {
+		delete(r.m, r.order[0])
+		r.order = r.order[1:]
+	}
+}
+
+func (r *reportStore) get(hash string) (*opt.Report, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep, ok := r.m[hash]
+	return rep, ok
+}

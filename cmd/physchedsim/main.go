@@ -15,6 +15,16 @@
 //	            [-histogram] [-replicate N] [-parallel N] [-timeout D]
 //	            [-progress]
 //	physchedsim -spec scenario.json [-histogram] [-replicate N] ...
+//	physchedsim -study study.json [-cache-dir DIR] [-parallel N]
+//	            [-timeout D] [-progress]
+//
+// With -study the program runs a budgeted scenario search (internal/opt)
+// instead of a single scenario: the study file names a base spec, search
+// axes, an objective and a budget, and the report — leaderboard plus
+// best-objective-vs-budget plot — is printed when the budget is spent.
+// -cache-dir persists every simulated cell, so re-running a study (or
+// sharing the directory with `experiments -spec` and physchedd) costs
+// only the cells not yet simulated anywhere.
 package main
 
 import (
@@ -28,6 +38,8 @@ import (
 
 	"physched/internal/lab"
 	"physched/internal/model"
+	"physched/internal/opt"
+	"physched/internal/resultcache"
 	"physched/internal/sched"
 	"physched/internal/spec"
 	"physched/internal/stats"
@@ -50,6 +62,8 @@ func main() {
 		histogram = flag.Bool("histogram", false, "print the waiting-time histogram")
 		stated    = flag.Bool("stated-params", false, "use the paper's stated raw constants instead of the calibrated preset")
 		specPath  = flag.String("spec", "", "declarative JSON scenario spec (overrides the other scenario flags; see internal/spec)")
+		studyPath = flag.String("study", "", "budgeted scenario-search study spec (JSON; see internal/opt) — runs the search instead of a single scenario")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory for -study runs (empty = in-memory only)")
 		tracePath = flag.String("trace", "", "write a JSONL execution trace to this file")
 		replicate = flag.Int("replicate", 1, "run the scenario this many times with seeds derived from the seed and report mean ± 95% CI")
 		parallel  = flag.Int("parallel", 0, "max concurrent replica runs (0 = GOMAXPROCS)")
@@ -57,6 +71,16 @@ func main() {
 		progress  = flag.Bool("progress", false, "stream per-replica completions to stderr")
 	)
 	flag.Parse()
+
+	if *studyPath != "" {
+		if *specPath != "" || *tracePath != "" || *histogram || *replicate > 1 {
+			log.Fatal("-study is incompatible with -spec, -trace, -histogram and -replicate (the study spec describes the whole search)")
+		}
+		if _, err := runStudy(*studyPath, *cacheDir, *parallel, *timeout, *progress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var s lab.Scenario
 	if *specPath != "" {
@@ -101,6 +125,57 @@ func main() {
 	}
 	res := runSimulation(s, *tracePath)
 	report(res, s.Params, *histogram)
+}
+
+// runStudy executes a budgeted scenario search (internal/opt) from a
+// study spec file on the process-wide lab pool, optionally backed by a
+// persistent content-addressed result cache, and prints the report:
+// budget accounting, leaderboard and the best-objective-vs-budget plot.
+func runStudy(path, cacheDir string, parallel int, timeout time.Duration, progress bool) (*opt.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := opt.Parse(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	cache, err := resultcache.Open(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	pool := lab.NewPool(parallel)
+	defer pool.Close()
+	opts := opt.Options{Pool: pool, Context: ctx, Cache: cache}
+	if progress {
+		opts.Progress = func(u opt.Progress) {
+			state := "steady"
+			if u.Overloaded {
+				state = "overloaded"
+			}
+			src := "simulated"
+			if u.FromCache {
+				src = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "progress: %s cell %d/%d (budget %d)  %-50s seed=%d  %s %s\n",
+				u.Phase, u.Done, u.Total, u.Budget, u.Label, u.Seed, state, src)
+		}
+	}
+	report, err := opt.Run(st, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(report.Render())
+	fmt.Println()
+	fmt.Print(report.TrajectoryPlot())
+	return report, nil
 }
 
 // loadSpec parses and validates a declarative scenario spec file.

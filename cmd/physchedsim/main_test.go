@@ -7,6 +7,7 @@ import (
 
 	"physched/internal/lab"
 	"physched/internal/model"
+	"physched/internal/trace"
 )
 
 func TestPolicyFactoryKnownNames(t *testing.T) {
@@ -86,6 +87,88 @@ func TestLoadSpecRunsScenario(t *testing.T) {
 	res := runSimulation(s, "")
 	if res.PolicyName != "outoforder" || (res.MeasuredJobs != 50 && !res.Overloaded) {
 		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+// TestSpecRunWritesTrace: `physchedsim -spec scenario.json -trace out.jsonl`
+// records the run's event trace — the user-facing producer path for
+// internal/trace. The written JSONL must parse back and cover the whole
+// job lifecycle plus the periodic cluster samples.
+func TestSpecRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "scenario.json")
+	body := `{
+		"params": {"nodes": 3, "cache_gb": 6, "mean_job_events": 1000, "dataspace_gb": 60},
+		"policy": {"name": "outoforder"},
+		"load_jobs_per_hour": 1.0,
+		"seed": 2,
+		"warmup_jobs": 10,
+		"measure_jobs": 50
+	}`
+	if err := os.WriteFile(specPath, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := loadSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sp.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "out.jsonl")
+	res := runSimulation(s, tracePath)
+	if res.MeasuredJobs == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[trace.Kind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	for _, want := range []trace.Kind{trace.JobArrived, trace.SubjobStarted, trace.SubjobFinished, trace.JobFinished, trace.Sample} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events (saw %v)", want, kinds)
+		}
+	}
+	if sum := trace.Summarise(events); sum.Jobs == 0 || sum.Subjobs == 0 {
+		t.Errorf("trace summary empty: %+v", sum)
+	}
+}
+
+// TestRunStudyFromFile drives the -study mode end to end on the shipped
+// example: the search must respect its budget and print a leaderboard,
+// and a warm -cache-dir must make a second run re-simulate nothing.
+func TestRunStudyFromFile(t *testing.T) {
+	cacheDir := t.TempDir()
+	example := filepath.Join("..", "..", "examples", "specfile", "study.json")
+	cold, err := runStudy(example, cacheDir, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.EvaluatedCells == 0 || cold.EvaluatedCells > cold.Budget || cold.Best == nil {
+		t.Fatalf("bad cold report: %+v", cold)
+	}
+	warm, err := runStudy(example, cacheDir, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.SimulatedCells != 0 {
+		t.Errorf("warm -cache-dir run re-simulated %d cells", warm.SimulatedCells)
+	}
+	if warm.Best == nil || cold.Best == nil || *warm.Best != *cold.Best {
+		t.Errorf("warm and cold winners differ: %+v vs %+v", warm.Best, cold.Best)
+	}
+	if _, err := runStudy(filepath.Join(t.TempDir(), "missing.json"), "", 0, 0, false); err == nil {
+		t.Error("missing study file accepted")
 	}
 }
 

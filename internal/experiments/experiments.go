@@ -386,6 +386,6 @@ func AllFigureIDs() []string {
 	return []string{
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "rep", "max", "farm",
 		"ab-eviction", "ab-steal", "ab-replication", "ab-hotspot", "nodes",
-		"pipeline", "baselines", "hetero", "daynight", "faults",
+		"pipeline", "baselines", "hetero", "daynight", "faults", "tune",
 	}
 }

@@ -114,7 +114,7 @@ func TestRenderHelpersDoNotPanic(t *testing.T) {
 
 func TestAllFigureIDs(t *testing.T) {
 	ids := AllFigureIDs()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Errorf("AllFigureIDs = %v", ids)
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,22 @@
+package opt
+
+import (
+	"testing"
+)
+
+// BenchmarkStudyRandom prices one cold budgeted random search end to end
+// — spec hashing, cache misses, grid execution and report assembly. CI
+// snapshots it into BENCH_run.json next to the lab run benchmarks, so the
+// search layer's overhead stays on the perf trajectory.
+func BenchmarkStudyRandom(b *testing.B) {
+	b.ReportAllocs()
+	st := searchStudy("random")
+	st.Search.BudgetCells = 8
+	st.Search.Replications = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(st, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

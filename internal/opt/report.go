@@ -1,0 +1,76 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"physched/internal/asciiplot"
+	"physched/internal/stats"
+)
+
+// formatValue renders an objective value in the metric's natural unit
+// (durations for the waiting metrics, plain numbers otherwise).
+func (o Objective) formatValue(v float64) string {
+	switch o.Metric {
+	case "mean_waiting", "p99_waiting":
+		return stats.FormatDuration(v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Render formats the report as a text leaderboard: the budget accounting
+// header, then one row per entry. The layout is stable — experiment
+// golden files pin it.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "study %.12s…  %s %s %s\n", r.StudyHash, r.Algorithm, r.Objective.Direction, r.Objective.Metric)
+	fmt.Fprintf(&b, "  space %d candidates (%d invalid combinations skipped)\n", r.SpaceSize, r.InvalidCandidates)
+	fmt.Fprintf(&b, "  budget %d cells: %d evaluated over %d candidates, %d simulated, %d from cache\n",
+		r.Budget, r.EvaluatedCells, r.Candidates, r.SimulatedCells, r.CacheHits)
+	for _, rung := range r.Rungs {
+		if rung.Survivors > 0 {
+			fmt.Fprintf(&b, "  rung ×%-3d %d candidates → %d survivors\n", rung.Replications, rung.Candidates, rung.Survivors)
+		} else {
+			fmt.Fprintf(&b, "  rung ×%-3d %d candidates (final)\n", rung.Replications, rung.Candidates)
+		}
+	}
+	fmt.Fprintf(&b, "\n  %-4s %-64s %-16s %-10s %s\n", "rank", "candidate", "objective", "±ci95", "replicas")
+	for _, e := range r.Leaderboard {
+		if !e.steady() {
+			fmt.Fprintf(&b, "  %-4d %-64s %-16s %-10s %d/%d overloaded\n",
+				e.Rank, e.Label, "-", "-", e.Overloaded, e.Replicas)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-4d %-64s %-16s %-10s %d\n",
+			e.Rank, e.Label, r.Objective.formatValue(e.Value), r.Objective.formatValue(e.CI95), e.Replicas)
+	}
+	return b.String()
+}
+
+// TrajectorySeries adapts the trajectory to an asciiplot series, stepped
+// so the plot shows the best objective held at every budget level up to
+// EvaluatedCells.
+func (r *Report) TrajectorySeries(label string) asciiplot.Series {
+	var xs, ys []float64
+	for _, p := range r.Trajectory {
+		xs = append(xs, float64(p.EvaluatedCells))
+		ys = append(ys, p.Best)
+	}
+	// Hold the final best to the full spend, so curves of equal-budget
+	// searches span the same X range.
+	if n := len(ys); n > 0 && int(xs[n-1]) < r.EvaluatedCells {
+		xs = append(xs, float64(r.EvaluatedCells))
+		ys = append(ys, ys[n-1])
+	}
+	return asciiplot.Series{Label: label, X: xs, Y: ys}
+}
+
+// TrajectoryPlot renders best-objective-versus-budget as an ASCII chart.
+func (r *Report) TrajectoryPlot() string {
+	return asciiplot.Render([]asciiplot.Series{r.TrajectorySeries(r.Algorithm)}, asciiplot.Options{
+		Title:  "best " + r.Objective.Metric + " vs budget",
+		XLabel: "cells evaluated",
+		YLabel: r.Objective.Metric,
+	})
+}

@@ -1,0 +1,493 @@
+package opt
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"physched/internal/lab"
+	"physched/internal/resultcache"
+)
+
+// Options configure a study run. The zero value executes serially with a
+// private in-memory result cache.
+type Options struct {
+	// Workers bounds concurrent simulation cells; see lab.Options.
+	Workers int
+	// Pool, when non-nil, executes cells on this shared pool and Workers
+	// is ignored. Reports are byte-identical either way.
+	Pool *lab.Pool
+	// Context cancels the study between cells.
+	Context context.Context
+	// Cache is the content-addressed result store consulted and fed by
+	// every evaluation; nil uses a private in-memory cache. Later rungs of
+	// a halving study re-read their earlier replications through it, and a
+	// warm cache (e.g. a prior run of the same study) re-simulates
+	// nothing — without changing the report, because the budget charges
+	// cache hits too.
+	Cache lab.ResultCache
+	// Progress, when non-nil, is invoked after every completed cell,
+	// serialised by the executing grid.
+	Progress func(Progress)
+}
+
+// Progress reports one completed simulation cell of a study.
+type Progress struct {
+	// Phase names the search stage ("search" for random, "rung k/n" for
+	// successive halving).
+	Phase string
+	// Done and Total count cells across the whole study: Done is
+	// cumulative completions, Total the cells submitted so far plus the
+	// current batch (it grows as later rungs are planned).
+	Done, Total int
+	// Budget echoes the study's cell budget.
+	Budget int
+	// Label identifies the candidate; Seed the replica.
+	Label      string
+	Seed       int64
+	FromCache  bool
+	Overloaded bool
+}
+
+// Entry is one leaderboard row of a study report.
+type Entry struct {
+	Rank int `json:"rank"`
+	// Label is the candidate's "axis=value" identity.
+	Label string `json:"label"`
+	// SpecHash is the content hash of the candidate's resolved spec (with
+	// the base seed) — its handle into the spec/result-cache world.
+	SpecHash string `json:"spec_hash"`
+	// Value and CI95 are the objective at the candidate's deepest
+	// evaluation; meaningless when every replica overloaded.
+	Value float64 `json:"value"`
+	CI95  float64 `json:"ci95"`
+	// Replicas and Overloaded describe that evaluation.
+	Replicas   int `json:"replicas"`
+	Overloaded int `json:"overloaded"`
+}
+
+// steady reports whether the entry has an objective value at all.
+func (e Entry) steady() bool { return e.Overloaded < e.Replicas }
+
+// TrajectoryPoint is one step of the best-objective-versus-budget curve:
+// after EvaluatedCells charged cells, the best steady objective seen so
+// far was Best. The curve is the monotone envelope search quality is
+// judged by (asciiplot-rendered by Report.TrajectoryPlot).
+type TrajectoryPoint struct {
+	EvaluatedCells int     `json:"evaluated_cells"`
+	Best           float64 `json:"best"`
+}
+
+// Rung summarises one successive-halving rung.
+type Rung struct {
+	Replications int `json:"replications"`
+	Candidates   int `json:"candidates"`
+	Survivors    int `json:"survivors"`
+}
+
+// Report is the outcome of a study run: the winner, a leaderboard, the
+// budget accounting and the search trajectory. Reports are a pure
+// function of the study (hash included) — cache state, worker count and
+// pool sharing change only SimulatedCells/CacheHits, never the findings.
+type Report struct {
+	StudyHash string    `json:"study_hash"`
+	Algorithm string    `json:"algorithm"`
+	Objective Objective `json:"objective"`
+
+	// SpaceSize counts the distinct valid candidates; InvalidCandidates
+	// the cross-product points skipped for failing spec validation and
+	// DuplicateCandidates those skipped as spec-identical to an earlier
+	// point (integer axes round their interpolation points).
+	SpaceSize           int `json:"space_size"`
+	InvalidCandidates   int `json:"invalid_candidates,omitempty"`
+	DuplicateCandidates int `json:"duplicate_candidates,omitempty"`
+
+	// Budget accounting: EvaluatedCells ≤ Budget cells were charged;
+	// SimulatedCells of them actually ran, the rest came from the cache.
+	Budget         int `json:"budget_cells"`
+	EvaluatedCells int `json:"evaluated_cells"`
+	SimulatedCells int `json:"simulated_cells"`
+	CacheHits      int `json:"cache_hits"`
+	// Candidates is how many distinct candidates were evaluated.
+	Candidates int `json:"candidates"`
+
+	Rungs []Rung `json:"rungs,omitempty"`
+
+	// Best is the leaderboard winner, nil when no evaluated candidate ran
+	// steadily.
+	Best        *Entry            `json:"best,omitempty"`
+	Leaderboard []Entry           `json:"leaderboard"`
+	Trajectory  []TrajectoryPoint `json:"trajectory"`
+}
+
+// Run executes the study: it validates, enumerates the space, runs the
+// configured search driver within the cell budget, and reports. Every
+// candidate evaluation is a lab grid on the configured pool/cache, so the
+// report is byte-identical across serial, parallel and shared-pool
+// execution, and re-running a study against a warm cache re-simulates
+// nothing.
+func Run(st Study, o Options) (*Report, error) {
+	p, err := st.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(o)
+}
+
+// Run executes a prepared study; see the package-level Run.
+func (p *Prepared) Run(o Options) (*Report, error) {
+	st, sp := p.Study, p.sp
+	if o.Cache == nil {
+		o.Cache = resultcache.NewMemory()
+	}
+	e := &evaluator{
+		st:      st,
+		sp:      sp,
+		opts:    o,
+		seeds:   lab.Seeds(st.Base.Seed, st.Search.Replications),
+		budget:  st.Search.BudgetCells,
+		charged: map[string]bool{},
+		evals:   map[candidate]*candEval{},
+	}
+	rep := &Report{
+		StudyHash:           p.Hash,
+		Algorithm:           st.Search.Algorithm,
+		Objective:           st.Objective,
+		SpaceSize:           len(sp.valid),
+		InvalidCandidates:   sp.invalid,
+		DuplicateCandidates: sp.duplicates,
+		Budget:              st.Search.BudgetCells,
+	}
+	var err error
+	switch st.Search.Algorithm {
+	case "random":
+		err = runRandom(e)
+	case "halving":
+		rep.Rungs, err = runHalving(e)
+	default:
+		err = fmt.Errorf("opt: unknown search algorithm %q", st.Search.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.fill(rep)
+	return rep, nil
+}
+
+// candEval is a candidate's deepest evaluation so far.
+type candEval struct {
+	cand     candidate
+	label    string
+	specHash string
+	agg      lab.Aggregate
+	val, ci  float64
+	ok       bool
+}
+
+// evaluator runs candidate batches through lab.Grid.Execute, charging the
+// study budget per cell. A cell (candidate × replica seed) is charged
+// once per study, however many rungs re-read it; cache hits are charged
+// like simulated cells, so the explored set never depends on cache state.
+type evaluator struct {
+	st    Study
+	sp    *space
+	opts  Options
+	seeds []int64
+
+	budget    int
+	evaluated int // cells charged
+	simulated int
+	cacheHits int
+	completed int // cells completed (for progress), any charge state
+	planned   int // cells submitted across batches
+
+	charged map[string]bool
+	evals   map[candidate]*candEval
+	order   []candidate // first-evaluation order
+
+	trajectory []TrajectoryPoint
+	best       float64
+	haveBest   bool
+}
+
+// evalBatch evaluates cands (in the given order) at reps replications,
+// admitting the longest prefix the remaining budget affords. It returns
+// the admitted candidates; a nil slice means the budget is exhausted.
+func (e *evaluator) evalBatch(phase string, cands []candidate, reps int) ([]candidate, error) {
+	if len(cands) == 0 || reps <= 0 {
+		return nil, nil
+	}
+	// Resolve specs and per-replica content keys, then admit candidates
+	// in order while the budget covers their uncharged cells.
+	remaining := e.budget - e.evaluated
+	var admitted []candidate
+	var keys [][]string
+	var hashes []string
+	newCells := make([]int, 0, len(cands))
+	for _, c := range cands {
+		cs := e.sp.specFor(c)
+		ck := make([]string, reps)
+		fresh := 0
+		for r := 0; r < reps; r++ {
+			s := cs
+			s.Seed = e.seeds[r]
+			h, err := s.Hash()
+			if err != nil {
+				return nil, fmt.Errorf("opt: candidate %q: %w", e.sp.label(c), err)
+			}
+			ck[r] = h
+			if !e.charged[h] {
+				fresh++
+			}
+		}
+		if fresh > remaining {
+			break
+		}
+		remaining -= fresh
+		h, err := cs.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("opt: candidate %q: %w", e.sp.label(c), err)
+		}
+		admitted = append(admitted, c)
+		keys = append(keys, ck)
+		hashes = append(hashes, h)
+		newCells = append(newCells, fresh)
+	}
+	if len(admitted) == 0 {
+		return nil, nil
+	}
+
+	// One lab grid evaluates the whole batch: candidates are variants
+	// whose Mutate swaps in the full compiled scenario (keeping the
+	// grid-bound replica seed), so cells interleave freely on the pool.
+	variants := make([]lab.Variant, len(admitted))
+	var base lab.Scenario
+	for i, c := range admitted {
+		sc, err := e.sp.specFor(c).Scenario()
+		if err != nil {
+			return nil, fmt.Errorf("opt: candidate %q: %w", e.sp.label(c), err)
+		}
+		if i == 0 {
+			base = sc
+		}
+		variants[i] = lab.Variant{
+			Label: e.sp.label(c),
+			Mutate: func(s *lab.Scenario) {
+				seed := s.Seed
+				*s = sc
+				s.Seed = seed
+			},
+		}
+	}
+	grid := lab.Grid{Base: base, Variants: variants, Seeds: e.seeds[:reps]}
+	e.planned += len(admitted) * reps
+	opts := lab.Options{
+		Workers: e.opts.Workers,
+		Pool:    e.opts.Pool,
+		Context: e.opts.Context,
+		Cache:   e.opts.Cache,
+		Keys: func(c lab.Cell) (string, bool) {
+			return keys[c.Variant][c.SeedIdx], true
+		},
+	}
+	if e.opts.Progress != nil {
+		batchDone := 0
+		done := e.completed
+		opts.Progress = func(u lab.ProgressUpdate) {
+			batchDone++
+			e.opts.Progress(Progress{
+				Phase: phase, Done: done + batchDone, Total: e.planned,
+				Budget: e.budget, Label: u.Label, Seed: u.Seed,
+				FromCache: u.FromCache, Overloaded: u.Overloaded,
+			})
+		}
+	}
+	rs, err := grid.Execute(opts)
+	if err != nil {
+		return nil, err
+	}
+	e.completed += len(rs.Results)
+	e.simulated += len(rs.Results) - rs.CacheHits
+	e.cacheHits += rs.CacheHits
+
+	// Fold results per candidate, charge the budget, and extend the
+	// best-so-far trajectory — all in admission order, so the report is
+	// independent of cell completion order.
+	for i, c := range admitted {
+		results := make([]lab.Result, reps)
+		for r := 0; r < reps; r++ {
+			results[r] = rs.Result(i, 0, r)
+		}
+		agg := lab.NewAggregate(results)
+		ev, seen := e.evals[c]
+		if !seen {
+			ev = &candEval{cand: c, label: e.sp.label(c), specHash: hashes[i]}
+			e.evals[c] = ev
+			e.order = append(e.order, c)
+		}
+		ev.agg = agg
+		ev.val, ev.ci, ev.ok = e.st.Objective.Eval(agg)
+		for _, k := range keys[i] {
+			e.charged[k] = true
+		}
+		e.evaluated += newCells[i]
+		if ev.ok && (!e.haveBest || e.st.Objective.better(ev.val, e.best)) {
+			e.best, e.haveBest = ev.val, true
+			e.trajectory = append(e.trajectory, TrajectoryPoint{EvaluatedCells: e.evaluated, Best: e.best})
+		}
+	}
+	return admitted, nil
+}
+
+// rank orders candidates: steady candidates first, deeper evaluations
+// (more replicas) before shallower ones, then best objective value, ties
+// broken by candidate index so ranking is total and deterministic.
+// Within a halving rung every candidate has equal depth, so there the
+// ranking is purely by objective; across the final leaderboard the depth
+// key keeps a noisy one-replication estimate that the search itself
+// declined to promote from outranking a full-replication survivor (the
+// optimiser's-curse bias of comparing maxima at different noise levels).
+func (e *evaluator) rank(cands []candidate) []candidate {
+	out := append([]candidate(nil), cands...)
+	obj := e.st.Objective
+	lessThan := func(a, b candidate) bool {
+		ea, eb := e.evals[a], e.evals[b]
+		if ea.ok != eb.ok {
+			return ea.ok
+		}
+		if ea.agg.Replicas != eb.agg.Replicas {
+			return ea.agg.Replicas > eb.agg.Replicas
+		}
+		if ea.ok && ea.val != eb.val {
+			return obj.better(ea.val, eb.val)
+		}
+		return a < b
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: n is small, order total
+		for j := i; j > 0 && lessThan(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// runRandom is seeded random search: a budget-sized sample of the space
+// (without replacement, in seeded-permutation order) evaluated at full
+// replications.
+func runRandom(e *evaluator) error {
+	reps := e.st.Search.Replications
+	perm := rand.New(rand.NewSource(e.st.Search.Seed)).Perm(len(e.sp.valid))
+	m := e.budget / reps
+	if m > len(perm) {
+		m = len(perm)
+	}
+	cands := make([]candidate, m)
+	for i := range cands {
+		cands[i] = e.sp.valid[perm[i]]
+	}
+	_, err := e.evalBatch("search", cands, reps)
+	return err
+}
+
+// runHalving is successive halving: a wide first rung at few replications,
+// then geometrically fewer survivors at geometrically more replications.
+// Survivors are chosen CI-aware — the top 1/eta by objective value, plus
+// every candidate statistically tied with the last survivor (overlapping
+// 95% intervals), so noisy early rungs do not prune ties arbitrarily; the
+// budget check of the next rung trims from the bottom of the ranking.
+func runHalving(e *evaluator) ([]Rung, error) {
+	R, eta := e.st.Search.Replications, e.st.Search.Eta
+	ladder := []int{R}
+	for r := R / eta; r >= 1; r /= eta {
+		ladder = append([]int{r}, ladder...)
+	}
+
+	// Width of the first rung: the largest cohort whose projected
+	// halving schedule fits the budget.
+	cost := func(n int) int {
+		total, prev, alive := 0, 0, n
+		for _, r := range ladder {
+			total += alive * (r - prev)
+			prev = r
+			alive = (alive + eta - 1) / eta
+		}
+		return total
+	}
+	n0 := 1
+	for n := 2; n <= len(e.sp.valid); n++ {
+		if cost(n) > e.budget {
+			break
+		}
+		n0 = n
+	}
+
+	perm := rand.New(rand.NewSource(e.st.Search.Seed)).Perm(len(e.sp.valid))
+	current := make([]candidate, n0)
+	for i := range current {
+		current[i] = e.sp.valid[perm[i]]
+	}
+
+	var rungs []Rung
+	for k, r := range ladder {
+		phase := fmt.Sprintf("rung %d/%d", k+1, len(ladder))
+		ran, err := e.evalBatch(phase, current, r)
+		if err != nil {
+			return rungs, err
+		}
+		if len(ran) == 0 {
+			break // budget exhausted
+		}
+		ranked := e.rank(ran)
+		rung := Rung{Replications: r, Candidates: len(ran)}
+		if k == len(ladder)-1 {
+			rungs = append(rungs, rung)
+			break
+		}
+		keep := (len(ranked) + eta - 1) / eta
+		last := e.evals[ranked[keep-1]]
+		for keep < len(ranked) {
+			next := e.evals[ranked[keep]]
+			if !last.ok || !next.ok {
+				break
+			}
+			if diff := next.val - last.val; diff > last.ci+next.ci || -diff > last.ci+next.ci {
+				break
+			}
+			keep++ // statistically tied with the last survivor
+		}
+		rung.Survivors = keep
+		rungs = append(rungs, rung)
+		current = ranked[:keep]
+	}
+	return rungs, nil
+}
+
+// fill completes the report from the evaluator's state.
+func (e *evaluator) fill(rep *Report) {
+	rep.EvaluatedCells = e.evaluated
+	rep.SimulatedCells = e.simulated
+	rep.CacheHits = e.cacheHits
+	rep.Candidates = len(e.order)
+	rep.Trajectory = e.trajectory
+	if rep.Trajectory == nil {
+		rep.Trajectory = []TrajectoryPoint{}
+	}
+	ranked := e.rank(e.order)
+	top := e.st.Search.TopK
+	if top > len(ranked) {
+		top = len(ranked)
+	}
+	rep.Leaderboard = make([]Entry, 0, top)
+	for i := 0; i < top; i++ {
+		ev := e.evals[ranked[i]]
+		rep.Leaderboard = append(rep.Leaderboard, Entry{
+			Rank: i + 1, Label: ev.label, SpecHash: ev.specHash,
+			Value: ev.val, CI95: ev.ci,
+			Replicas: ev.agg.Replicas, Overloaded: ev.agg.Overloaded,
+		})
+	}
+	if len(rep.Leaderboard) > 0 && rep.Leaderboard[0].steady() {
+		best := rep.Leaderboard[0]
+		rep.Best = &best
+	}
+}

@@ -1,0 +1,196 @@
+package opt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"physched/internal/lab"
+	"physched/internal/resultcache"
+)
+
+// searchStudy is a fast study with a space big enough to force pruning:
+// 2 policies × 3 cache sizes × 2 loads = 12 candidates, budget 16.
+func searchStudy(algorithm string) Study {
+	st := smallStudy()
+	st.Axes = []Axis{
+		{Name: "policy", Values: []string{"outoforder", "farm"}},
+		{Name: "cache_gb", Min: 6, Max: 24, Steps: 3},
+		{Name: "load", Min: 0.6, Max: 1.0, Steps: 2},
+	}
+	st.Search = Search{Algorithm: algorithm, BudgetCells: 16, Replications: 4, Seed: 2}
+	return st
+}
+
+// TestRunRespectsBudget: both drivers charge at most budget cells, and a
+// study's evaluations all reach the report's leaderboard accounting.
+func TestRunRespectsBudget(t *testing.T) {
+	for _, alg := range []string{"random", "halving"} {
+		rep, err := Run(searchStudy(alg), Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if rep.EvaluatedCells > rep.Budget {
+			t.Errorf("%s: evaluated %d cells over budget %d", alg, rep.EvaluatedCells, rep.Budget)
+		}
+		if rep.EvaluatedCells == 0 || rep.Candidates == 0 {
+			t.Errorf("%s: nothing evaluated: %+v", alg, rep)
+		}
+		if rep.SimulatedCells+rep.CacheHits < rep.EvaluatedCells {
+			t.Errorf("%s: accounting inconsistent: %+v", alg, rep)
+		}
+		if rep.Best == nil || rep.Best.Rank != 1 || len(rep.Leaderboard) == 0 {
+			t.Errorf("%s: no winner reported: %+v", alg, rep)
+		}
+		if rep.Algorithm != alg || len(rep.StudyHash) != 64 {
+			t.Errorf("%s: bad report identity: %+v", alg, rep)
+		}
+		if alg == "halving" && len(rep.Rungs) < 2 {
+			t.Errorf("halving ran %d rungs, want ≥ 2: %+v", len(rep.Rungs), rep.Rungs)
+		}
+	}
+}
+
+// TestWarmCacheReSimulatesNothing is the core cache acceptance: the same
+// study against the cache a first run filled re-simulates zero cells and
+// reports identical findings.
+func TestWarmCacheReSimulatesNothing(t *testing.T) {
+	for _, alg := range []string{"random", "halving"} {
+		cache := resultcache.NewMemory()
+		first, err := Run(searchStudy(alg), Options{Cache: cache})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if first.SimulatedCells == 0 {
+			t.Fatalf("%s: cold run simulated nothing", alg)
+		}
+		second, err := Run(searchStudy(alg), Options{Cache: cache})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if second.SimulatedCells != 0 {
+			t.Errorf("%s: warm run re-simulated %d cells", alg, second.SimulatedCells)
+		}
+		if second.EvaluatedCells != first.EvaluatedCells {
+			t.Errorf("%s: warm run charged %d cells, cold charged %d — budget must not depend on cache state",
+				alg, second.EvaluatedCells, first.EvaluatedCells)
+		}
+		a, _ := json.Marshal(first.Leaderboard)
+		b, _ := json.Marshal(second.Leaderboard)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: warm-cache leaderboard diverged:\n%s\n%s", alg, a, b)
+		}
+		if aj, bj := mustJSON(t, first.Trajectory), mustJSON(t, second.Trajectory); !bytes.Equal(aj, bj) {
+			t.Errorf("%s: warm-cache trajectory diverged:\n%s\n%s", alg, aj, bj)
+		}
+	}
+}
+
+// TestStudyDeterministicAcrossExecutionModes pins the determinism
+// contract: the same study hash yields the same winner — in fact a
+// byte-identical report — across serial, parallel and shared-pool
+// execution.
+func TestStudyDeterministicAcrossExecutionModes(t *testing.T) {
+	for _, alg := range []string{"random", "halving"} {
+		pool := lab.NewPool(4)
+		modes := []Options{
+			{Workers: 1},
+			{Workers: 8},
+			{Pool: pool},
+		}
+		var reports [][]byte
+		for _, o := range modes {
+			rep, err := Run(searchStudy(alg), o)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			reports = append(reports, mustJSON(t, rep))
+		}
+		pool.Close()
+		for i := 1; i < len(reports); i++ {
+			if !bytes.Equal(reports[0], reports[i]) {
+				t.Errorf("%s: execution mode %d diverged from serial:\n%s\n%s",
+					alg, i, reports[0], reports[i])
+			}
+		}
+	}
+}
+
+// TestHalvingExploresMoreCandidatesThanRandom: at equal budget the
+// halving driver spends its early rungs widening the explored set — the
+// mechanism by which it wins on spaces larger than random's sample.
+func TestHalvingExploresMoreCandidatesThanRandom(t *testing.T) {
+	random, err := Run(searchStudy("random"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	halving, err := Run(searchStudy("halving"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halving.Candidates <= random.Candidates {
+		t.Errorf("halving explored %d candidates, random %d — halving should explore more",
+			halving.Candidates, random.Candidates)
+	}
+	if halving.Best == nil || random.Best == nil {
+		t.Fatal("missing winners")
+	}
+	if random.Best.Replicas != halving.Best.Replicas {
+		t.Errorf("winners compared at different depths: %d vs %d replicas",
+			random.Best.Replicas, halving.Best.Replicas)
+	}
+}
+
+// TestTrajectoryMonotone: the best-vs-budget curve never regresses and
+// stays within budget.
+func TestTrajectoryMonotone(t *testing.T) {
+	st := searchStudy("halving")
+	rep, err := Run(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := rep.Objective
+	for i, p := range rep.Trajectory {
+		if p.EvaluatedCells > rep.Budget {
+			t.Errorf("trajectory point %d spent %d cells over budget", i, p.EvaluatedCells)
+		}
+		if i > 0 {
+			prev := rep.Trajectory[i-1]
+			if p.EvaluatedCells <= prev.EvaluatedCells || obj.better(prev.Best, p.Best) {
+				t.Errorf("trajectory not monotone at %d: %+v after %+v", i, p, prev)
+			}
+		}
+	}
+	if rep.Render() == "" || rep.TrajectoryPlot() == "" {
+		t.Error("rendering produced no output")
+	}
+}
+
+// TestProgressStreams: the progress hook sees every completed cell with
+// monotone Done and the study budget.
+func TestProgressStreams(t *testing.T) {
+	var events []Progress
+	st := searchStudy("halving")
+	rep, err := Run(st, Options{Workers: 1, Progress: func(p Progress) { events = append(events, p) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := rep.SimulatedCells + rep.CacheHits
+	if len(events) != total {
+		t.Fatalf("saw %d progress events, want %d", len(events), total)
+	}
+	for i, p := range events {
+		if p.Done != i+1 || p.Budget != st.Search.BudgetCells || p.Label == "" || p.Phase == "" {
+			t.Errorf("bad progress event %d: %+v", i, p)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"physched/internal/spec"
+)
+
+// candidate is one point of the search space: a flat row-major index over
+// the axes' choices (last axis fastest).
+type candidate int
+
+// space is the enumerated, validated candidate space of a study.
+// Candidates whose resolved spec does not validate — e.g. a policy axis
+// choice that rejects a parameter another axis binds — are skipped
+// deterministically and counted, so a cross product over heterogeneous
+// policies stays expressible. Candidates that resolve to a spec an
+// earlier candidate already covers — integer axes round their points, so
+// e.g. a nodes axis over [1,3] in 5 steps yields nodes 1,2,2,3,3 — are
+// likewise skipped and counted: a duplicate would re-charge the budget
+// for cells the study already owns and race the cache against itself.
+type space struct {
+	study      Study
+	sizes      []int       // choices per axis
+	valid      []candidate // distinct valid candidates in enumeration order
+	invalid    int         // candidates skipped for failing spec validation
+	duplicates int         // candidates skipped as spec-identical to earlier ones
+}
+
+// space enumerates the study's candidate space. It fails when no
+// candidate validates, carrying the first candidate's error so a study
+// that is wrong everywhere (not merely sparse) is self-diagnosing.
+func (st Study) space() (*space, error) {
+	sp := &space{study: st, sizes: make([]int, len(st.Axes))}
+	total := 1
+	for i, a := range st.Axes {
+		sp.sizes[i] = a.size()
+		total *= sp.sizes[i]
+	}
+	var firstErr error
+	seen := make(map[string]bool, total)
+	for c := candidate(0); int(c) < total; c++ {
+		hash, err := sp.specFor(c).Hash() // validates
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			sp.invalid++
+			continue
+		}
+		if seen[hash] {
+			sp.duplicates++
+			continue
+		}
+		seen[hash] = true
+		sp.valid = append(sp.valid, c)
+	}
+	if len(sp.valid) == 0 {
+		return nil, fmt.Errorf("opt: no valid candidate in a space of %d (first error: %w)", total, firstErr)
+	}
+	return sp, nil
+}
+
+// choices decodes a candidate into per-axis choice indices.
+func (sp *space) choices(c candidate) []int {
+	out := make([]int, len(sp.sizes))
+	rest := int(c)
+	for i := len(sp.sizes) - 1; i >= 0; i-- {
+		out[i] = rest % sp.sizes[i]
+		rest /= sp.sizes[i]
+	}
+	return out
+}
+
+// specFor resolves a candidate's complete spec: the base with every axis
+// choice applied (a "load" axis binds Load, so the base may leave it
+// zero). The spec keeps the base seed; replication seeds are bound per
+// cell at evaluation time, exactly as a declarative grid binds its seed
+// axis.
+func (sp *space) specFor(c candidate) spec.Spec {
+	s := sp.study.Base
+	for i, choice := range sp.choices(c) {
+		a := sp.study.Axes[i]
+		def := axisDefs[a.Name]
+		if a.categorical() {
+			def.applyCat(&s, a.Values[choice])
+		} else {
+			def.applyNum(&s, a.points()[choice])
+		}
+	}
+	return s
+}
+
+// label renders a candidate as "axis=value" pairs in axis order — the
+// stable identity used in progress lines, leaderboards and golden files.
+func (sp *space) label(c candidate) string {
+	parts := make([]string, len(sp.sizes))
+	for i, choice := range sp.choices(c) {
+		parts[i] = sp.study.Axes[i].Name + "=" + sp.study.Axes[i].label(choice)
+	}
+	return strings.Join(parts, " ")
+}

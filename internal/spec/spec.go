@@ -299,6 +299,13 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// Normalize returns the spec with every defaulted field made explicit —
+// the form Canonical encodes. It never validates: callers embedding specs
+// in larger canonical documents (internal/opt studies, whose base spec may
+// deliberately leave fields for search axes to bind) normalise first and
+// validate the fully resolved spec later.
+func (s Spec) Normalize() Spec { return s.normalize() }
+
 // normalize fills the defaults that have named spellings, so equivalent
 // specs share one canonical encoding and therefore one hash.
 func (s Spec) normalize() Spec {

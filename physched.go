@@ -31,7 +31,10 @@
 // cmd/physchedd HTTP service, which executes POSTed grid specs with
 // streamed NDJSON progress and serves cached results by hash. A spec
 // file drives `physchedsim -spec` and `experiments -spec` unchanged; see
-// examples/specfile.
+// examples/specfile. On top of the spec layer, a Study (internal/opt)
+// searches the spec space under a simulation-cell budget — seeded random
+// search or CI-aware successive halving — via RunStudy, `physchedsim
+// -study` or POST /v1/studies.
 //
 // The experiment recipes behind every figure of the paper are exposed via
 // the Fig2..Fig7, Replication, MaxLoad and FarmVsMErM functions; the
@@ -46,6 +49,7 @@ import (
 	"physched/internal/experiments"
 	"physched/internal/lab"
 	"physched/internal/model"
+	"physched/internal/opt"
 	"physched/internal/resultcache"
 	"physched/internal/sched"
 	"physched/internal/spec"
@@ -218,6 +222,40 @@ type VariantSpec = spec.Variant
 // fields.
 func ParseSpec(r io.Reader) (Spec, error)         { return spec.Parse(r) }
 func ParseGridSpec(r io.Reader) (GridSpec, error) { return spec.ParseGrid(r) }
+
+// Study is the declarative form of a budgeted scenario search: a base
+// Spec, search axes (categorical policy/workload choices and numeric
+// ranges), an objective over replica aggregates, and a search block
+// (random or successive-halving, budget in simulation cells). Like Spec
+// it is canonical JSON with a content hash; RunStudy executes it.
+type Study = opt.Study
+
+// StudyAxis is one search dimension of a Study.
+type StudyAxis = opt.Axis
+
+// StudyObjective selects the metric and direction a Study optimises.
+type StudyObjective = opt.Objective
+
+// StudySearch configures a Study's search driver and budget.
+type StudySearch = opt.Search
+
+// StudyReport is a finished study's outcome: winner, leaderboard,
+// budget accounting and the best-objective-vs-budget trajectory.
+type StudyReport = opt.Report
+
+// StudyOptions configure study execution (worker bound or shared pool,
+// context, result cache, progress).
+type StudyOptions = opt.Options
+
+// ParseStudy reads a JSON study file, rejecting unknown fields.
+func ParseStudy(r io.Reader) (Study, error) { return opt.Parse(r) }
+
+// RunStudy executes a budgeted scenario search. Every candidate
+// evaluation runs through the grid layer with the configured cache, so
+// re-running a study against a warm cache re-simulates nothing and the
+// report is byte-identical across serial, parallel and shared-pool
+// execution.
+func RunStudy(st Study, o StudyOptions) (*StudyReport, error) { return opt.Run(st, o) }
 
 // ResultCache is a content-addressed store of results keyed by spec hash;
 // set it (with GridSpec.Keys) on Options so re-executed grids skip every
