@@ -6,11 +6,25 @@
 // Usage:
 //
 //	go test -run XXX -bench BenchmarkRun -benchmem ./internal/lab | benchsnap
+//
+// With -check it becomes the CI bench gate: instead of printing a
+// snapshot it compares the fresh run on stdin against a committed base
+// snapshot and exits non-zero on a regression:
+//
+//	go test -run XXX -bench BenchmarkRun -benchmem ./internal/lab |
+//	    benchsnap -check BENCH_run.json [-tol 0.15]
+//
+// ns/op may regress by at most the -tol fraction (timing is noisy);
+// allocs/op must not regress at all (allocation counts are
+// deterministic). A fresh benchmark with no entry in the base snapshot
+// fails the gate — it forces the snapshot to be regenerated in the same
+// change that adds the benchmark.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -45,6 +59,10 @@ type snapshot struct {
 }
 
 func main() {
+	checkPath := flag.String("check", "", "base snapshot to gate against instead of emitting JSON")
+	tol := flag.Float64("tol", 0.15, "allowed fractional ns/op regression in -check mode")
+	flag.Parse()
+
 	snap, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
@@ -54,12 +72,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+
+	if *checkPath != "" {
+		data, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		var base snapshot
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: parsing %s: %v\n", *checkPath, err)
+			os.Exit(1)
+		}
+		problems := check(base, snap, *tol)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchsnap:", p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchsnap: %d benchmark(s) within tolerance of %s\n", len(snap.Benchmarks), *checkPath)
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
+}
+
+// check compares every fresh benchmark against the base snapshot and
+// returns one message per violation. Benchmark names are matched after
+// stripping the -P GOMAXPROCS suffix on both sides, so a gate run on a
+// machine with a different core count still finds its base entry.
+func check(base, fresh snapshot, tol float64) []string {
+	baseByName := make(map[string]benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[trimProcs(b.Name)] = b
+	}
+	var problems []string
+	for _, f := range fresh.Benchmarks {
+		b, ok := baseByName[trimProcs(f.Name)]
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s: no base entry in snapshot — regenerate it", f.Name))
+			continue
+		}
+		if limit := b.NsPerOp * (1 + tol); f.NsPerOp > limit {
+			problems = append(problems,
+				fmt.Sprintf("%s: %.0f ns/op exceeds base %.0f ns/op by more than %.0f%%",
+					f.Name, f.NsPerOp, b.NsPerOp, tol*100))
+		}
+		if f.AllocsPerOp > b.AllocsPerOp {
+			problems = append(problems,
+				fmt.Sprintf("%s: %.0f allocs/op regressed from base %.0f allocs/op",
+					f.Name, f.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return problems
+}
+
+// trimProcs removes a trailing -N GOMAXPROCS suffix from a benchmark
+// name, when present.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parse reads go test benchmark output: header key: value lines, then

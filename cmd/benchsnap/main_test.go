@@ -82,3 +82,51 @@ func TestParseRejectsMalformedResult(t *testing.T) {
 		}
 	}
 }
+
+func snapOf(bs ...benchmark) snapshot { return snapshot{Benchmarks: bs} }
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	base := snapOf(benchmark{Name: "BenchmarkRun-8", NsPerOp: 1000, AllocsPerOp: 500})
+	fresh := snapOf(benchmark{Name: "BenchmarkRun-4", NsPerOp: 1100, AllocsPerOp: 500})
+	if problems := check(base, fresh, 0.15); len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+func TestCheckFailsOnSlowdown(t *testing.T) {
+	base := snapOf(benchmark{Name: "BenchmarkRun", NsPerOp: 1000, AllocsPerOp: 500})
+	fresh := snapOf(benchmark{Name: "BenchmarkRun", NsPerOp: 1200, AllocsPerOp: 500})
+	problems := check(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "ns/op") {
+		t.Fatalf("want one ns/op violation, got %v", problems)
+	}
+}
+
+func TestCheckFailsOnAnyAllocRegression(t *testing.T) {
+	base := snapOf(benchmark{Name: "BenchmarkRun", NsPerOp: 1000, AllocsPerOp: 500})
+	fresh := snapOf(benchmark{Name: "BenchmarkRun", NsPerOp: 900, AllocsPerOp: 501})
+	problems := check(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op") {
+		t.Fatalf("want one allocs/op violation, got %v", problems)
+	}
+}
+
+func TestCheckFailsOnMissingBaseEntry(t *testing.T) {
+	base := snapOf(benchmark{Name: "BenchmarkRun", NsPerOp: 1000})
+	fresh := snapOf(
+		benchmark{Name: "BenchmarkRun", NsPerOp: 1000},
+		benchmark{Name: "BenchmarkNew", NsPerOp: 10},
+	)
+	problems := check(base, fresh, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "no base entry") {
+		t.Fatalf("want one missing-base violation, got %v", problems)
+	}
+}
+
+func TestCheckAllowsSpeedup(t *testing.T) {
+	base := snapOf(benchmark{Name: "BenchmarkRun", NsPerOp: 1000, AllocsPerOp: 500})
+	fresh := snapOf(benchmark{Name: "BenchmarkRun", NsPerOp: 100, AllocsPerOp: 0})
+	if problems := check(base, fresh, 0.15); len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}

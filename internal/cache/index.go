@@ -7,6 +7,8 @@ import "physched/internal/dataspace"
 // all disk caches in the cluster"; Index is that state.
 type Index struct {
 	caches []*LRU
+
+	curScratch []int // per-node set cursors for AppendPartitionByNode
 }
 
 // NewIndex builds an index over n node caches, each with the given
@@ -57,19 +59,34 @@ type NodePiece struct {
 // paper's splitting rule: "data processed by a given subjob should always
 // either be fully cached on a node or not cached at all").
 func (ix *Index) PartitionByNode(iv dataspace.Interval) []NodePiece {
-	var out []NodePiece
+	return ix.AppendPartitionByNode(iv, nil)
+}
+
+// AppendPartitionByNode is PartitionByNode writing into a caller-owned
+// buffer — the form the per-dispatch planning paths use, so partitioning
+// allocates nothing in steady state.
+func (ix *Index) AppendPartitionByNode(iv dataspace.Interval, dst []NodePiece) []NodePiece {
+	// pos only ever advances, so each node's cache is swept left to right:
+	// a per-node cursor turns the repeated per-piece binary searches into
+	// amortised-O(1) linear advances. Cursor -1 = not positioned yet.
+	if cap(ix.curScratch) < len(ix.caches) {
+		ix.curScratch = make([]int, len(ix.caches))
+	}
+	cur := ix.curScratch[:len(ix.caches)]
+	for i := range cur {
+		cur[i] = -1
+	}
 	pos := iv.Start
 	for pos < iv.End {
 		rest := dataspace.Iv(pos, iv.End)
 		bestNode, bestEnd := -1, pos
 		var nearestStart int64 = iv.End
 		for n, c := range ix.caches {
-			part := c.CachedPart(rest)
-			ivs := part.Intervals()
-			if len(ivs) == 0 {
+			first, next := c.cachedFirstRunFrom(rest, cur[n])
+			cur[n] = next
+			if first.Empty() {
 				continue
 			}
-			first := ivs[0]
 			if first.Start == pos {
 				if first.End > bestEnd {
 					bestNode, bestEnd = n, first.End
@@ -79,19 +96,19 @@ func (ix *Index) PartitionByNode(iv dataspace.Interval) []NodePiece {
 			}
 		}
 		if bestNode >= 0 {
-			out = append(out, NodePiece{dataspace.Iv(pos, bestEnd), bestNode})
+			dst = append(dst, NodePiece{dataspace.Iv(pos, bestEnd), bestNode})
 			pos = bestEnd
 			continue
 		}
-		out = append(out, NodePiece{dataspace.Iv(pos, nearestStart), -1})
+		dst = append(dst, NodePiece{dataspace.Iv(pos, nearestStart), -1})
 		pos = nearestStart
 	}
-	return out
+	return dst
 }
 
 // CachedOn returns how many events of iv are cached on node n.
 func (ix *Index) CachedOn(n int, iv dataspace.Interval) int64 {
-	return ix.caches[n].CachedPart(iv).Len()
+	return ix.caches[n].cachedLen(iv)
 }
 
 // BestNodeFor returns the node caching the largest part of iv and that
@@ -99,7 +116,7 @@ func (ix *Index) CachedOn(n int, iv dataspace.Interval) int64 {
 func (ix *Index) BestNodeFor(iv dataspace.Interval) (int, int64) {
 	best, bestAmt := -1, int64(0)
 	for n, c := range ix.caches {
-		if amt := c.CachedPart(iv).Len(); amt > bestAmt {
+		if amt := c.cachedLen(iv); amt > bestAmt {
 			best, bestAmt = n, amt
 		}
 	}

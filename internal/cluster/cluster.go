@@ -82,6 +82,11 @@ type Node struct {
 	// decommissioned marks a node that left the cluster permanently; it
 	// implies !up forever after.
 	decommissioned bool
+
+	// Per-node event service times, precomputed from Params at node
+	// creation: piece planning runs on every dispatch and the value-receiver
+	// Params methods copy the whole struct per call.
+	evtCached, evtTape, evtRemote model.Seconds
 }
 
 // Up reports whether the node is in service (see faults.go). Nodes of a
@@ -163,6 +168,12 @@ type Cluster struct {
 
 	freeRun *Running // recycled Running objects
 	planBuf []Piece  // scratch for EstimateTime
+	arena   job.Arena
+
+	// Plan-partition scratch, reused across dispatches (planInto is not
+	// reentrant; the cluster is single-threaded by construction).
+	partScratch []dataspace.SetPiece
+	nodeScratch []cache.NodePiece
 
 	// SubjobDone is invoked whenever a subjob finishes on a node, after
 	// all job accounting. The scheduling policy reacts to it.
@@ -207,8 +218,16 @@ func New(eng *sim.Engine, params model.Params, cfg Config) *Cluster {
 	c.nodes = make([]*Node, params.Nodes)
 	for i := range c.nodes {
 		c.nodes[i] = &Node{ID: i, Cache: c.index.Node(i), up: true}
+		c.setNodeTimes(c.nodes[i])
 	}
 	return c
+}
+
+// setNodeTimes fills a node's precomputed event service times.
+func (c *Cluster) setNodeTimes(n *Node) {
+	n.evtCached = c.params.EventTimeCachedOn(n.ID)
+	n.evtTape = c.params.EventTimeTapeOn(n.ID)
+	n.evtRemote = c.params.EventTimeRemoteOn(n.ID)
 }
 
 // Engine returns the simulation engine driving the cluster.
@@ -232,16 +251,24 @@ func (c *Cluster) Tape() *storage.Tertiary { return c.tape }
 // Stats returns the data-path counters accumulated so far.
 func (c *Cluster) Stats() Stats { return c.stats }
 
-// IdleNodes returns the currently idle nodes, in node order. It allocates;
-// hot paths should use IdleCount, FirstIdle or iterate Nodes directly.
-func (c *Cluster) IdleNodes() []*Node {
-	var out []*Node
+// Arena returns the run's job/subjob arena. The cluster allocates every
+// preemption/split/crash remainder from it; scheduling policies use it
+// for their own subjobs so one run shares one arena.
+func (c *Cluster) Arena() *job.Arena { return &c.arena }
+
+// IdleNodes returns the currently idle nodes, in node order, in a fresh
+// slice. Hot paths should use AppendIdle with a reused buffer, IdleCount,
+// FirstIdle, or iterate Nodes directly.
+func (c *Cluster) IdleNodes() []*Node { return c.AppendIdle(nil) }
+
+// AppendIdle appends the currently idle nodes to dst, in node order.
+func (c *Cluster) AppendIdle(dst []*Node) []*Node {
 	for _, n := range c.nodes {
 		if n.Idle() {
-			out = append(out, n)
+			dst = append(dst, n)
 		}
 	}
-	return out
+	return dst
 }
 
 // IdleCount returns the number of idle nodes without allocating.
@@ -266,13 +293,15 @@ func (c *Cluster) FirstIdle() *Node {
 }
 
 // planInto partitions iv into execution pieces for node n, appending to buf.
+// It reuses the cluster's partition scratch buffers, so it is not reentrant.
 func (c *Cluster) planInto(buf []Piece, n *Node, iv dataspace.Interval) []Piece {
 	pieces := buf
-	for _, run := range n.Cache.Cached().Partition(iv) {
+	c.partScratch = n.Cache.Cached().AppendPartition(iv, c.partScratch[:0])
+	for _, run := range c.partScratch {
 		if run.InSet {
 			pieces = append(pieces, Piece{
 				Range: run.Interval, Source: SourceCache,
-				RemoteNode: -1, PerEvent: c.params.EventTimeCachedOn(n.ID),
+				RemoteNode: -1, PerEvent: n.evtCached,
 			})
 			continue
 		}
@@ -280,7 +309,8 @@ func (c *Cluster) planInto(buf []Piece, n *Node, iv dataspace.Interval) []Piece 
 			pieces = append(pieces, c.tapePiece(n, run.Interval))
 			continue
 		}
-		for _, np := range c.index.PartitionByNode(run.Interval) {
+		c.nodeScratch = c.index.AppendPartitionByNode(run.Interval, c.nodeScratch[:0])
+		for _, np := range c.nodeScratch {
 			// A down node cannot serve remote reads: data its cache still
 			// indexes (a repairable outage preserves the disk) re-streams
 			// from tape until the node returns.
@@ -290,7 +320,7 @@ func (c *Cluster) planInto(buf []Piece, n *Node, iv dataspace.Interval) []Piece 
 			}
 			pieces = append(pieces, Piece{
 				Range: np.Interval, Source: SourceRemote,
-				RemoteNode: np.Node, PerEvent: c.params.EventTimeRemoteOn(n.ID),
+				RemoteNode: np.Node, PerEvent: n.evtRemote,
 			})
 		}
 	}
@@ -298,7 +328,7 @@ func (c *Cluster) planInto(buf []Piece, n *Node, iv dataspace.Interval) []Piece 
 }
 
 func (c *Cluster) tapePiece(n *Node, iv dataspace.Interval) Piece {
-	return Piece{Range: iv, Source: SourceTape, RemoteNode: -1, PerEvent: c.params.EventTimeTapeOn(n.ID)}
+	return Piece{Range: iv, Source: SourceTape, RemoteNode: -1, PerEvent: n.evtTape}
 }
 
 // EstimateTime returns the wall time node n would need to process iv with
@@ -495,7 +525,7 @@ func (c *Cluster) Preempt(n *Node) *job.Subjob {
 		c.maybeFinishJob(j)
 		return nil
 	}
-	return &job.Subjob{Job: j, Range: rem, Yielding: sj.Yielding, NoCacheQueue: sj.NoCacheQueue, Origin: sj.Origin}
+	return c.arena.CloneSubjob(sj, rem)
 }
 
 // RemainingEvents returns how many events the subjob on n still has to
@@ -540,6 +570,6 @@ func (c *Cluster) SplitRunning(n *Node, tailEvents, minHead int64) *job.Subjob {
 		c.Dispatch(n, rem)
 		return nil
 	}
-	c.Dispatch(n, &job.Subjob{Job: rem.Job, Range: head, Yielding: rem.Yielding, NoCacheQueue: rem.NoCacheQueue, Origin: rem.Origin})
-	return &job.Subjob{Job: rem.Job, Range: tail}
+	c.Dispatch(n, c.arena.CloneSubjob(rem, head))
+	return c.arena.NewSubjob(rem.Job, tail, 0)
 }

@@ -260,7 +260,7 @@ func (c *Cluster) killRunning(n *Node) *job.Subjob {
 	c.stats.EventsLost += wasted
 	c.stats.Reexecutions++
 	c.Tracer.Add(trace.Event{Time: c.eng.Now(), Kind: trace.SubjobLost, JobID: j.ID, Node: n.ID, Events: wasted})
-	return &job.Subjob{Job: j, Range: sj.Range, Yielding: sj.Yielding, NoCacheQueue: sj.NoCacheQueue, Origin: sj.Origin}
+	return c.arena.CloneSubjob(sj, sj.Range)
 }
 
 // DecommissionNode fails an up node permanently: it is marked
@@ -316,6 +316,7 @@ func (c *Cluster) AddNode() *Node {
 		capEvents = 0
 	}
 	n := &Node{ID: len(c.nodes), Cache: c.index.Add(capEvents, c.cfg.Eviction)}
+	c.setNodeTimes(n)
 	c.nodes = append(c.nodes, n)
 	c.counts = append(c.counts, cache.CountMap{})
 	return n

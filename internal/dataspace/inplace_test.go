@@ -1,0 +1,78 @@
+package dataspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInPlaceMatchesValueOps drives the in-place/append API and the
+// value-style API through the same randomised operation sequence and
+// requires identical canonical state and query results at every step.
+func TestInPlaceMatchesValueOps(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var inPlace Set
+		value := Set{}
+		randIv := func() Interval {
+			a := rng.Int63n(1000)
+			return Iv(a, a+rng.Int63n(100)+1)
+		}
+		equal := func(a, b Set) bool {
+			ai, bi := a.Intervals(), b.Intervals()
+			if len(ai) != len(bi) {
+				return false
+			}
+			for i := range ai {
+				if ai[i] != bi[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for op := 0; op < 500; op++ {
+			iv := randIv()
+			if rng.Intn(3) > 0 {
+				inPlace.AddInPlace(iv)
+				value = value.Add(iv)
+			} else {
+				inPlace.RemoveInPlace(iv)
+				value = value.Remove(iv)
+			}
+			if !equal(inPlace, value) {
+				t.Fatalf("seed %d op %d: in-place %v != value %v", seed, op, inPlace, value)
+			}
+			q := randIv()
+			if got, want := inPlace.FirstRunIn(q), value.IntersectInterval(q); got.Empty() != want.Empty() ||
+				(!got.Empty() && got != want.Intervals()[0]) {
+				t.Fatalf("seed %d op %d: FirstRunIn(%v) = %v, want first of %v", seed, op, q, got, want)
+			}
+			if got, want := inPlace.IntersectLen(q), value.IntersectInterval(q).Len(); got != want {
+				t.Fatalf("seed %d op %d: IntersectLen(%v) = %d, want %d", seed, op, q, got, want)
+			}
+			gaps := inPlace.AppendGaps(q, nil)
+			wantGaps := value.SubtractFrom(q).Intervals()
+			if len(gaps) != len(wantGaps) {
+				t.Fatalf("seed %d op %d: AppendGaps(%v) = %v, want %v", seed, op, q, gaps, wantGaps)
+			}
+			for i := range gaps {
+				if gaps[i] != wantGaps[i] {
+					t.Fatalf("seed %d op %d: AppendGaps(%v) = %v, want %v", seed, op, q, gaps, wantGaps)
+				}
+			}
+			pieces := inPlace.AppendPartition(q, nil)
+			wantPieces := value.Partition(q)
+			if len(pieces) != len(wantPieces) {
+				t.Fatalf("seed %d op %d: AppendPartition(%v) = %v, want %v", seed, op, q, pieces, wantPieces)
+			}
+			for i := range pieces {
+				if pieces[i] != wantPieces[i] {
+					t.Fatalf("seed %d op %d: AppendPartition(%v) = %v, want %v", seed, op, q, pieces, wantPieces)
+				}
+			}
+		}
+		inPlace.Reset()
+		if !inPlace.Empty() {
+			t.Fatalf("seed %d: Reset left %v", seed, inPlace)
+		}
+	}
+}

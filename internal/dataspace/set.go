@@ -1,9 +1,6 @@
 package dataspace
 
-import (
-	"sort"
-	"strings"
-)
+import "strings"
 
 // Set is a union of disjoint, sorted, non-adjacent intervals. The zero
 // value is an empty set ready for use. Sets are value types: operations
@@ -39,8 +36,19 @@ func (s Set) Len() int64 {
 }
 
 // searchEnd returns the index of the first interval whose End exceeds e.
+// Hand-rolled binary search: this underlies every interval query on the
+// simulator's hot path and the sort.Search closure overhead is measurable.
 func (s Set) searchEnd(e int64) int {
-	return sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > e })
+	lo, hi := 0, len(s.ivs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ivs[mid].End > e {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // Contains reports whether event e is in s.

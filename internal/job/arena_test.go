@@ -1,0 +1,96 @@
+package job
+
+import (
+	"testing"
+
+	"physched/internal/dataspace"
+)
+
+// TestArenaHandlesSurviveChurn drives the arena through the allocation
+// pattern of a long fault-injected run — a subjob is "killed", its
+// remainder cloned and requeued, over and over — and asserts the handle
+// contract: every pointer handed out stays valid for the arena's
+// lifetime, and every subjob's dense ID keeps resolving to the same
+// object through SubjobAt no matter how many chunks are appended later.
+func TestArenaHandlesSurviveChurn(t *testing.T) {
+	var a Arena
+	j := a.NewJob()
+	j.ID = 7
+	j.Range = dataspace.Iv(0, 1_000_000)
+
+	const cycles = 2_000 // crosses many arenaChunk boundaries
+	handles := make([]*Subjob, 0, cycles+1)
+	ranges := make([]dataspace.Interval, 0, cycles+1)
+
+	running := a.NewSubjob(j, j.Range, -1)
+	running.NoCacheQueue = true
+	handles = append(handles, running)
+	ranges = append(ranges, running.Range)
+	for i := 0; i < cycles; i++ {
+		// Node crash: the killed subjob's unprocessed remainder goes back
+		// to the front of the queue it came from, as a clone.
+		rem := a.CloneSubjob(running, dataspace.Iv(running.Range.Start+100, running.Range.End))
+		if !rem.NoCacheQueue || rem.Origin != running.Origin {
+			t.Fatalf("cycle %d: clone lost flags: %+v", i, rem)
+		}
+		handles = append(handles, rem)
+		ranges = append(ranges, rem.Range)
+		running = rem
+	}
+
+	if got := a.NumSubjobs(); got != cycles+1 {
+		t.Fatalf("NumSubjobs = %d, want %d", got, cycles+1)
+	}
+	for i, h := range handles {
+		if h.ID != int32(i) {
+			t.Fatalf("handle %d has ID %d: IDs must be dense in allocation order", i, h.ID)
+		}
+		if a.SubjobAt(i) != h {
+			t.Fatalf("SubjobAt(%d) moved: arena objects must be address-stable", i)
+		}
+		if h.Range != ranges[i] || h.Job != j {
+			t.Fatalf("subjob %d data corrupted: %+v", i, h)
+		}
+	}
+}
+
+// TestArenaJobsAddressStable allocates jobs across several chunks and
+// asserts pointer identity through JobAt.
+func TestArenaJobsAddressStable(t *testing.T) {
+	var a Arena
+	const n = 3*arenaChunk + 5
+	handles := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		j := a.NewJob()
+		j.ID = int64(i)
+		handles = append(handles, j)
+	}
+	if a.NumJobs() != n {
+		t.Fatalf("NumJobs = %d, want %d", a.NumJobs(), n)
+	}
+	for i, h := range handles {
+		if a.JobAt(i) != h || h.ID != int64(i) {
+			t.Fatalf("JobAt(%d) = %p (ID %d), want %p (ID %d)", i, a.JobAt(i), a.JobAt(i).ID, h, i)
+		}
+	}
+}
+
+// TestArenaResetReusesStorage verifies Reset invalidates the run's
+// objects without giving back the first chunks, and that allocation
+// starts over with dense IDs.
+func TestArenaResetReusesStorage(t *testing.T) {
+	var a Arena
+	j := a.NewJob()
+	for i := 0; i < arenaChunk+10; i++ {
+		a.NewSubjob(j, dataspace.Iv(0, 10), -1)
+	}
+	a.Reset()
+	if a.NumJobs() != 0 || a.NumSubjobs() != 0 {
+		t.Fatalf("after Reset: %d jobs, %d subjobs", a.NumJobs(), a.NumSubjobs())
+	}
+	j2 := a.NewJob()
+	sj := a.NewSubjob(j2, dataspace.Iv(5, 15), 3)
+	if sj.ID != 0 || a.SubjobAt(0) != sj {
+		t.Fatalf("post-Reset subjob ID = %d", sj.ID)
+	}
+}

@@ -10,7 +10,7 @@ package job
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"physched/internal/dataspace"
 )
@@ -62,6 +62,11 @@ type Subjob struct {
 	Job   *Job
 	Range dataspace.Interval
 
+	// ID is the subjob's dense arena index (see Arena), usable to address
+	// it without holding the pointer. Subjobs built as plain literals
+	// (tests) have ID 0.
+	ID int32
+
 	// Yielding marks a subjob that runs on a node not holding its data
 	// (out-of-order work stealing, Table 3): a subjob with locally cached
 	// data may preempt it.
@@ -90,8 +95,14 @@ func (s *Subjob) String() string {
 // yields a single part). It returns fewer than n parts when iv is too
 // small to honour minEvents.
 func SplitEqual(iv dataspace.Interval, n int, minEvents int64) []dataspace.Interval {
+	return AppendSplitEqual(nil, iv, n, minEvents)
+}
+
+// AppendSplitEqual is SplitEqual appending to a caller-owned buffer, for
+// per-dispatch paths that split without allocating.
+func AppendSplitEqual(dst []dataspace.Interval, iv dataspace.Interval, n int, minEvents int64) []dataspace.Interval {
 	if iv.Empty() || n <= 0 {
-		return nil
+		return dst
 	}
 	if maxParts := iv.Len() / minEvents; int64(n) > maxParts {
 		n = int(maxParts)
@@ -99,7 +110,6 @@ func SplitEqual(iv dataspace.Interval, n int, minEvents int64) []dataspace.Inter
 			n = 1
 		}
 	}
-	parts := make([]dataspace.Interval, 0, n)
 	size := iv.Len() / int64(n)
 	rem := iv.Len() % int64(n)
 	pos := iv.Start
@@ -108,10 +118,10 @@ func SplitEqual(iv dataspace.Interval, n int, minEvents int64) []dataspace.Inter
 		if int64(i) < rem {
 			end++
 		}
-		parts = append(parts, dataspace.Iv(pos, end))
+		dst = append(dst, dataspace.Iv(pos, end))
 		pos = end
 	}
-	return parts
+	return dst
 }
 
 // SplitForJob turns intervals into subjobs of j.
@@ -128,47 +138,59 @@ func SplitForJob(j *Job, ivs []dataspace.Interval) []*Subjob {
 // within hull, points creating stripes shorter than stripe/2 are removed,
 // then points are added so that no stripe exceeds stripe events.
 func StripePoints(boundaries []int64, hull dataspace.Interval, stripe int64) []int64 {
+	out, _ := AppendStripePoints(nil, nil, boundaries, hull, stripe)
+	return out
+}
+
+// AppendStripePoints is StripePoints appending to dst, using scratch as
+// an intermediate buffer. It returns the extended dst and the (possibly
+// regrown) scratch so the caller can reuse both across periods.
+func AppendStripePoints(dst, scratch []int64, boundaries []int64, hull dataspace.Interval, stripe int64) ([]int64, []int64) {
 	if stripe <= 0 {
 		panic("job: stripe must be positive")
 	}
-	// Deduplicate and sort boundaries inside the hull.
-	seen := map[int64]bool{hull.Start: true, hull.End: true}
-	points := []int64{hull.Start, hull.End}
+	// Sorted distinct boundary points inside the hull, hull ends included.
+	pts := append(scratch[:0], hull.Start, hull.End)
 	for _, b := range boundaries {
-		if b > hull.Start && b < hull.End && !seen[b] {
-			seen[b] = true
-			points = append(points, b)
+		if b > hull.Start && b < hull.End {
+			pts = append(pts, b)
 		}
 	}
-	sortInt64s(points)
+	slices.Sort(pts)
+	pts = slices.Compact(pts)
 	// Drop points creating stripes below stripe/2 (keep hull ends).
-	kept := points[:1]
-	for i := 1; i < len(points); i++ {
-		p := points[i]
-		if p-kept[len(kept)-1] < stripe/2 && p != hull.End {
+	w := 1
+	for i := 1; i < len(pts); i++ {
+		p := pts[i]
+		if p-pts[w-1] < stripe/2 && p != hull.End {
 			continue
 		}
-		kept = append(kept, p)
+		pts[w] = p
+		w++
 	}
+	pts = pts[:w]
 	// Ensure no stripe exceeds stripe events.
-	var out []int64
-	for i, p := range kept {
+	for i, p := range pts {
 		if i > 0 {
-			prev := out[len(out)-1]
+			prev := dst[len(dst)-1]
 			for p-prev > stripe {
 				prev += stripe
-				out = append(out, prev)
+				dst = append(dst, prev)
 			}
 		}
-		out = append(out, p)
+		dst = append(dst, p)
 	}
-	return out
+	return dst, pts
 }
 
 // CutAtPoints splits iv at the given ascending cut points, returning the
 // resulting contiguous sub-intervals.
 func CutAtPoints(iv dataspace.Interval, points []int64) []dataspace.Interval {
-	var out []dataspace.Interval
+	return AppendCutAtPoints(nil, iv, points)
+}
+
+// AppendCutAtPoints is CutAtPoints appending to a caller-owned buffer.
+func AppendCutAtPoints(dst []dataspace.Interval, iv dataspace.Interval, points []int64) []dataspace.Interval {
 	pos := iv.Start
 	for _, p := range points {
 		if p <= pos {
@@ -177,15 +199,11 @@ func CutAtPoints(iv dataspace.Interval, points []int64) []dataspace.Interval {
 		if p >= iv.End {
 			break
 		}
-		out = append(out, dataspace.Iv(pos, p))
+		dst = append(dst, dataspace.Iv(pos, p))
 		pos = p
 	}
 	if pos < iv.End {
-		out = append(out, dataspace.Iv(pos, iv.End))
+		dst = append(dst, dataspace.Iv(pos, iv.End))
 	}
-	return out
-}
-
-func sortInt64s(xs []int64) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return dst
 }

@@ -64,7 +64,9 @@ func TestAllPoliciesCompleteAtLowLoad(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			res := Run(policyScenario(tc.mk, load))
+			s := policyScenario(tc.mk, load)
+			s.KeepJobResults = true
+			res := Run(s)
 			if res.Overloaded {
 				t.Fatalf("%s overloaded at half the farm max load", tc.name)
 			}

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"physched/internal/cluster"
+	"physched/internal/job"
 	"physched/internal/metrics"
 	"physched/internal/model"
 	"physched/internal/sched"
@@ -49,6 +50,11 @@ type Scenario struct {
 	// DelayIncluded reports waiting times including the scheduling delay
 	// (Figure 7 reports the adaptive policy this way).
 	DelayIncluded bool
+	// KeepJobResults retains the full per-job result log on the
+	// collector (Collector.Results). All reported aggregates are
+	// computed streaming; only set this when individual job records are
+	// needed, as it costs memory proportional to the measured job count.
+	KeepJobResults bool
 
 	// Workload, when non-nil, replaces the synthetic generator — e.g. a
 	// workload.Replay of a recorded or production job trace. The Load
@@ -203,6 +209,7 @@ func RunE(s Scenario) (Result, error) {
 
 	coll := metrics.NewCollector(s.Params, s.WarmupJobs, s.MeasureJobs)
 	coll.DelayIncluded = s.DelayIncluded
+	coll.KeepResults = s.KeepJobResults
 	cl.JobDone = coll.JobFinished
 	cl.SubjobDone = policy.SubjobDone
 	admit := policy.JobArrived
@@ -265,24 +272,28 @@ func RunE(s Scenario) (Result, error) {
 	overloaded := false
 	exhausted := false // a finite workload source returned nil
 	var scheduleArrival func()
+	// One shared callback serves every arrival (the job travels as the
+	// timer argument), so the arrival chain allocates nothing per job.
+	arrive := func(a any) {
+		j := a.(*job.Job)
+		coll.JobArrived(j)
+		if s.Trace != nil {
+			s.Trace.Add(trace.Event{Time: eng.Now(), Kind: trace.JobArrived, JobID: j.ID, Events: j.Events()})
+		}
+		admit(j)
+		if coll.Backlog() >= s.OverloadBacklog {
+			overloaded = true
+			return // stop feeding; the run ends below
+		}
+		scheduleArrival()
+	}
 	scheduleArrival = func() {
 		j := gen.Next()
 		if j == nil {
 			exhausted = true
 			return
 		}
-		eng.At(j.Arrival, func() {
-			coll.JobArrived(j)
-			if s.Trace != nil {
-				s.Trace.Add(trace.Event{Time: eng.Now(), Kind: trace.JobArrived, JobID: j.ID, Events: j.Events()})
-			}
-			admit(j)
-			if coll.Backlog() >= s.OverloadBacklog {
-				overloaded = true
-				return // stop feeding; the run ends below
-			}
-			scheduleArrival()
-		})
+		eng.AtCall(j.Arrival, arrive, j)
 	}
 	scheduleArrival()
 
@@ -312,7 +323,7 @@ func RunE(s Scenario) (Result, error) {
 		PolicyName:   policy.Name(),
 		Load:         s.Load,
 		Overloaded:   overloaded,
-		MeasuredJobs: len(coll.Results()),
+		MeasuredJobs: coll.MeasuredCount(),
 		SimTime:      eng.Now(),
 		Cluster:      cl.Stats(),
 		Collector:    coll,
@@ -323,7 +334,7 @@ func RunE(s Scenario) (Result, error) {
 			res.Goodput = 1 - float64(st.EventsLost)/float64(total)
 		}
 	}
-	if !overloaded && complete && len(coll.Results()) > 0 {
+	if !overloaded && complete && coll.MeasuredCount() > 0 {
 		res.AvgSpeedup = coll.AvgSpeedup()
 		res.AvgWaiting = coll.AvgWaiting()
 		res.MaxWaiting = coll.MaxWaiting()
@@ -342,18 +353,10 @@ func RunE(s Scenario) (Result, error) {
 // overload it grows without bound at a rate of roughly (utilisation−1)
 // seconds per second.
 func waitingDiverges(coll *metrics.Collector, p model.Params) bool {
-	results := coll.Results()
-	if len(results) < 50 {
+	xs := coll.Arrivals()
+	ys := coll.ReportedWaitings()
+	if len(xs) < 50 {
 		return false
-	}
-	xs := make([]float64, len(results))
-	ys := make([]float64, len(results))
-	for i, r := range results {
-		xs[i] = r.Arrival
-		ys[i] = r.Waiting
-		if coll.DelayIncluded {
-			ys[i] = r.WaitingWithDelay
-		}
 	}
 	slope := stats.LinearTrend(xs, ys)
 	if slope < 0.01 {

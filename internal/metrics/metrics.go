@@ -34,7 +34,13 @@ type JobResult struct {
 	Speedup float64
 }
 
-// Collector accumulates job results after a warm-up prefix.
+// Collector accumulates job statistics after a warm-up prefix. It is
+// streaming: every aggregate the lab reports (means, max, quantiles, the
+// divergence trend inputs, the waiting histogram) is maintained in fixed
+// accumulators or compact per-job float columns, so a run costs O(1)
+// memory per job. The full []JobResult log is only retained when
+// KeepResults is set (Scenario.KeepJobResults), for tests and studies that
+// inspect individual jobs.
 type Collector struct {
 	params model.Params
 
@@ -45,10 +51,20 @@ type Collector struct {
 	MeasureJobs int
 	// DelayIncluded selects WaitingWithDelay as the reported waiting time.
 	DelayIncluded bool
+	// KeepResults retains the full per-job result log (Results).
+	KeepResults bool
 
-	arrived   int64
-	finished  int64
-	measured  []JobResult
+	arrived  int64
+	finished int64
+	count    int // measured jobs
+	measured []JobResult
+
+	// Per-job columns for the trend and quantile queries; presized to the
+	// measurement cap.
+	arrivals []float64
+	waitExcl []float64
+	waitIncl []float64
+
 	waiting   stats.Summary
 	speedup   stats.Summary
 	proc      stats.Summary
@@ -57,13 +73,19 @@ type Collector struct {
 
 // NewCollector returns a collector for the given parameters.
 func NewCollector(p model.Params, warmupJobs, measureJobs int) *Collector {
-	return &Collector{
+	c := &Collector{
 		params:      p,
 		WarmupJobs:  warmupJobs,
 		MeasureJobs: measureJobs,
 		// 10 s .. 4 weeks covers Figure 4's axis with margin.
 		histogram: stats.NewLogHistogram(10, 4*model.Week, 6),
 	}
+	if measureJobs > 0 {
+		c.arrivals = make([]float64, 0, measureJobs)
+		c.waitExcl = make([]float64, 0, measureJobs)
+		c.waitIncl = make([]float64, 0, measureJobs)
+	}
+	return c
 }
 
 // JobArrived counts an arrival.
@@ -78,35 +100,45 @@ func (c *Collector) JobFinished(j *job.Job) {
 	if c.MeasureJobs > 0 && j.ID >= int64(c.WarmupJobs+c.MeasureJobs) {
 		return
 	}
-	r := JobResult{
-		ID:          j.ID,
-		Events:      j.Events(),
-		Arrival:     j.Arrival,
-		ScheduledAt: j.ScheduledAt,
-		FirstStart:  j.FirstStart,
-		End:         j.EndTime,
-	}
-	r.Waiting = r.FirstStart - r.ScheduledAt
-	r.WaitingWithDelay = r.FirstStart - r.Arrival
-	r.Processing = r.End - r.FirstStart
-	if r.Processing > 0 {
+	waiting := j.FirstStart - j.ScheduledAt
+	waitingWithDelay := j.FirstStart - j.Arrival
+	processing := j.EndTime - j.FirstStart
+	speedup := 0.0
+	if processing > 0 {
 		single := float64(j.Events()) * c.params.EventTimeTape()
-		r.Speedup = single / r.Processing
+		speedup = single / processing
 	}
-	c.measured = append(c.measured, r)
-	w := r.Waiting
+	c.count++
+	c.arrivals = append(c.arrivals, j.Arrival)
+	c.waitExcl = append(c.waitExcl, waiting)
+	c.waitIncl = append(c.waitIncl, waitingWithDelay)
+	if c.KeepResults {
+		c.measured = append(c.measured, JobResult{
+			ID:               j.ID,
+			Events:           j.Events(),
+			Arrival:          j.Arrival,
+			ScheduledAt:      j.ScheduledAt,
+			FirstStart:       j.FirstStart,
+			End:              j.EndTime,
+			Waiting:          waiting,
+			WaitingWithDelay: waitingWithDelay,
+			Processing:       processing,
+			Speedup:          speedup,
+		})
+	}
+	w := waiting
 	if c.DelayIncluded {
-		w = r.WaitingWithDelay
+		w = waitingWithDelay
 	}
 	c.waiting.Add(w)
 	c.histogram.Add(w)
-	c.speedup.Add(r.Speedup)
-	c.proc.Add(r.Processing)
+	c.speedup.Add(speedup)
+	c.proc.Add(processing)
 }
 
 // Done reports whether the measurement quota has been reached.
 func (c *Collector) Done() bool {
-	return c.MeasureJobs > 0 && len(c.measured) >= c.MeasureJobs
+	return c.MeasureJobs > 0 && c.count >= c.MeasureJobs
 }
 
 // Backlog returns the number of jobs arrived but not yet finished.
@@ -116,8 +148,26 @@ func (c *Collector) Backlog() int64 { return c.arrived - c.finished }
 func (c *Collector) Arrived() int64  { return c.arrived }
 func (c *Collector) Finished() int64 { return c.finished }
 
-// Results returns the measured job results.
+// MeasuredCount returns the number of measured jobs.
+func (c *Collector) MeasuredCount() int { return c.count }
+
+// Results returns the measured job results. It is empty unless KeepResults
+// was set before the run.
 func (c *Collector) Results() []JobResult { return c.measured }
+
+// Arrivals returns the arrival times of the measured jobs, in measurement
+// order. The slice is the collector's storage: read-only.
+func (c *Collector) Arrivals() []float64 { return c.arrivals }
+
+// ReportedWaitings returns the reported waiting time (delay included or
+// not, per DelayIncluded) of the measured jobs, in measurement order. The
+// slice is the collector's storage: read-only.
+func (c *Collector) ReportedWaitings() []float64 {
+	if c.DelayIncluded {
+		return c.waitIncl
+	}
+	return c.waitExcl
+}
 
 // AvgWaiting returns the mean reported waiting time, in seconds.
 func (c *Collector) AvgWaiting() float64 { return c.waiting.Mean() }
@@ -136,12 +186,5 @@ func (c *Collector) WaitingHistogram() *stats.LogHistogram { return c.histogram 
 
 // WaitingQuantile returns the q-quantile of reported waiting times.
 func (c *Collector) WaitingQuantile(q float64) float64 {
-	xs := make([]float64, len(c.measured))
-	for i, r := range c.measured {
-		xs[i] = r.Waiting
-		if c.DelayIncluded {
-			xs[i] = r.WaitingWithDelay
-		}
-	}
-	return stats.Quantile(xs, q)
+	return stats.Quantile(c.ReportedWaitings(), q)
 }

@@ -19,6 +19,7 @@ func testJob(id int64, arrival, start, end float64, events int64) *job.Job {
 
 func TestCollectorSkipsWarmup(t *testing.T) {
 	c := NewCollector(model.PaperCalibrated(), 2, 0)
+	c.KeepResults = true
 	for i := int64(0); i < 5; i++ {
 		j := testJob(i, 0, 10, 100, 1000)
 		c.JobArrived(j)
@@ -34,6 +35,7 @@ func TestCollectorSkipsWarmup(t *testing.T) {
 
 func TestCollectorMeasurementWindowByID(t *testing.T) {
 	c := NewCollector(model.PaperCalibrated(), 1, 2)
+	c.KeepResults = true
 	// Finish out of order: IDs 3 (beyond window), 2, 1, 0 (warmup).
 	for _, id := range []int64{3, 2, 1, 0} {
 		c.JobFinished(testJob(id, 0, 10, 100, 1000))
@@ -49,6 +51,7 @@ func TestCollectorMeasurementWindowByID(t *testing.T) {
 func TestWaitingAndSpeedup(t *testing.T) {
 	p := model.PaperCalibrated()
 	c := NewCollector(p, 0, 0)
+	c.KeepResults = true
 	// 1000 events, started 50s after arrival, processed in 500s.
 	j := testJob(0, 100, 150, 650, 1000)
 	c.JobFinished(j)
@@ -71,6 +74,7 @@ func TestDelayExcludedVsIncluded(t *testing.T) {
 	j.ScheduledAt = 300 // delayed scheduling: batched at t=300
 
 	excl := NewCollector(p, 0, 0)
+	excl.KeepResults = true
 	excl.JobFinished(j)
 	if got := excl.Results()[0].Waiting; got != 100 {
 		t.Errorf("delay-excluded waiting = %v, want 100", got)
@@ -111,5 +115,22 @@ func TestWaitingQuantileAndHistogram(t *testing.T) {
 	}
 	if c.WaitingHistogram().Total() != 100 {
 		t.Errorf("histogram total = %d", c.WaitingHistogram().Total())
+	}
+}
+
+// BenchmarkCollector measures the streaming per-job cost of the collector
+// — the path every simulated job completion pays. It must stay
+// allocation-free: the columns are presized to the measurement cap and
+// KeepResults defaults to off.
+func BenchmarkCollector(b *testing.B) {
+	p := model.PaperCalibrated()
+	c := NewCollector(p, 0, b.N)
+	j := testJob(0, 5, 10, 100, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.ID = int64(i)
+		c.JobArrived(j)
+		c.JobFinished(j)
 	}
 }

@@ -17,6 +17,11 @@ type CacheOriented struct {
 	base
 	queue   jobFIFO
 	running []*job.Job
+
+	idleScratch   []*cluster.Node
+	subsScratch   []*job.Subjob
+	assignScratch []int  // idle-node index -> subjob index, -1 when none
+	usedScratch   []bool // subjob index -> already assigned
 }
 
 // NewCacheOriented returns the cache-oriented job-splitting policy.
@@ -29,7 +34,8 @@ func (*CacheOriented) ClusterConfig() cluster.Config {
 }
 
 func (p *CacheOriented) JobArrived(j *job.Job) {
-	if idle := p.c.IdleNodes(); len(idle) > 0 {
+	p.idleScratch = p.c.AppendIdle(p.idleScratch[:0])
+	if idle := p.idleScratch; len(idle) > 0 {
 		p.track(j)
 		p.startOnIdle(j, idle)
 		return
@@ -59,20 +65,20 @@ func (p *CacheOriented) startOnIdle(j *job.Job, idle []*cluster.Node) {
 		}
 		a, b := subs[li].Range.Halves()
 		orig := subs[li]
-		subs[li] = &job.Subjob{Job: j, Range: a, Origin: orig.Origin}
-		subs = append(subs, &job.Subjob{Job: j, Range: b, Origin: -1})
+		subs[li] = p.arena().NewSubjob(j, a, orig.Origin)
+		subs = append(subs, p.arena().NewSubjob(j, b, -1))
 	}
-	assigned := assignByAffinity(p.c, subs, idle)
-	// Dispatch in node order: ranging over the map directly would make the
-	// dispatch sequence — and through event tie-breaking the whole run —
-	// depend on randomised map iteration.
-	for _, n := range idle {
-		if sub := assigned[n]; sub != nil {
-			p.c.Dispatch(n, sub)
+	p.subsScratch = subs
+	assigned := p.assignByAffinity(subs, idle)
+	// Dispatch in idle-node order so the dispatch sequence — and through
+	// event tie-breaking the whole run — stays deterministic.
+	for ni, n := range idle {
+		if si := assigned[ni]; si >= 0 {
+			p.c.Dispatch(n, subs[si])
 		}
 	}
-	for _, sub := range subs {
-		if !isAssigned(assigned, sub) {
+	for si, sub := range subs {
+		if !p.usedScratch[si] {
 			j.Suspended = append(j.Suspended, sub)
 		}
 	}
@@ -97,13 +103,16 @@ func (p *CacheOriented) startOnNode(j *job.Job, n *cluster.Node) {
 	p.c.Dispatch(n, subs[best])
 }
 
-// splitByCache cuts j's range along cluster cache boundaries.
+// splitByCache cuts j's range along cluster cache boundaries. The returned
+// slice lives in the policy's scratch buffer (the subjobs themselves are
+// arena-allocated and stable): it is valid until the next splitByCache call.
 func (p *CacheOriented) splitByCache(j *job.Job) []*job.Subjob {
-	pieces := cachePieces(p.c, j.Range, p.minSize())
-	subs := make([]*job.Subjob, len(pieces))
-	for i, pc := range pieces {
-		subs[i] = &job.Subjob{Job: j, Range: pc.Interval, Origin: pc.Node}
+	pieces := p.cachePieces(j.Range, p.minSize())
+	subs := p.subsScratch[:0]
+	for _, pc := range pieces {
+		subs = append(subs, p.arena().NewSubjob(j, pc.Interval, pc.Node))
 	}
+	p.subsScratch = subs
 	return subs
 }
 
@@ -249,44 +258,45 @@ func popBestSuspended(c *cluster.Cluster, j *job.Job, n *cluster.Node) *job.Subj
 }
 
 // assignByAffinity matches subjobs to idle nodes maximising cached data:
-// repeatedly picks the (node, subjob) pair with the highest cached amount.
-func assignByAffinity(c *cluster.Cluster, subs []*job.Subjob, idle []*cluster.Node) map[*cluster.Node]*job.Subjob {
-	out := make(map[*cluster.Node]*job.Subjob)
-	usedSub := make(map[*job.Subjob]bool)
-	for len(out) < len(idle) && len(out) < len(subs) {
-		var bn *cluster.Node
-		var bs *job.Subjob
+// repeatedly picks the (node, subjob) pair with the highest cached amount
+// (first maximum in idle-then-subs order, so the result is deterministic).
+// The returned slice maps idle-node index to subjob index (-1 when the node
+// gets nothing); it and usedScratch are valid until the next call.
+func (p *CacheOriented) assignByAffinity(subs []*job.Subjob, idle []*cluster.Node) []int {
+	assigned := p.assignScratch[:0]
+	for range idle {
+		assigned = append(assigned, -1)
+	}
+	p.assignScratch = assigned
+	used := p.usedScratch[:0]
+	for range subs {
+		used = append(used, false)
+	}
+	p.usedScratch = used
+	for count := 0; count < len(idle) && count < len(subs); count++ {
+		bn, bs := -1, -1
 		var bAmt int64 = -1
-		for _, n := range idle {
-			if out[n] != nil {
+		for ni, n := range idle {
+			if assigned[ni] >= 0 {
 				continue
 			}
-			for _, sub := range subs {
-				if usedSub[sub] {
+			for si, sub := range subs {
+				if used[si] {
 					continue
 				}
-				amt := c.Index().CachedOn(n.ID, sub.Range)
+				amt := p.c.Index().CachedOn(n.ID, sub.Range)
 				if amt > bAmt {
-					bn, bs, bAmt = n, sub, amt
+					bn, bs, bAmt = ni, si, amt
 				}
 			}
 		}
-		if bn == nil {
+		if bn < 0 {
 			break
 		}
-		out[bn] = bs
-		usedSub[bs] = true
+		assigned[bn] = bs
+		used[bs] = true
 	}
-	return out
-}
-
-func isAssigned(assigned map[*cluster.Node]*job.Subjob, sub *job.Subjob) bool {
-	for _, s := range assigned {
-		if s == sub {
-			return true
-		}
-	}
-	return false
+	return assigned
 }
 
 // largestSubjob returns the index of the largest subjob, or -1.

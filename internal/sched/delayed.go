@@ -34,6 +34,16 @@ type Delayed struct {
 	nodeQ   []subjobDeque
 	metaQ   []*metaSubjob
 	timer   *sim.Event // pending period-boundary event, nil in zero-period mode
+
+	periodFn func(any) // shared period-boundary callback (see Attach)
+
+	// Scratch buffers, reused across scheduling rounds.
+	uncachedScratch []*job.Subjob
+	union           dataspace.Set
+	boundScratch    []int64
+	points          []int64
+	ptScratch       []int64
+	cutScratch      []dataspace.Interval
 }
 
 // metaSubjob aggregates subjobs needing overlapping uncached data; the
@@ -63,8 +73,9 @@ func (p *Delayed) Attach(c *cluster.Cluster) {
 	p.base.Attach(c)
 	// len(c.Nodes()) covers spare nodes joining late (cluster.FaultModel).
 	p.nodeQ = make([]subjobDeque, len(c.Nodes()))
+	p.periodFn = func(any) { p.periodEnd() }
 	if p.Period > 0 {
-		p.timer = p.eng.At(p.Period, p.periodEnd)
+		p.timer = p.eng.AtCall(p.Period, p.periodFn, nil)
 	}
 }
 
@@ -83,7 +94,9 @@ func (p *Delayed) JobArrived(j *job.Job) {
 func (p *Delayed) periodEnd() {
 	p.timer = nil
 	jobs := p.pending
-	p.pending = nil
+	// scheduleJobs finishes before any new arrival can append to pending,
+	// so the backing array can be reused for the next period.
+	p.pending = p.pending[:0]
 	now := p.now()
 	for _, j := range jobs {
 		j.ScheduledAt = now
@@ -91,16 +104,16 @@ func (p *Delayed) periodEnd() {
 	p.scheduleJobs(jobs)
 	p.feedIdleNodes()
 	if p.Period > 0 {
-		p.timer = p.eng.After(p.Period, p.periodEnd)
+		p.timer = p.eng.AfterCall(p.Period, p.periodFn, nil)
 	}
 }
 
 // scheduleJobs performs the Table 4 splitting for a batch of jobs.
 func (p *Delayed) scheduleJobs(jobs []*job.Job) {
-	var uncached []*job.Subjob
+	uncached := p.uncachedScratch[:0]
 	for _, j := range jobs {
-		for _, pc := range cachePieces(p.c, j.Range, p.minSize()) {
-			sub := &job.Subjob{Job: j, Range: pc.Interval, Origin: pc.Node}
+		for _, pc := range p.cachePieces(j.Range, p.minSize()) {
+			sub := p.arena().NewSubjob(j, pc.Interval, pc.Node)
 			if pc.Node >= 0 {
 				p.nodeQ[pc.Node].PushBack(sub)
 				continue
@@ -109,6 +122,7 @@ func (p *Delayed) scheduleJobs(jobs []*job.Job) {
 			uncached = append(uncached, sub)
 		}
 	}
+	p.uncachedScratch = uncached
 	if len(uncached) == 0 {
 		return
 	}
@@ -120,20 +134,23 @@ func (p *Delayed) scheduleJobs(jobs []*job.Job) {
 func (p *Delayed) stripeAndGroup(uncached []*job.Subjob) {
 	// Connected components of the union of uncached ranges define the
 	// hulls on which stripe grids are built.
-	var union dataspace.Set
-	var boundaries []int64
+	p.union.Reset()
+	boundaries := p.boundScratch[:0]
 	for _, sub := range uncached {
-		union = union.Add(sub.Range)
+		p.union.AddInPlace(sub.Range)
 		boundaries = append(boundaries, sub.Range.Start, sub.Range.End)
 	}
+	p.boundScratch = boundaries
 	metas := map[dataspace.Interval]*metaSubjob{}
-	for _, hull := range union.Intervals() {
-		points := job.StripePoints(boundaries, hull, p.Stripe)
+	for _, hull := range p.union.Intervals() {
+		p.points, p.ptScratch = job.AppendStripePoints(p.points[:0], p.ptScratch, boundaries, hull, p.Stripe)
+		points := p.points
 		for _, sub := range uncached {
 			if !hull.ContainsInterval(sub.Range) {
 				continue
 			}
-			for _, cut := range job.CutAtPoints(sub.Range, points) {
+			p.cutScratch = job.AppendCutAtPoints(p.cutScratch[:0], sub.Range, points)
+			for _, cut := range p.cutScratch {
 				stripe := stripeCell(points, cut)
 				m := metas[stripe]
 				if m == nil {
@@ -144,9 +161,9 @@ func (p *Delayed) stripeAndGroup(uncached []*job.Subjob) {
 				if sub.Job.Arrival < m.arrival {
 					m.arrival = sub.Job.Arrival
 				}
-				m.members = append(m.members, &job.Subjob{
-					Job: sub.Job, Range: cut, NoCacheQueue: true, Origin: -1,
-				})
+				member := p.arena().NewSubjob(sub.Job, cut, -1)
+				member.NoCacheQueue = true
+				m.members = append(m.members, member)
 			}
 		}
 	}

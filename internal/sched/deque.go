@@ -100,14 +100,37 @@ func (f *jobFIFO) Push(j *job.Job) { f.PushBack(j) }
 func (f *jobFIFO) Pop() *job.Job   { return f.PopFront() }
 
 // subjobDeque supports FIFO plus front re-insertion ("placed back at the
-// first position of the queue where it came from", Table 3).
-type subjobDeque struct{ ringDeque[*job.Subjob] }
-
-// totalEvents sums the events of queued subjobs.
-func (d *subjobDeque) totalEvents() int64 {
-	var n int64
-	for i := 0; i < d.n; i++ {
-		n += d.buf[d.at(i)].Events()
-	}
-	return n
+// first position of the queue where it came from", Table 3). It keeps a
+// running sum of queued events so totalEvents — probed for every node on
+// every steal — is O(1). The sum relies on queued subjobs being immutable:
+// only a running subjob's range ever changes (SplitRunning/Preempt), so a
+// subjob's Events() is fixed between enqueue and dequeue.
+type subjobDeque struct {
+	ringDeque[*job.Subjob]
+	events int64
 }
+
+func (d *subjobDeque) PushBack(s *job.Subjob) {
+	d.events += s.Events()
+	d.ringDeque.PushBack(s)
+}
+
+func (d *subjobDeque) PushFront(s *job.Subjob) {
+	d.events += s.Events()
+	d.ringDeque.PushFront(s)
+}
+
+func (d *subjobDeque) PopFront() *job.Subjob {
+	s := d.ringDeque.PopFront()
+	d.events -= s.Events()
+	return s
+}
+
+func (d *subjobDeque) Remove(i int) *job.Subjob {
+	s := d.ringDeque.Remove(i)
+	d.events -= s.Events()
+	return s
+}
+
+// totalEvents returns the events of all queued subjobs.
+func (d *subjobDeque) totalEvents() int64 { return d.events }

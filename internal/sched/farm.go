@@ -25,7 +25,7 @@ func (*Farm) ClusterConfig() cluster.Config { return cluster.Config{} }
 
 func (f *Farm) JobArrived(j *job.Job) {
 	if n := f.c.FirstIdle(); n != nil {
-		f.c.Dispatch(n, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+		f.c.Dispatch(n, f.arena().NewSubjob(j, j.Range, -1))
 		return
 	}
 	f.queue.Push(j)
@@ -34,6 +34,6 @@ func (f *Farm) JobArrived(j *job.Job) {
 func (f *Farm) SubjobDone(n *cluster.Node, _ *job.Subjob) {
 	if !f.queue.Empty() {
 		j := f.queue.Pop()
-		f.c.Dispatch(n, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+		f.c.Dispatch(n, f.arena().NewSubjob(j, j.Range, -1))
 	}
 }

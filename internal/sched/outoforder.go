@@ -20,6 +20,9 @@ type OutOfOrder struct {
 	noCache  subjobDeque   // subjobs with no cached data
 	priority subjobDeque   // subjobs of jobs past the aging limit
 
+	ageFn    func(any)     // shared aging callback (see JobArrived)
+	uncached []*job.Subjob // JobArrived scratch
+
 	// MaxWait is the fairness aging limit (default 2 days).
 	MaxWait float64
 
@@ -59,13 +62,14 @@ func (p *OutOfOrder) Attach(c *cluster.Cluster) {
 	// The roster may exceed Params.Nodes when spare nodes join late
 	// (cluster.FaultModel); every node needs a queue from the start.
 	p.nodeQ = make([]subjobDeque, len(c.Nodes()))
+	p.ageFn = func(a any) { p.age(a.(*job.Job)) }
 }
 
 func (p *OutOfOrder) JobArrived(j *job.Job) {
-	pieces := cachePieces(p.c, j.Range, p.minSize())
-	var uncached []*job.Subjob
+	pieces := p.cachePieces(j.Range, p.minSize())
+	uncached := p.uncached[:0]
 	for _, pc := range pieces {
-		sub := &job.Subjob{Job: j, Range: pc.Interval, Origin: pc.Node}
+		sub := p.arena().NewSubjob(j, pc.Interval, pc.Node)
 		if pc.Node < 0 {
 			sub.NoCacheQueue = true
 			uncached = append(uncached, sub)
@@ -76,9 +80,10 @@ func (p *OutOfOrder) JobArrived(j *job.Job) {
 	for _, sub := range uncached {
 		p.noCache.PushBack(sub)
 	}
+	p.uncached = uncached[:0]
 	p.feedIdleNodes()
 	if p.MaxWait > 0 && !j.Started {
-		p.eng.After(p.MaxWait, func() { p.age(j) })
+		p.eng.AfterCall(p.MaxWait, p.ageFn, j)
 	}
 }
 
@@ -175,8 +180,12 @@ func (p *OutOfOrder) feedNode(n *cluster.Node) {
 		idleLeft := p.c.IdleCount() // includes n
 		if idleLeft > 1 && p.noCache.Len() < idleLeft-1 && sub.Events()/2 >= p.minSize() {
 			a, b := sub.Range.Halves()
-			p.noCache.PushFront(&job.Subjob{Job: sub.Job, Range: b, NoCacheQueue: true, Origin: -1})
-			sub = &job.Subjob{Job: sub.Job, Range: a, NoCacheQueue: true, Origin: -1}
+			back := p.arena().NewSubjob(sub.Job, b, -1)
+			back.NoCacheQueue = true
+			p.noCache.PushFront(back)
+			front := p.arena().NewSubjob(sub.Job, a, -1)
+			front.NoCacheQueue = true
+			sub = front
 		}
 		p.c.Dispatch(n, sub)
 		return
@@ -205,7 +214,8 @@ func (p *OutOfOrder) steal(n *cluster.Node) {
 	// Prefer stealing a whole queued subjob over splitting the running one.
 	if !p.nodeQ[donor.ID].Empty() {
 		sub := p.nodeQ[donor.ID].Remove(p.nodeQ[donor.ID].Len() - 1)
-		stolen := &job.Subjob{Job: sub.Job, Range: sub.Range, Yielding: true, Origin: donor.ID}
+		stolen := p.arena().NewSubjob(sub.Job, sub.Range, donor.ID)
+		stolen.Yielding = true
 		p.c.Dispatch(n, stolen)
 		return
 	}

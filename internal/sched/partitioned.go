@@ -65,7 +65,7 @@ func (p *Partitioned) JobArrived(j *job.Job) {
 		if end > j.Range.End {
 			end = j.Range.End
 		}
-		sub := &job.Subjob{Job: j, Range: dataspace.Iv(pos, end), Origin: o}
+		sub := p.arena().NewSubjob(j, dataspace.Iv(pos, end), o)
 		p.enqueue(o, sub)
 		pos = end
 	}
@@ -181,7 +181,7 @@ func (f *AffineFarm) JobArrived(j *job.Job) {
 		f.queue.Push(j)
 		return
 	}
-	f.c.Dispatch(best, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+	f.c.Dispatch(best, f.arena().NewSubjob(j, j.Range, -1))
 }
 
 // bestIdleNode picks the idle node caching the most of j's range, or nil
@@ -215,5 +215,5 @@ func (f *AffineFarm) SubjobDone(n *cluster.Node, _ *job.Subjob) {
 		}
 	}
 	j := f.queue.Remove(bestIdx)
-	f.c.Dispatch(n, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+	f.c.Dispatch(n, f.arena().NewSubjob(j, j.Range, -1))
 }

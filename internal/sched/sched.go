@@ -59,6 +59,12 @@ type base struct {
 	c      *cluster.Cluster
 	eng    *sim.Engine
 	params model.Params
+
+	// cachePieces scratch, reused across calls. Policies consume the
+	// returned slice before partitioning again, so one pair per policy
+	// suffices.
+	rawScratch   []cache.NodePiece
+	pieceScratch []cache.NodePiece
 }
 
 func (b *base) Attach(c *cluster.Cluster) {
@@ -73,13 +79,20 @@ func (b *base) now() float64 { return b.eng.Now() }
 // minSize is the smallest subjob the policies may create.
 func (b *base) minSize() int64 { return b.params.MinSubjobEvents }
 
+// arena returns the run's shared job/subjob arena.
+func (b *base) arena() *job.Arena { return b.c.Arena() }
+
 // cachePieces splits a job's range along the cluster cache-content
 // boundaries so that every piece is either fully cached on one node or
 // cached nowhere (the splitting rule shared by Tables 2, 3 and 4), then
 // merges pieces smaller than the policy minimum into their successors.
-func cachePieces(c *cluster.Cluster, iv dataspace.Interval, minEvents int64) []cache.NodePiece {
-	raw := c.Index().PartitionByNode(iv)
-	out := make([]cache.NodePiece, 0, len(raw))
+// The returned slice lives in the policy's scratch buffer: it is valid
+// only until the next cachePieces call on the same policy.
+func (b *base) cachePieces(iv dataspace.Interval, minEvents int64) []cache.NodePiece {
+	c := b.c
+	raw := c.Index().AppendPartitionByNode(iv, b.rawScratch[:0])
+	b.rawScratch = raw
+	out := b.pieceScratch[:0]
 	for _, p := range raw {
 		pc := cache.NodePiece{Interval: p.Interval, Node: p.Node}
 		if n := len(out); n > 0 && out[n-1].Interval.Len() < minEvents {
@@ -107,6 +120,7 @@ func cachePieces(c *cluster.Cluster, iv dataspace.Interval, minEvents int64) []c
 		}
 		out = append(out[:n-2], merged)
 	}
+	b.pieceScratch = out
 	return out
 }
 

@@ -386,7 +386,9 @@ func TestCachePiecesMergesSmallPieces(t *testing.T) {
 	c := cluster.New(eng, p, cluster.Config{Caching: true})
 	// A 5-event cached island inside a large uncached range.
 	c.Node(0).Cache.Insert(dataspace.Iv(500, 505), 0)
-	pieces := cachePieces(c, dataspace.Iv(0, 1000), 10)
+	var b base
+	b.Attach(c)
+	pieces := b.cachePieces(dataspace.Iv(0, 1000), 10)
 	for _, pc := range pieces {
 		if pc.Interval.Len() < 10 && len(pieces) > 1 {
 			t.Errorf("piece %v below minimum", pc.Interval)

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"physched/internal/cluster"
+	"physched/internal/dataspace"
 	"physched/internal/job"
 )
 
@@ -15,6 +16,9 @@ type Splitting struct {
 	base
 	queue   jobFIFO
 	running []*job.Job // jobs started and not finished, in start order
+
+	idleScratch []*cluster.Node
+	partScratch []dataspace.Interval
 }
 
 // NewSplitting returns the job-splitting policy.
@@ -25,7 +29,8 @@ func (*Splitting) Name() string { return "splitting" }
 func (*Splitting) ClusterConfig() cluster.Config { return cluster.Config{} }
 
 func (s *Splitting) JobArrived(j *job.Job) {
-	if idle := s.c.IdleNodes(); len(idle) > 0 {
+	s.idleScratch = s.c.AppendIdle(s.idleScratch[:0])
+	if idle := s.idleScratch; len(idle) > 0 {
 		s.startOnIdle(j, idle)
 		return
 	}
@@ -36,7 +41,7 @@ func (s *Splitting) JobArrived(j *job.Job) {
 			rem.Job.Suspended = append(rem.Job.Suspended, rem)
 		}
 		s.track(j)
-		s.c.Dispatch(donor, &job.Subjob{Job: j, Range: j.Range, Origin: -1})
+		s.c.Dispatch(donor, s.arena().NewSubjob(j, j.Range, -1))
 		return
 	}
 	s.queue.Push(j)
@@ -45,10 +50,9 @@ func (s *Splitting) JobArrived(j *job.Job) {
 // startOnIdle splits j across the idle nodes in equal parts.
 func (s *Splitting) startOnIdle(j *job.Job, idle []*cluster.Node) {
 	s.track(j)
-	parts := job.SplitEqual(j.Range, len(idle), s.minSize())
-	for i, sub := range job.SplitForJob(j, parts) {
-		sub.Origin = -1
-		s.c.Dispatch(idle[i], sub)
+	s.partScratch = job.AppendSplitEqual(s.partScratch[:0], j.Range, len(idle), s.minSize())
+	for i, iv := range s.partScratch {
+		s.c.Dispatch(idle[i], s.arena().NewSubjob(j, iv, -1))
 	}
 }
 
@@ -97,7 +101,7 @@ func (s *Splitting) SubjobDone(n *cluster.Node, sj *job.Subjob) {
 		if !s.queue.Empty() {
 			nj := s.queue.Pop()
 			s.track(nj)
-			s.c.Dispatch(n, &job.Subjob{Job: nj, Range: nj.Range, Origin: -1})
+			s.c.Dispatch(n, s.arena().NewSubjob(nj, nj.Range, -1))
 			return
 		}
 	} else if len(j.Suspended) > 0 {

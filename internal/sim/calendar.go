@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// calendar is a calendar (bucket) priority queue over simulated time. Each
+// pending event hashes to buckets[floor(time/width) mod len(buckets)]; the
+// virtual bucket number floor(time/width) is cached on the event, so one
+// physical bucket can hold events of many calendar "years" and a far-future
+// event (an MTBF fault timer, a week-long aging limit) just sits in its
+// bucket until the clock gets near — there is no redistribution per year.
+//
+// For the near-monotone schedule pattern of a simulation both insert and
+// extract are O(1) amortised: insert appends to the hashed bucket, and
+// extraction walks virtual buckets from floor(now/width), skipping empty
+// physical buckets a bitmap word at a time, almost always hitting the
+// minimum in the first occupied bucket. When a whole cycle holds nothing —
+// only far-future events remain — a direct scan over the occupied buckets
+// finds the global minimum, playing the role a sorted overflow bucket
+// would. The structure resizes on occupancy and recalibrates its bucket
+// width from a sampled median inter-event gap, so it adapts to whatever
+// time scale the simulation is currently operating on; every decision is a
+// deterministic function of the operation sequence, preserving the
+// engine's reproducibility contract.
+type calendar struct {
+	buckets [][]*Event
+	occ     []uint64 // occupancy bitmap over buckets
+	mask    int
+	width   float64 // seconds of simulated time per virtual bucket
+	count   int     // events currently stored in buckets
+	recal   bool    // width drifted: recalibrate at the next extraction
+	scratch []float64
+}
+
+const (
+	calMinBuckets = 64
+	// calMaxScan bounds how many same-virtual-bucket events one extraction
+	// may scan before the width is declared too coarse and recalibrated.
+	calMaxScan = 16
+)
+
+func (c *calendar) init() {
+	c.buckets = make([][]*Event, calMinBuckets)
+	c.occ = make([]uint64, calMinBuckets/64)
+	c.mask = calMinBuckets - 1
+	c.width = 1.0
+}
+
+// insert files ev into its bucket. The event's time and seq must already
+// be set.
+func (c *calendar) insert(ev *Event) {
+	if c.count >= 2*len(c.buckets) {
+		c.resize(2 * len(c.buckets))
+	}
+	vb := int64(ev.time / c.width)
+	ev.vb = vb
+	p := int(vb) & c.mask
+	c.buckets[p] = append(c.buckets[p], ev)
+	c.occ[p>>6] |= 1 << (p & 63)
+	c.count++
+}
+
+// extractMinBatch removes the cohort of events sharing the minimal pending
+// time and appends it to dst in seq order (FIFO among simultaneous
+// events). now is the engine clock, a lower bound for every pending time.
+// It returns dst unchanged when the calendar is empty.
+func (c *calendar) extractMinBatch(now float64, dst []*Event) []*Event {
+	if c.count == 0 {
+		return dst
+	}
+	if c.recal {
+		c.recal = false
+		c.resize(len(c.buckets))
+	} else if c.count < len(c.buckets)/8 && len(c.buckets) > calMinBuckets {
+		c.resize(len(c.buckets) / 2)
+	}
+	bi, minT := c.findMin(now)
+	bkt := c.buckets[bi]
+	j := 0
+	for _, ev := range bkt {
+		if ev.time == minT {
+			ev.state = stateBatch
+			dst = append(dst, ev)
+			c.count--
+		} else {
+			bkt[j] = ev
+			j++
+		}
+	}
+	for k := j; k < len(bkt); k++ {
+		bkt[k] = nil
+	}
+	c.buckets[bi] = bkt[:j]
+	if j == 0 {
+		c.occ[bi>>6] &^= 1 << (bi & 63)
+	}
+	// Insertion sort by seq: cohorts are almost always a single event, and
+	// even bursts of simultaneous completions stay small.
+	for i := 1; i < len(dst); i++ {
+		for k := i; k > 0 && dst[k].seq < dst[k-1].seq; k-- {
+			dst[k], dst[k-1] = dst[k-1], dst[k]
+		}
+	}
+	return dst
+}
+
+// findMin locates the bucket holding the minimal-time event and that time.
+// It must only be called with count > 0.
+func (c *calendar) findMin(now float64) (int, float64) {
+	nb := len(c.buckets)
+	vb0 := int64(now / c.width)
+	p0 := int(vb0) & c.mask
+	// Walk one full cycle of virtual buckets starting at the clock's. Every
+	// pending event has time ≥ now, hence vb ≥ vb0, so the first virtual
+	// bucket holding an event holds the minimum.
+	for k := 0; k < nb; {
+		p := (p0 + k) & c.mask
+		w := c.occ[p>>6] >> uint(p&63)
+		if w == 0 {
+			k += 64 - p&63 // whole occupancy word empty: skip past it
+			continue
+		}
+		if w&1 == 0 {
+			k += bits.TrailingZeros64(w) // skip to the next occupied bucket
+			continue
+		}
+		vb := vb0 + int64(k)
+		best := -1
+		scanned := 0
+		mixed := false
+		bkt := c.buckets[p]
+		for i, ev := range bkt {
+			if ev.vb != vb {
+				continue
+			}
+			scanned++
+			if best < 0 {
+				best = i
+			} else if ev.time != bkt[best].time {
+				mixed = true
+				if ev.time < bkt[best].time {
+					best = i
+				}
+			}
+		}
+		if best >= 0 {
+			// Recalibrate only when a narrower width could actually spread
+			// the crowd: a large cohort of *simultaneous* events is
+			// irreducible and extracts as one batch anyway.
+			if scanned > calMaxScan && mixed {
+				c.recal = true
+			}
+			return p, bkt[best].time
+		}
+		k++
+	}
+	// Only far-future events remain (more than a full cycle ahead): direct
+	// scan of the occupied buckets for the global minimum. Needing it means
+	// the width is too narrow for the pending spread — the whole calendar
+	// "year" passed without an event — so recalibrate before the next
+	// extraction. (A spread the width estimate cannot change, e.g. all
+	// events simultaneous, keeps the old width and this stays a plain scan.)
+	c.recal = true
+	bestB := -1
+	var bestT float64
+	for wi, w := range c.occ {
+		for w != 0 {
+			b := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, ev := range c.buckets[b] {
+				if bestB < 0 || ev.time < bestT {
+					bestB, bestT = b, ev.time
+				}
+			}
+		}
+	}
+	return bestB, bestT
+}
+
+// resize rebuilds the calendar with nb buckets and a freshly estimated
+// width. Resizes are rare (occupancy doublings and width recalibrations),
+// so the allocation here does not affect steady-state stepping.
+func (c *calendar) resize(nb int) {
+	old := c.buckets
+	c.width = c.estimateWidth()
+	c.buckets = make([][]*Event, nb)
+	c.occ = make([]uint64, nb/64)
+	c.mask = nb - 1
+	for _, bkt := range old {
+		for _, ev := range bkt {
+			vb := int64(ev.time / c.width)
+			ev.vb = vb
+			p := int(vb) & c.mask
+			c.buckets[p] = append(c.buckets[p], ev)
+			c.occ[p>>6] |= 1 << (p & 63)
+		}
+	}
+}
+
+// estimateWidth picks the bucket width from the pending events: twice the
+// median positive gap between up to 64 sampled event times, aiming for a
+// couple of events per virtual bucket near the head. Sampling order is the
+// bucket order — deterministic for a deterministic operation sequence.
+func (c *calendar) estimateWidth() float64 {
+	ts := c.scratch[:0]
+sample:
+	for _, bkt := range c.buckets {
+		for _, ev := range bkt {
+			ts = append(ts, ev.time)
+			if len(ts) == 64 {
+				break sample
+			}
+		}
+	}
+	c.scratch = ts
+	if len(ts) < 2 {
+		return c.width
+	}
+	sort.Float64s(ts)
+	g := 0
+	for i := 1; i < len(ts); i++ {
+		if d := ts[i] - ts[i-1]; d > 0 {
+			ts[g] = d
+			g++
+		}
+	}
+	if g == 0 {
+		return c.width // all pending events are simultaneous
+	}
+	sort.Float64s(ts[:g])
+	w := 2 * ts[g/2]
+	// Clamp: a denormal-tiny width would overflow the int64 virtual bucket
+	// number for large simulated times.
+	if w < 1e-9 {
+		w = 1e-9
+	}
+	return w
+}

@@ -10,6 +10,12 @@
 // (or until the engine drops it after a cancellation); using a handle past
 // that point observes an unrelated, recycled event. All in-tree callers
 // clear their handles when the callback fires.
+//
+// The pending set is a calendar (bucket) queue keyed on simulated time —
+// see calendar.go — giving O(1) amortised insert and pop for the
+// near-monotone schedule pattern of a simulation, with simultaneous events
+// extracted as one batch so a burst of same-timestamp completions drains
+// without re-searching the calendar per event.
 package sim
 
 import (
@@ -21,24 +27,44 @@ import (
 // At or After, and call Run or RunUntil.
 type Engine struct {
 	now   float64
-	queue []*Event // binary heap ordered by (time, seq)
 	seq   uint64
 	rng   *rand.Rand
 	steps uint64
 	live  int    // scheduled, non-cancelled events (O(1) Pending)
 	free  *Event // free list of recycled events
+
+	cal calendar // pending events, ordered by (time, seq)
+
+	// batch holds the cohort of minimal-time events extracted from the
+	// calendar in one scan, sorted by seq; Step consumes it before
+	// touching the calendar again. Events in the batch are still
+	// scheduled (they count as live and may be cancelled).
+	batch    []*Event
+	batchPos int
 }
+
+// Event state, tracked so Cancel keeps the live count exact whether the
+// event still sits in a calendar bucket, was extracted into the pending
+// same-timestamp batch, or already ran.
+const (
+	stateQueued int8 = iota // in a calendar bucket
+	stateBatch              // extracted into the batch, not yet executed
+	stateDone               // executed or collected; on the free list
+)
 
 // Event is a handle to a scheduled callback; it can be cancelled any time
 // before its callback runs.
 type Event struct {
 	time      float64
 	seq       uint64
+	vb        int64 // virtual calendar bucket = floor(time/width)
 	fn        func()
+	fnArg     func(any) // alternative arg-taking callback (AtCall)
+	arg       any
 	eng       *Engine
 	next      *Event // free-list link
 	cancelled bool
-	index     int // heap index, -1 once popped
+	state     int8
 }
 
 // Cancel prevents the event's callback from running. Cancelling an already
@@ -49,7 +75,7 @@ func (e *Event) Cancel() {
 		return
 	}
 	e.cancelled = true
-	if e.index >= 0 {
+	if e.state != stateDone {
 		e.eng.live--
 	}
 }
@@ -63,7 +89,9 @@ func (e *Event) Time() float64 { return e.time }
 // New returns an engine whose clock starts at zero, with a deterministic
 // random source derived from seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	e.cal.init()
+	return e
 }
 
 // Now returns the current simulated time in seconds.
@@ -78,6 +106,35 @@ func (e *Engine) Steps() uint64 { return e.steps }
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past panics: it always indicates a logic error in a policy.
 func (e *Engine) At(t float64, fn func()) *Event {
+	ev := e.acquire(t)
+	ev.fn = fn
+	e.cal.insert(ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// AtCall schedules fn(arg) to run at absolute simulated time t. Unlike At
+// with a closure, binding the argument through the event itself allocates
+// nothing when fn is reused and arg is a pointer — the form per-job timers
+// (fairness aging, fault repair) use on the hot path.
+func (e *Engine) AtCall(t float64, fn func(any), arg any) *Event {
+	ev := e.acquire(t)
+	ev.fnArg = fn
+	ev.arg = arg
+	e.cal.insert(ev)
+	return ev
+}
+
+// AfterCall schedules fn(arg) to run d seconds from now.
+func (e *Engine) AfterCall(d float64, fn func(any), arg any) *Event {
+	return e.AtCall(e.now+d, fn, arg)
+}
+
+// acquire takes a recycled (or new) Event and stamps it with time t and
+// the next sequence number.
+func (e *Engine) acquire(t float64) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
@@ -91,22 +148,21 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	}
 	ev.time = t
 	ev.seq = e.seq
-	ev.fn = fn
+	ev.state = stateQueued
 	e.seq++
 	e.live++
-	e.push(ev)
 	return ev
 }
 
-// After schedules fn to run d seconds from now.
-func (e *Engine) After(d float64, fn func()) *Event { return e.At(e.now+d, fn) }
-
-// release returns a popped event to the free list. The callback reference
-// is dropped immediately so closures are not retained; the cancelled flag
-// is left untouched until reuse, keeping Cancelled() meaningful on handles
-// that were cancelled and later collected by the engine.
+// release returns a consumed event to the free list. The callback
+// references are dropped immediately so closures are not retained; the
+// cancelled flag is left untouched until reuse, keeping Cancelled()
+// meaningful on handles that were cancelled and later collected.
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
+	ev.state = stateDone
 	ev.next = e.free
 	e.free = ev
 }
@@ -114,23 +170,45 @@ func (e *Engine) release(ev *Event) {
 // Pending returns the number of scheduled (non-cancelled) events, in O(1).
 func (e *Engine) Pending() int { return e.live }
 
+// head returns the next event in (time, seq) order without consuming it,
+// releasing cancelled events it skips over; nil when nothing is pending.
+func (e *Engine) head() *Event {
+	for {
+		if e.batchPos == len(e.batch) {
+			e.batch = e.cal.extractMinBatch(e.now, e.batch[:0])
+			e.batchPos = 0
+			if len(e.batch) == 0 {
+				return nil
+			}
+		}
+		ev := e.batch[e.batchPos]
+		if !ev.cancelled {
+			return ev
+		}
+		// Cancel already removed it from the live count.
+		e.batchPos++
+		e.release(ev)
+	}
+}
+
 // Step executes the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.pop()
-		if ev.cancelled {
-			e.release(ev)
-			continue
-		}
-		e.now = ev.time
-		e.steps++
-		e.live--
-		fn := ev.fn
-		e.release(ev)
-		fn()
-		return true
+	ev := e.head()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.batchPos++
+	e.now = ev.time
+	e.steps++
+	e.live--
+	fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+	e.release(ev)
+	if fn != nil {
+		fn()
+	} else {
+		fnArg(arg)
+	}
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -141,88 +219,14 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with time ≤ t, then advances the clock to t.
 func (e *Engine) RunUntil(t float64) {
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.cancelled {
-			e.release(e.pop())
-			continue
-		}
-		if next.time > t {
+	for {
+		ev := e.head()
+		if ev == nil || ev.time > t {
 			break
 		}
 		e.Step()
 	}
 	if t > e.now {
 		e.now = t
-	}
-}
-
-// The heap is hand-inlined: going through container/heap costs an
-// interface indirection per operation on the hottest path of the whole
-// simulator. Events are ordered by time, breaking ties by scheduling order
-// so simultaneous events run FIFO — required for reproducible simulations.
-
-func (e *Engine) less(i, j int) bool {
-	a, b := e.queue[i], e.queue[j]
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) swap(i, j int) {
-	q := e.queue
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (e *Engine) push(ev *Event) {
-	ev.index = len(e.queue)
-	e.queue = append(e.queue, ev)
-	e.up(ev.index)
-}
-
-func (e *Engine) pop() *Event {
-	q := e.queue
-	n := len(q) - 1
-	e.swap(0, n)
-	ev := q[n]
-	q[n] = nil
-	e.queue = q[:n]
-	if n > 0 {
-		e.down(0)
-	}
-	ev.index = -1
-	return ev
-}
-
-func (e *Engine) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
-			break
-		}
-		e.swap(i, parent)
-		i = parent
-	}
-}
-
-func (e *Engine) down(i int) {
-	n := len(e.queue)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		child := l
-		if r := l + 1; r < n && e.less(r, l) {
-			child = r
-		}
-		if !e.less(child, i) {
-			return
-		}
-		e.swap(i, child)
-		i = child
 	}
 }

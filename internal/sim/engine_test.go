@@ -141,18 +141,104 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
-func TestHeapPropertyRandomised(t *testing.T) {
+// TestCalendarMatchesReferenceModel drives the engine and a trivially
+// correct reference model (a list popped by minimal (time, seq)) through
+// the same randomised schedule/cancel/step mix — duplicate timestamps,
+// far-future fault-style timers, both callback forms — and requires the
+// execution order, live count, and drain behaviour to agree exactly.
+// This is the ordering + cancellation + recycle contract of the calendar
+// queue; it replaced TestHeapPropertyRandomised when the binary heap did.
+func TestCalendarMatchesReferenceModel(t *testing.T) {
+	type ref struct {
+		time float64
+		seq  int
+		id   int
+	}
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		e := New(seed)
-		var ran []float64
-		n := 50 + rng.Intn(100)
-		for i := 0; i < n; i++ {
-			tm := rng.Float64() * 1000
-			e.At(tm, func() { ran = append(ran, e.Now()) })
+		var model []ref // pending non-cancelled events, unordered
+		var got, want []int
+		handles := map[int]*Event{}
+		byID := func(a any) { got = append(got, a.(int)) }
+		seq, nextID := 0, 0
+		lastT := 0.0
+		schedule := func() {
+			d := rng.Float64() * 10
+			if rng.Intn(10) == 0 {
+				d = 1e5 + rng.Float64()*1e6 // fault-style far-future timer
+			}
+			t0 := e.Now() + d
+			if rng.Intn(5) == 0 && lastT >= e.Now() {
+				t0 = lastT // force simultaneous cohorts
+			}
+			lastT = t0
+			id := nextID
+			nextID++
+			if rng.Intn(2) == 0 {
+				id := id
+				handles[id] = e.At(t0, func() { got = append(got, id) })
+			} else {
+				handles[id] = e.AtCall(t0, byID, id)
+			}
+			model = append(model, ref{t0, seq, id})
+			seq++
+		}
+		popMin := func() ref {
+			best := 0
+			for i, r := range model {
+				if r.time < model[best].time || (r.time == model[best].time && r.seq < model[best].seq) {
+					best = i
+				}
+			}
+			r := model[best]
+			model = append(model[:best], model[best+1:]...)
+			return r
+		}
+		for i := 0; i < 30; i++ {
+			schedule()
+		}
+		ops := 300 + rng.Intn(300)
+		for i := 0; i < ops; i++ {
+			switch op := rng.Intn(8); {
+			case op < 2 && len(model) > 0: // cancel a random pending event
+				k := rng.Intn(len(model))
+				handles[model[k].id].Cancel()
+				delete(handles, model[k].id)
+				model = append(model[:k], model[k+1:]...)
+			case op < 6:
+				schedule()
+			default: // step
+				stepped := e.Step()
+				if stepped != (len(model) > 0) {
+					return false
+				}
+				if stepped {
+					r := popMin()
+					delete(handles, r.id)
+					want = append(want, r.id)
+					if e.Now() != r.time {
+						return false
+					}
+				}
+			}
+			if e.Pending() != len(model) {
+				return false
+			}
 		}
 		e.Run()
-		return len(ran) == n && sort.Float64sAreSorted(ran)
+		for len(model) > 0 {
+			want = append(want, popMin().id)
+		}
+		if e.Pending() != 0 || len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
@@ -190,6 +276,44 @@ func BenchmarkEngineHotLoop(b *testing.B) {
 	}
 	b.ResetTimer()
 	e.Run()
+}
+
+// BenchmarkEventQueue pins the calendar queue under the three insertion
+// patterns that matter: monotone (pure arrival stream), uniform-random
+// (mixed completions), and uniform-random with a population of far-future
+// fault timers parked in the calendar (exercising the virtual-bucket skip
+// and direct-scan fallback). All must stay allocation-free.
+func BenchmarkEventQueue(b *testing.B) {
+	run := func(b *testing.B, far int, next func(e *Engine) float64) {
+		b.ReportAllocs()
+		e := New(1)
+		for i := 0; i < far; i++ {
+			e.After(1e9+float64(i)*1e6, func() {})
+		}
+		remaining := b.N
+		var tick func()
+		tick = func() {
+			if remaining > 0 {
+				remaining--
+				e.After(next(e), tick)
+			}
+		}
+		for i := 0; i < 256 && remaining > 0; i++ {
+			remaining--
+			e.After(next(e), tick)
+		}
+		b.ResetTimer()
+		e.Run()
+	}
+	b.Run("monotone", func(b *testing.B) {
+		run(b, 0, func(e *Engine) float64 { return 1 })
+	})
+	b.Run("uniform", func(b *testing.B) {
+		run(b, 0, func(e *Engine) float64 { return e.Rand().Float64() * 100 })
+	})
+	b.Run("farfuture", func(b *testing.B) {
+		run(b, 32, func(e *Engine) float64 { return e.Rand().Float64() * 100 })
+	})
 }
 
 func BenchmarkEngineThroughput(b *testing.B) {

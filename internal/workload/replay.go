@@ -49,6 +49,7 @@ func Export(w io.Writer, src Source, n int) error {
 type Replay struct {
 	records []JobRecord
 	next    int
+	arena   job.Arena
 }
 
 // NewReplay parses a JSONL trace written by Export. Records must be in
@@ -83,12 +84,11 @@ func (r *Replay) Next() *job.Job {
 		return nil
 	}
 	rec := r.records[r.next]
-	j := &job.Job{
-		ID:          int64(r.next),
-		Arrival:     rec.Arrival,
-		ScheduledAt: rec.Arrival,
-		Range:       dataspace.Iv(rec.Start, rec.End),
-	}
+	j := r.arena.NewJob()
+	j.ID = int64(r.next)
+	j.Arrival = rec.Arrival
+	j.ScheduledAt = rec.Arrival
+	j.Range = dataspace.Iv(rec.Start, rec.End)
 	r.next++
 	return j
 }

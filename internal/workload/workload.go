@@ -24,12 +24,15 @@ type arrivalProcess interface {
 	Next() float64
 }
 
-// Generator produces the synthetic job stream.
+// Generator produces the synthetic job stream. Jobs are allocated from an
+// internal arena (chunked, one allocation per job.arenaChunk jobs) that
+// lives as long as the generator.
 type Generator struct {
 	params  model.Params
 	rng     *rand.Rand
 	arrival arrivalProcess
 	nextID  int64
+	arena   job.Arena
 	hot     []dataspace.Interval // hot start regions
 	hotLen  int64
 	coldLen int64
@@ -99,11 +102,10 @@ func HotRegions(p model.Params) []dataspace.Interval {
 // Next returns the next job of the stream. Job IDs are sequential from 0.
 func (g *Generator) Next() *job.Job {
 	t := g.arrival.Next()
-	j := &job.Job{
-		ID:      g.nextID,
-		Arrival: t,
-		Range:   g.segment(),
-	}
+	j := g.arena.NewJob()
+	j.ID = g.nextID
+	j.Arrival = t
+	j.Range = g.segment()
 	j.ScheduledAt = t
 	g.nextID++
 	return j
