@@ -31,9 +31,14 @@ const (
 // operators size together (cell results also stay addressable through
 // the content cache after eviction).
 type job struct {
-	id      string
-	kind    string // "grid" | "study"
-	hash    string // grid or study content hash
+	id   string
+	kind string // "grid" | "study"
+	hash string // grid or study content hash
+	// clock stamps created/finished and measures age. Injected (the
+	// server wires time.Now, tests wire a fake) so job lifecycle
+	// timestamps are deterministic under test and the walltime analyzer
+	// holds this package to a single real clock read at the wiring site.
+	clock   func() time.Time
 	created time.Time
 	// cancel aborts the job's execution context (DELETE /v1/jobs/{id}).
 	cancel context.CancelFunc
@@ -50,12 +55,13 @@ type job struct {
 	finished  time.Time
 }
 
-func newJob(kind, hash string, total int) *job {
+func newJob(kind, hash string, total int, clock func() time.Time) *job {
 	j := &job{
 		id:      newJobID(),
 		kind:    kind,
 		hash:    hash,
-		created: time.Now(),
+		clock:   clock,
+		created: clock(),
 		state:   jobRunning,
 		total:   total,
 	}
@@ -91,7 +97,7 @@ func (j *job) append(v any) error {
 	case resultLine:
 		j.state = jobDone
 		j.cacheHits = l.CacheHits
-		j.finished = time.Now()
+		j.finished = j.clock()
 	case studyLine:
 		j.state = jobDone
 		j.cacheHits = l.Report.CacheHits
@@ -100,14 +106,14 @@ func (j *job) append(v any) error {
 		// reports the budget accounting instead.
 		j.done = l.Report.EvaluatedCells
 		j.total = l.Report.Budget
-		j.finished = time.Now()
+		j.finished = j.clock()
 	case errorLine:
 		j.state = jobFailed
 		if j.cancelled {
 			j.state = jobCancelled
 		}
 		j.errMsg = l.Error
-		j.finished = time.Now()
+		j.finished = j.clock()
 	}
 	j.cond.Broadcast()
 	return nil
@@ -124,7 +130,7 @@ func (j *job) seal() {
 			j.state = jobCancelled
 		}
 		j.errMsg = "execution ended without a result"
-		j.finished = time.Now()
+		j.finished = j.clock()
 	}
 	j.cond.Broadcast()
 }
@@ -167,7 +173,7 @@ func (j *job) status() jobStatus {
 	st := jobStatus{
 		ID: j.id, Kind: j.kind, GridHash: j.hash, State: string(j.state),
 		Done: j.done, Total: j.total, CacheHits: j.cacheHits,
-		Created: j.created, AgeSec: time.Since(j.created).Seconds(),
+		Created: j.created, AgeSec: j.clock().Sub(j.created).Seconds(),
 		Error: j.errMsg,
 	}
 	if j.state != jobRunning {
@@ -266,7 +272,7 @@ func (m *jobManager) list() []jobStatus {
 // execution finishes. DELETE /v1/jobs/{id} cancels it through its
 // context.
 func (s *server) startJob(kind, hash string, total int, run func(ctx context.Context, emit func(any) error)) *job {
-	j := newJob(kind, hash, total)
+	j := newJob(kind, hash, total, s.clock)
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
 	s.jobs.add(j)

@@ -342,6 +342,53 @@ func TestJobsListAndCancel(t *testing.T) {
 	}
 }
 
+// TestJobLifecycleFakeClock drives a job on an injected clock: every
+// timestamp in the status document is an exact function of the fake
+// time, with no real-clock jitter.
+func TestJobLifecycleFakeClock(t *testing.T) {
+	epoch := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	now := epoch
+	clock := func() time.Time { return now }
+
+	j := newJob("grid", "cafebabe", 4, clock)
+	if !j.created.Equal(epoch) {
+		t.Fatalf("created = %v, want %v", j.created, epoch)
+	}
+
+	now = epoch.Add(90 * time.Second)
+	st := j.status()
+	if st.AgeSec != 90 {
+		t.Errorf("running AgeSec = %v, want exactly 90", st.AgeSec)
+	}
+	if st.Finished != nil {
+		t.Errorf("running job has Finished = %v", st.Finished)
+	}
+
+	if err := j.append(progressLine{Type: "progress", Done: 2, Total: 4}); err != nil {
+		t.Fatal(err)
+	}
+	now = epoch.Add(5 * time.Minute)
+	if err := j.append(resultLine{Type: "result", GridHash: "cafebabe", CacheHits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st = j.status()
+	if st.State != string(jobDone) || st.CacheHits != 1 {
+		t.Fatalf("terminal status %+v, want done with 1 cache hit", st)
+	}
+	if st.Finished == nil || !st.Finished.Equal(epoch.Add(5*time.Minute)) {
+		t.Errorf("Finished = %v, want %v", st.Finished, epoch.Add(5*time.Minute))
+	}
+
+	// Sealing a failed run stamps the same injected clock.
+	now = epoch.Add(10 * time.Minute)
+	k := newJob("study", "deadbeef", 1, clock)
+	k.seal()
+	ks := k.status()
+	if ks.State != string(jobFailed) || ks.Finished == nil || !ks.Finished.Equal(now) {
+		t.Errorf("sealed status %+v, want failed at %v", ks, now)
+	}
+}
+
 // TestJobRetentionBounded: finished jobs past -max-jobs are evicted
 // oldest-first and their handles 404.
 func TestJobRetentionBounded(t *testing.T) {

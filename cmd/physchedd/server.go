@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"physched/internal/lab"
 	"physched/internal/resultcache"
@@ -33,6 +34,10 @@ type serverConfig struct {
 	// MaxJobs bounds async-job retention (finished jobs are evicted
 	// oldest-first past the cap). 0 means defaultMaxJobs.
 	MaxJobs int
+	// Clock supplies job-lifecycle timestamps (created/finished/age).
+	// nil wires the real clock; tests inject a fake for deterministic
+	// lifecycle assertions.
+	Clock func() time.Time
 }
 
 const defaultMaxJobs = 64
@@ -42,6 +47,7 @@ type server struct {
 	pool        *lab.Pool
 	maxCells    int
 	maxInflight int
+	clock       func() time.Time
 	jobs        *jobManager
 	studies     *reportStore
 
@@ -60,11 +66,17 @@ func newServer(cfg serverConfig) *server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = defaultMaxJobs
 	}
+	if cfg.Clock == nil {
+		// The one deliberate wall-clock read in this package: everything
+		// downstream receives the injected clock.
+		cfg.Clock = time.Now //physched:walltime service wiring site: job timestamps come from the real clock in production
+	}
 	return &server{
 		cache:       cfg.Cache,
 		pool:        cfg.Pool,
 		maxCells:    cfg.MaxCells,
 		maxInflight: cfg.MaxInflight,
+		clock:       cfg.Clock,
 		jobs:        newJobManager(cfg.MaxJobs),
 		studies:     newReportStore(maxStudyReports),
 	}

@@ -1,0 +1,62 @@
+// Command physchedlint is the repo's multichecker: it runs the
+// internal/analysis suite — detrand, walltime, maporder, hotalloc,
+// wirecanon, physcheddirective — over the given package patterns and
+// exits nonzero on any finding. CI runs it over ./...; run it locally
+// the same way:
+//
+//	go run ./cmd/physchedlint ./...
+//
+// Each analyzer is scoped by analysis.Rules (determinism checks on the
+// sim-core packages, wire checks on spec/opt, annotation checks
+// everywhere); see DESIGN.md §11 for the contracts and the //physched:
+// annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"physched/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("physchedlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: physchedlint [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Lint(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "physchedlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "physchedlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSabotagedFixtureExitsNonzero is the end-to-end contract of the
+// multichecker: a package violating the contracts makes it exit 1 and
+// print each finding.
+func TestSabotagedFixtureExitsNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"physched/internal/analysis/testdata/src/sabotage"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d on sabotaged package, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	for _, needle := range []string{"hotalloc", "physcheddirective", "sabotage.go"} {
+		if !strings.Contains(stdout.String(), needle) {
+			t.Errorf("findings do not mention %q:\n%s", needle, stdout.String())
+		}
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings summary: %q", stderr.String())
+	}
+}
+
+// TestListFlag: -list prints one line per analyzer and exits 0.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit code %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"detrand", "walltime", "maporder", "hotalloc", "wirecanon", "physcheddirective"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestBadPatternExits2: loader errors are exit code 2, not a silent pass.
+func TestBadPatternExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"physched/does/not/exist"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d on unknown package, want 2\nstderr: %s", code, stderr.String())
+	}
+}

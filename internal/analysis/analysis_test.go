@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"physched/internal/analysis/driver"
+)
+
+// TestFixtures runs each analyzer over its positive+negative fixture
+// package and matches diagnostics against the // want expectations.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *driver.Analyzer
+		fixture  string
+	}{
+		{DetRand, "detrand"},
+		{WallTime, "walltime"},
+		{MapOrder, "maporder"},
+		{HotAlloc, "hotalloc"},
+		{WireCanon, "wirecanon"},
+		{Directive, "directive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			t.Parallel()
+			problems, err := RunFixture(tc.analyzer, tc.fixture)
+			if err != nil {
+				t.Fatalf("RunFixture(%s): %v", tc.fixture, err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+		})
+	}
+}
+
+// TestRepoIsLintClean is the in-test twin of the CI lint job: the whole
+// module must pass the rule-scoped suite. Reverting any fixed finding
+// (or dropping a //physched: suppression) fails this test, not just the
+// separate CI step.
+func TestRepoIsLintClean(t *testing.T) {
+	diags, err := Lint("../..", "./...")
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSabotagedPackageFails proves the suite actually bites: the
+// sabotage fixture must produce findings from at least the hotalloc and
+// physcheddirective analyzers under the same Rules scoping CI uses.
+func TestSabotagedPackageFails(t *testing.T) {
+	diags, err := Lint(".", "./testdata/src/sabotage")
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("sabotaged package produced no findings")
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d.Analyzer] = true
+	}
+	for _, want := range []string{"hotalloc", "physcheddirective"} {
+		if !seen[want] {
+			t.Errorf("no finding from %s on the sabotaged package; got %v", want, diags)
+		}
+	}
+}
+
+// TestRulesScoping pins the analyzer-to-package wiring: determinism
+// analyzers cover the sim core, wire checks cover spec/opt, and the
+// annotation/hot-path checks run everywhere.
+func TestRulesScoping(t *testing.T) {
+	names := func(pkgPath string) map[string]bool {
+		out := map[string]bool{}
+		for _, a := range Rules(&driver.Package{PkgPath: pkgPath}) {
+			out[a.Name] = true
+		}
+		return out
+	}
+	sim := names("physched/internal/sim")
+	for _, want := range []string{"detrand", "walltime", "maporder", "hotalloc", "physcheddirective"} {
+		if !sim[want] {
+			t.Errorf("internal/sim missing analyzer %s", want)
+		}
+	}
+	if sim["wirecanon"] {
+		t.Error("internal/sim should not run wirecanon")
+	}
+	spec := names("physched/internal/spec")
+	if !spec["wirecanon"] {
+		t.Error("internal/spec must run wirecanon")
+	}
+	daemon := names("physched/cmd/physchedd")
+	if !daemon["walltime"] || !daemon["detrand"] {
+		t.Error("cmd/physchedd must run walltime and detrand (clock/rand discipline)")
+	}
+	if daemon["maporder"] {
+		t.Error("cmd/physchedd is service-layer: maporder not registered")
+	}
+	lint := names("physched/internal/analysis")
+	if lint["walltime"] || lint["detrand"] || lint["maporder"] {
+		t.Error("the linter itself is outside the determinism boundary")
+	}
+	if !IsDeterministic("physched") || !IsDeterministic("physched/internal/lab") {
+		t.Error("root facade and lab are inside the determinism boundary")
+	}
+	if IsDeterministic("physched/internal/analysis/testdata/src/detrand") {
+		t.Error("fixture packages must not match the boundary by prefix")
+	}
+}
+
+// TestWantMachinery guards the fixture matcher itself: a fixture with a
+// stale want must fail, not silently pass.
+func TestWantMachinery(t *testing.T) {
+	problems, err := RunFixture(WallTime, "detrand")
+	if err != nil {
+		t.Fatalf("RunFixture: %v", err)
+	}
+	// The detrand fixture's wants mention global rand; walltime reports
+	// none of them but does flag the time.Now inside the seed expression.
+	if len(problems) == 0 {
+		t.Fatal("mismatched analyzer/fixture pair should produce problems")
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "no diagnostic matched want") {
+		t.Errorf("expected unmatched wants, got:\n%s", joined)
+	}
+}

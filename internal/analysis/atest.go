@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"physched/internal/analysis/driver"
+)
+
+// RunFixture runs one analyzer over a fixture package under
+// testdata/src/<name> and matches its diagnostics against `// want "re"`
+// comments — the analysistest idiom, stdlib-only. A want comment sits on
+// the line the diagnostic is expected at and holds one double-quoted
+// regexp per expected diagnostic:
+//
+//	rand.Intn(3) // want "global rand"
+//
+// It returns a list of mismatches (unexpected diagnostics, unmatched
+// expectations, regexp errors); an empty list means the fixture passed.
+// Tests assert emptiness so failures print every mismatch at once.
+//
+// Fixture packages live under testdata/ precisely so `go build ./...`,
+// `go test ./...` and `go vet ./...` skip their deliberate violations —
+// only explicit paths reach them, which the loader uses.
+func RunFixture(a *driver.Analyzer, fixture string) ([]string, error) {
+	dir := "./testdata/src/" + fixture
+	pkgs, err := driver.Load(".", dir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []driver.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := driver.Run([]*driver.Package{pkg}, func(*driver.Package) []*driver.Analyzer {
+			return []*driver.Analyzer{a}
+		})
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		return nil, err
+	}
+	return matchWants(diags, wants), nil
+}
+
+// want is one expectation: a regexp at a file line.
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range splitQuoted(m[1]) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", e.Name(), i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, &want{file: e.Name(), line: i + 1, re: re, raw: pat})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted extracts the double-quoted strings from a want payload.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start+1:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start:start+end+2])
+		s = rest[end+1:]
+	}
+}
+
+func matchWants(diags []driver.Diagnostic, wants []*want) []string {
+	var problems []string
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != base || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s:%d: [%s] %s",
+				base, d.Pos.Line, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("no diagnostic matched want %q at %s:%d",
+				w.raw, w.file, w.line))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

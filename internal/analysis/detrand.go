@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"physched/internal/analysis/driver"
+)
+
+// DetRand forbids the process-global math/rand source in deterministic
+// packages. Every random draw must flow through a seeded *rand.Rand whose
+// seed derives from the scenario seed via the DeriveSeed/SplitMix64
+// discipline (internal/lab/seed.go) — the global source is shared mutable
+// state that breaks serial ≡ parallel byte-identity and run-to-run
+// reproducibility. Independently of package, seeding any source from the
+// wall clock (rand.NewSource(time.Now()...), rand.New(rand.NewSource(
+// time.Now()...))) is flagged: a clock-derived seed is nondeterminism by
+// construction.
+var DetRand = &driver.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand and wall-clock-seeded sources in deterministic packages",
+	Run:  runDetRand,
+}
+
+// globalRandFuncs are the math/rand (and /v2) package-level functions
+// backed by the shared global source. rand.New, rand.NewSource, rand.NewPCG
+// and the type names stay legal — they are how seeded streams are built.
+var globalRandFuncs = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func runDetRand(pass *driver.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := selectorPackage(pass, sel)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if globalRandFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"global rand.%s uses the shared math/rand source; draw from a seeded *rand.Rand derived via DeriveSeed instead",
+					sel.Sel.Name)
+			}
+			return true
+		})
+		// Wall-clock seeds: any rand.NewSource / rand.New / rand.NewPCG /
+		// rand.NewChaCha8 call whose argument expression reads the clock.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := selectorPackage(pass, sel)
+			if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "NewSource", "New", "NewPCG", "NewChaCha8":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if p, found := findsClockRead(pass, arg); found {
+					pass.Reportf(p,
+						"rand.%s seeded from the wall clock; derive the seed from the scenario seed (DeriveSeed) instead",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findsClockRead reports a time.Now / time.Since call anywhere inside
+// expr (e.g. rand.NewSource(time.Now().UnixNano())). It does not descend
+// into nested seeding calls: in rand.New(rand.NewSource(time.Now()...))
+// the inner NewSource owns the finding, so the outer New stays silent.
+func findsClockRead(pass *driver.Pass, expr ast.Expr) (token.Pos, bool) {
+	var at token.Pos
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSeedingCall(pass, call) {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, ok := selectorPackage(pass, sel); ok && pkgPath == "time" {
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				at, found = sel.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return at, found
+}
+
+// isSeedingCall reports whether call is rand.NewSource / rand.New /
+// rand.NewPCG / rand.NewChaCha8 — a constructor runDetRand inspects in
+// its own right.
+func isSeedingCall(pass *driver.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgPath, ok := selectorPackage(pass, sel)
+	if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "NewSource", "New", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// selectorPackage resolves pkg.Name selectors: when sel.X is an
+// identifier bound to an imported package, it returns that package's
+// import path.
+func selectorPackage(pass *driver.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,271 @@
+// Package analysis is physchedlint: repo-specific static analyzers that
+// make this repo's determinism and hot-path contracts compile-time
+// checkable instead of golden-file-discovered. See DESIGN.md §11 for the
+// invariant each analyzer guards and the annotation grammar.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"physched/internal/analysis/driver"
+)
+
+// The //physched: annotation grammar. Annotations are real, checked
+// syntax: the directive analyzer rejects unknown verbs, missing reasons
+// and misplaced annotations, so a typo cannot silently disable a check.
+//
+//	//physched:hotpath                      (func doc) zero-alloc contract, enforced by hotalloc
+//	//physched:orderinvariant <reason>      (range stmt) map iteration deliberately unordered
+//	//physched:allocok <reason>             (stmt in hotpath func) deliberate allocation
+//	//physched:walltime <reason>            (stmt) deliberate wall-clock read at a wiring site
+const directivePrefix = "//physched:"
+
+// directiveSpec describes one verb: whether its free-text reason is
+// mandatory and which analyzer consumes it (for the doc listing).
+type directiveSpec struct {
+	needsReason bool
+	doc         string
+}
+
+var directiveSpecs = map[string]directiveSpec{
+	"hotpath":        {false, "marks a function whose steady state must not allocate (checked by hotalloc)"},
+	"orderinvariant": {true, "suppresses maporder on a map range whose body is order-insensitive"},
+	"allocok":        {true, "suppresses hotalloc on one statement of a hotpath function"},
+	"walltime":       {true, "suppresses walltime on one deliberate wall-clock wiring site"},
+}
+
+// knownVerbs returns the grammar's verbs, sorted, for diagnostics.
+func knownVerbs() string {
+	verbs := make([]string, 0, len(directiveSpecs))
+	for v := range directiveSpecs {
+		verbs = append(verbs, v)
+	}
+	sort.Strings(verbs)
+	return strings.Join(verbs, ", ")
+}
+
+// directive is one parsed //physched: comment.
+type directive struct {
+	verb    string
+	reason  string
+	pos     token.Pos
+	line    int // 1-based line of the comment
+	unknown bool
+}
+
+// parseDirectives extracts every //physched: comment in the file,
+// including malformed ones (unknown=true) so the directive analyzer can
+// reject them.
+func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			// A line comment runs to end of line, so a fixture's
+			// `// want "..."` expectation on a directive line would
+			// otherwise be swallowed into the reason text.
+			if i := strings.Index(rest, "// want"); i >= 0 {
+				rest = rest[:i]
+			}
+			verb, reason, _ := strings.Cut(rest, " ")
+			d := directive{
+				verb:   verb,
+				reason: strings.TrimSpace(reason),
+				pos:    c.Pos(),
+				line:   fset.Position(c.Pos()).Line,
+			}
+			if _, ok := directiveSpecs[verb]; !ok {
+				d.unknown = true
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressions indexes well-formed directives by (file, line, verb) so
+// analyzers can ask "is this finding suppressed?". A directive suppresses
+// findings on its own line (trailing comment) and on the line directly
+// below it (comment-above style).
+type suppressions struct {
+	fset *token.FileSet
+	m    map[suppKey]bool
+}
+
+type suppKey struct {
+	file string
+	line int
+	verb string
+}
+
+func newSuppressions(pass *driver.Pass) suppressions {
+	s := suppressions{fset: pass.Fset, m: map[suppKey]bool{}}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		for _, d := range parseDirectives(pass.Fset, f) {
+			if d.unknown {
+				continue // the directive analyzer reports these
+			}
+			s.m[suppKey{name, d.line, d.verb}] = true
+			s.m[suppKey{name, d.line + 1, d.verb}] = true
+		}
+	}
+	return s
+}
+
+// allows reports whether a directive of verb covers the line of pos.
+func (s suppressions) allows(pos token.Pos, verb string) bool {
+	p := s.fset.Position(pos)
+	return s.m[suppKey{p.Filename, p.Line, verb}]
+}
+
+// hotpathFuncs returns the function declarations annotated
+// //physched:hotpath, keyed by decl. The directive must sit in the
+// function's doc comment group (or on the line directly above the func
+// keyword, which the parser normally folds into the doc anyway).
+func hotpathFuncs(pass *driver.Pass) map[*ast.FuncDecl]bool {
+	out := map[*ast.FuncDecl]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, directivePrefix+"hotpath") {
+					out[fd] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Directive validates the annotation grammar itself: unknown verbs,
+// missing mandatory reasons, and annotations detached from the syntax
+// they claim to describe are all lint errors. This is what makes the
+// grammar "real syntax": a misspelled suppression fails the build
+// instead of silently not suppressing.
+var Directive = &driver.Analyzer{
+	Name: "physcheddirective",
+	Doc:  "validate //physched: annotations (" + knownVerbs() + ")",
+	Run:  runDirective,
+}
+
+func runDirective(pass *driver.Pass) error {
+	hot := hotpathFuncs(pass)
+	for _, f := range pass.Files {
+		ds := parseDirectives(pass.Fset, f)
+		if len(ds) == 0 {
+			continue
+		}
+		anchors := directiveAnchors(pass, f, hot)
+		for _, d := range ds {
+			if d.unknown {
+				pass.Reportf(d.pos, "unknown //physched: directive %q (known: %s)", d.verb, knownVerbs())
+				continue
+			}
+			spec := directiveSpecs[d.verb]
+			if spec.needsReason && d.reason == "" {
+				pass.Reportf(d.pos, "//physched:%s needs a reason: //physched:%s <why this is safe>", d.verb, d.verb)
+			}
+			if ok := anchors.placed(d); !ok {
+				pass.Reportf(d.pos, "misplaced //physched:%s: %s", d.verb, placementRule(d.verb))
+			}
+		}
+	}
+	return nil
+}
+
+func placementRule(verb string) string {
+	switch verb {
+	case "hotpath":
+		return "must be part of a function declaration's doc comment"
+	case "orderinvariant":
+		return "must sit on or directly above a range statement"
+	case "allocok":
+		return "must sit on or directly above a statement inside a //physched:hotpath function"
+	case "walltime":
+		return "must sit on or directly above a statement inside a function body"
+	default:
+		return "unknown placement"
+	}
+}
+
+// anchorIndex records which source lines hold the syntax each directive
+// verb must attach to.
+type anchorIndex struct {
+	docLines     map[int]bool // lines inside FuncDecl doc comments
+	rangeLines   map[int]bool // lines where a RangeStmt starts
+	stmtLines    map[int]bool // lines where any statement starts
+	hotpathLines map[int]bool // statement lines inside hotpath funcs
+}
+
+func directiveAnchors(pass *driver.Pass, f *ast.File, hot map[*ast.FuncDecl]bool) anchorIndex {
+	ai := anchorIndex{
+		docLines:     map[int]bool{},
+		rangeLines:   map[int]bool{},
+		stmtLines:    map[int]bool{},
+		hotpathLines: map[int]bool{},
+	}
+	line := func(p token.Pos) int { return pass.Fset.Position(p).Line }
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Doc != nil {
+			for l := line(fd.Doc.Pos()); l <= line(fd.Doc.End()); l++ {
+				ai.docLines[l] = true
+			}
+		}
+		if fd.Body == nil {
+			continue
+		}
+		inHot := hot[fd]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			st, ok := n.(ast.Stmt)
+			if !ok {
+				return true
+			}
+			l := line(st.Pos())
+			ai.stmtLines[l] = true
+			if inHot {
+				ai.hotpathLines[l] = true
+			}
+			if _, ok := st.(*ast.RangeStmt); ok {
+				ai.rangeLines[l] = true
+			}
+			return true
+		})
+	}
+	return ai
+}
+
+// placed reports whether directive d sits at a line its verb may anchor
+// to: its own line (trailing comment) or the next line (comment above).
+func (ai anchorIndex) placed(d directive) bool {
+	at := func(m map[int]bool) bool { return m[d.line] || m[d.line+1] }
+	switch d.verb {
+	case "hotpath":
+		return ai.docLines[d.line]
+	case "orderinvariant":
+		return at(ai.rangeLines)
+	case "allocok":
+		return at(ai.hotpathLines)
+	case "walltime":
+		return at(ai.stmtLines)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,101 @@
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+// TestLoadTypeChecks loads this package through the go list + go/types
+// pipeline and checks the pieces analyzers rely on: full syntax with
+// comments, a type-checked *types.Package, and populated Uses.
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d matched packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "physched/internal/analysis/driver" {
+		t.Errorf("PkgPath = %q", p.PkgPath)
+	}
+	if p.Standard || !p.Matched {
+		t.Errorf("flags: standard=%v matched=%v", p.Standard, p.Matched)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.Info == nil {
+		t.Fatal("package loaded without syntax or type information")
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Error("TypesInfo.Uses is empty — analyzers cannot resolve selectors")
+	}
+	comments := 0
+	for _, f := range p.Files {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Error("comments were not retained — directive parsing would be blind")
+	}
+}
+
+// TestRunSortsDiagnostics: Run must order findings by position then
+// analyzer so lint output is itself deterministic.
+func TestRunSortsDiagnostics(t *testing.T) {
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Report every function declaration, walking files in reverse so the
+	// raw emission order is scrambled relative to source order.
+	a := &Analyzer{
+		Name: "declorder",
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) error {
+			for i := len(pass.Files) - 1; i >= 0; i-- {
+				ast.Inspect(pass.Files[i], func(n ast.Node) bool {
+					if fd, ok := n.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := Run(pkgs, func(*Package) []*Analyzer { return []*Analyzer{a} })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("expected multiple diagnostics, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		prev, cur := diags[i-1].Pos, diags[i].Pos
+		if prev.Filename > cur.Filename ||
+			(prev.Filename == cur.Filename && prev.Line > cur.Line) {
+			t.Errorf("diagnostics out of order: %v before %v", prev, cur)
+		}
+	}
+}
+
+// TestReportfPosition: positions round-trip through the shared FileSet.
+func TestReportfPosition(t *testing.T) {
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	p := pkgs[0]
+	pass := &Pass{Analyzer: &Analyzer{Name: "x"}, Fset: p.Fset, Files: p.Files}
+	var got []Diagnostic
+	pass.report = func(d Diagnostic) { got = append(got, d) }
+	pos := p.Files[0].Package
+	pass.Reportf(pos, "at %s", "package clause")
+	if len(got) != 1 {
+		t.Fatalf("reported %d diagnostics", len(got))
+	}
+	if got[0].Pos.Line != p.Fset.Position(pos).Line || got[0].Pos.Filename == "" {
+		t.Errorf("bad position %v", got[0].Pos)
+	}
+	var _ token.Position = got[0].Pos
+}

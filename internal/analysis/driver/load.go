@@ -1,0 +1,188 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath  string
+	Dir      string
+	Standard bool // part of the Go standard library
+	Matched  bool // named by the load patterns (vs. pulled in as a dependency)
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Match      []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with `go list -json -deps` rooted at dir, parses
+// every package in the dependency closure and type-checks it from source
+// in dependency order. Module packages get full function-body checking
+// plus a populated types.Info; standard-library dependencies are checked
+// declarations-only (IgnoreFuncBodies), which is all that importing them
+// requires and sidesteps compiler-intrinsic bodies in runtime internals.
+// CGO is disabled for the listing so cgo-optional packages (net, ...)
+// resolve to their pure-Go files, which go/types can check directly.
+//
+// Only pattern-matched module packages are returned — dependencies exist
+// solely to give the targets complete type information, mirroring how
+// `go vet` scopes its reports.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	typed := map[string]*types.Package{"unsafe": types.Unsafe}
+	imp := &mapImporter{pkgs: typed}
+	var out []*Package
+
+	// `go list -deps` emits dependencies before dependents, so a single
+	// forward sweep sees every import already type-checked.
+	for _, lp := range metas {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files, err := parsePackage(fset, lp)
+		if err != nil {
+			return nil, err
+		}
+		var info *types.Info
+		if !lp.Standard {
+			info = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+				Implicits:  map[ast.Node]types.Object{},
+				Scopes:     map[ast.Node]*types.Scope{},
+			}
+		}
+		var checkErrs []error
+		conf := types.Config{
+			Importer:         imp,
+			IgnoreFuncBodies: lp.Standard,
+			Sizes:            types.SizesFor("gc", runtime.GOARCH),
+			Error:            func(err error) { checkErrs = append(checkErrs, err) },
+		}
+		imp.importMap = lp.ImportMap
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if !lp.Standard && len(checkErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, errors.Join(checkErrs...))
+		}
+		// Standard-library check errors are tolerated as long as a usable
+		// package object came back: declaration-only checking of runtime
+		// internals can trip on compiler magic without affecting the
+		// exported API surface the module packages consume.
+		if tpkg == nil {
+			return nil, fmt.Errorf("type-checking %s produced no package: %w", lp.ImportPath, errors.Join(checkErrs...))
+		}
+		typed[lp.ImportPath] = tpkg
+		if !lp.Standard && len(lp.Match) > 0 {
+			out = append(out, &Package{
+				PkgPath:  lp.ImportPath,
+				Dir:      lp.Dir,
+				Standard: lp.Standard,
+				Matched:  true,
+				Fset:     fset,
+				Files:    files,
+				Types:    tpkg,
+				Info:     info,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("patterns %v matched no module packages", patterns)
+	}
+	return out, nil
+}
+
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Pure-Go file sets only: go/types checks source, not cgo output.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var metas []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, lp)
+	}
+	return metas, nil
+}
+
+func parsePackage(fset *token.FileSet, lp *listPkg) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", filepath.Join(lp.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// mapImporter resolves import paths against the already-checked closure,
+// applying the importing package's vendor map (how net/http reaches the
+// std-vendored golang.org/x/net packages).
+type mapImporter struct {
+	pkgs      map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not in dependency closure", path)
+}

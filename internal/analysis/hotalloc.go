@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"physched/internal/analysis/driver"
+)
+
+// HotAlloc guards the zero-alloc contract of functions annotated
+// //physched:hotpath — the event queue, arenas, metrics collector, cache
+// LRU and policy dispatch that PR 6 drove from ~38k allocs/op to 563.
+// The bench gate (benchsnap -check) catches an allocation regression at
+// CI time from the benchmark side; this analyzer names the construct at
+// the source line so the regression never lands. Inside an annotated
+// function it flags the constructs that allocate (or defeat escape
+// analysis) on the steady-state path:
+//
+//   - function literals (closure environments escape);
+//   - fmt.* calls (variadic interface boxing plus formatting buffers);
+//   - string concatenation and string<->[]byte conversions;
+//   - unsized make of maps and channels, make([]T, 0) without capacity;
+//   - new(T), &T{...}, and slice/map composite literals;
+//   - arguments boxed into interface parameters (non-pointer-shaped
+//     concrete values heap-allocate at the conversion).
+//
+// A deliberate allocation (a cold init branch, an error path) carries
+// //physched:allocok <reason> on its statement. The analyzer is
+// registered on every package: un-annotated functions cost nothing.
+var HotAlloc = &driver.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-causing constructs inside //physched:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *driver.Pass) error {
+	hot := hotpathFuncs(pass)
+	if len(hot) == 0 {
+		return nil
+	}
+	supp := newSuppressions(pass)
+	for fd := range hot {
+		// Map iteration order does not matter here: diagnostics are
+		// position-sorted by the driver before anything is printed.
+		checkHotFunc(pass, supp, fd)
+	}
+	return nil
+}
+
+func checkHotFunc(pass *driver.Pass, supp suppressions, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if supp.allows(pos, "allocok") {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure in hot path %s allocates its environment", fd.Name.Name)
+			return false // don't descend: the closure body is not the hot path
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass, n) && !isConstExpr(pass, n) {
+				report(n.OpPos, "string concatenation in hot path %s allocates", fd.Name.Name)
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal in hot path %s allocates", fd.Name.Name)
+			case *types.Map:
+				report(n.Pos(), "map literal in hot path %s allocates", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal in hot path %s likely escapes to the heap", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, report, fd, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *driver.Pass, report func(token.Pos, string, ...any), fd *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtins and conversions first.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				report(call.Pos(), "new(...) in hot path %s allocates; use an arena or pool", fd.Name.Name)
+			case "make":
+				checkHotMake(pass, report, fd, call)
+			}
+			return
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string([]byte) / []byte(string) copy their payload.
+		if len(call.Args) == 1 {
+			to, from := tv.Type, pass.TypesInfo.Types[call.Args[0]].Type
+			if from != nil && isStringBytesConversion(to, from) {
+				report(call.Pos(), "string<->[]byte conversion in hot path %s copies and allocates", fd.Name.Name)
+			}
+		}
+		return
+	}
+	// fmt.* in a hot path means boxing + formatting machinery.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkgPath, ok := selectorPackage(pass, sel); ok && pkgPath == "fmt" {
+			report(call.Pos(), "fmt.%s in hot path %s allocates (boxing + format buffers)", sel.Sel.Name, fd.Name.Name)
+			return
+		}
+	}
+	checkInterfaceBoxing(pass, report, fd, call)
+}
+
+func checkHotMake(pass *driver.Pass, report func(token.Pos, string, ...any), fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		if len(call.Args) < 2 {
+			report(call.Pos(), "unsized make(map) in hot path %s grows by rehashing; size it or hoist it out", fd.Name.Name)
+		}
+	case *types.Chan:
+		report(call.Pos(), "make(chan) in hot path %s allocates", fd.Name.Name)
+	case *types.Slice:
+		// make([]T, 0) with no capacity: every append reallocates.
+		if len(call.Args) == 2 {
+			if tvLen, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tvLen.Value != nil && tvLen.Value.String() == "0" {
+				report(call.Pos(), "make(slice, 0) without capacity in hot path %s reallocates on growth", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// checkInterfaceBoxing flags call arguments whose static type is a
+// non-pointer-shaped concrete type passed into an interface parameter:
+// the conversion heap-allocates the value. Pointer-shaped values
+// (pointers, maps, channels, funcs) fit the interface data word and do
+// not allocate; nil and interface-to-interface conversions are free.
+func checkInterfaceBoxing(pass *driver.Pass, report func(token.Pos, string, ...any), fd *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			if call.Ellipsis != token.NoPos {
+				pt = last // x... passes the slice through, no boxing
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil || at.IsNil() {
+			continue
+		}
+		if types.IsInterface(at.Type.Underlying()) || pointerShaped(at.Type) {
+			continue
+		}
+		report(arg.Pos(), "argument boxed into interface parameter in hot path %s (concrete %s heap-allocates at the conversion)",
+			fd.Name.Name, at.Type.String())
+	}
+}
+
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isStringExpr(pass *driver.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(pass *driver.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isStringBytesConversion(to, from types.Type) bool {
+	return (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"physched/internal/analysis/driver"
+)
+
+// MapOrder flags `for range` over a map when the loop body is
+// order-sensitive — Go randomises map iteration order per run, so any
+// order-dependent fold over a map is nondeterminism waiting for a golden
+// file to catch it (PR 1 shipped exactly this fix for the cache-oriented
+// policy's dispatch map). A loop is order-sensitive when it appends to a
+// slice that outlives the loop, sends on a channel, writes output
+// (fmt.Print*/Fprint*, Write* methods), enqueues work (Push/Enqueue/
+// Schedule/Emit methods), or folds floating-point values with a compound
+// assignment (float addition is not associative — a sort cannot rescue
+// it, the fold must be restructured).
+//
+// Two escapes keep the idiomatic patterns legal:
+//
+//   - collect-then-sort: when every order-sensitive operation is an
+//     append and each appended slice is passed to a sort.*/slices.Sort*
+//     call later in the same enclosing block, the loop is fine — that is
+//     the repo's standard registry-listing idiom;
+//   - //physched:orderinvariant <reason> on the range statement, for
+//     loops whose order-insensitivity the analyzer cannot see.
+var MapOrder = &driver.Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive iteration over maps (sort afterwards or annotate //physched:orderinvariant)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *driver.Pass) error {
+	supp := newSuppressions(pass)
+	for _, f := range pass.Files {
+		blocks := stmtBlocks(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if supp.allows(rng.Pos(), "orderinvariant") {
+				return true
+			}
+			sens := classifyBody(pass, rng)
+			if len(sens.hard) == 0 && len(sens.appends) == 0 {
+				return true // order-insensitive body
+			}
+			if len(sens.hard) == 0 && allSorted(pass, blocks, rng, sens.appends) {
+				return true // collect-then-sort idiom
+			}
+			what := sens.describe()
+			pass.Reportf(rng.Pos(),
+				"order-sensitive range over map (%s): map iteration order is randomised; sort the collected result, or annotate //physched:orderinvariant <reason>",
+				what)
+			return true
+		})
+	}
+	return nil
+}
+
+// sensitivity collects what makes a loop body order-dependent. appends
+// are rescueable by a later sort; hard operations are not.
+type sensitivity struct {
+	appends []types.Object // slices appended to (rescue: sort afterwards)
+	hard    []string       // descriptions of unsortable order-sensitive ops
+}
+
+func (s sensitivity) describe() string {
+	var parts []string
+	if len(s.appends) > 0 {
+		parts = append(parts, "appends to a slice without sorting it afterwards")
+	}
+	parts = append(parts, s.hard...)
+	return strings.Join(parts, "; ")
+}
+
+// orderSensitiveMethods are method names that feed an ordered consumer:
+// event queues, deques, output buffers.
+var orderSensitiveMethods = map[string]string{
+	"Push": "enqueues events", "Enqueue": "enqueues events",
+	"Schedule": "schedules events", "Emit": "emits output",
+	"Write": "writes output", "WriteString": "writes output",
+	"WriteByte": "writes output", "WriteRune": "writes output",
+}
+
+func classifyBody(pass *driver.Pass, rng *ast.RangeStmt) sensitivity {
+	var s sensitivity
+	addHard := func(desc string) {
+		for _, h := range s.hard {
+			if h == desc {
+				return
+			}
+		}
+		s.hard = append(s.hard, desc)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			addHard("sends on a channel")
+		case *ast.AssignStmt:
+			// x = append(x, ...) — collect the target for the sort check.
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+						continue
+					}
+					if obj := rootObject(pass, n.Lhs[i]); obj != nil {
+						s.appends = append(s.appends, obj)
+					} else {
+						addHard("appends to a slice the analyzer cannot track")
+					}
+				}
+			}
+			// sum += v on floats: order-dependent rounding, unsortable.
+			// Exception: an lvalue indexed by the loop key (busy[k] += ...)
+			// touches a disjoint slot per iteration, so order cannot matter.
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					tv, ok := pass.TypesInfo.Types[lhs]
+					if !ok || !isFloat(tv.Type) {
+						continue
+					}
+					if indexedByRangeKey(pass, rng, lhs) {
+						continue
+					}
+					addHard("accumulates floating point (rounding is order-dependent)")
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if pkgPath, ok := selectorPackage(pass, sel); ok && pkgPath == "fmt" {
+					if strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint") {
+						addHard("writes output via fmt." + sel.Sel.Name)
+					}
+				} else if desc, sensitive := orderSensitiveMethods[sel.Sel.Name]; sensitive {
+					// Method call on some receiver (not a package selector).
+					addHard(desc + " via ." + sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// indexedByRangeKey reports whether lhs is an index expression whose
+// index mentions the range statement's key variable: each iteration then
+// writes a distinct element, which is order-invariant by construction.
+func indexedByRangeKey(pass *driver.Pass, rng *ast.RangeStmt, lhs ast.Expr) bool {
+	keyIdent, ok := rng.Key.(*ast.Ident)
+	if !ok || keyIdent.Name == "_" {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[keyIdent]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[keyIdent]
+	}
+	if keyObj == nil {
+		return false
+	}
+	idx, ok := lhs.(*ast.IndexExpr)
+	return ok && argRefersTo(pass, idx.Index, keyObj)
+}
+
+func isBuiltinAppend(pass *driver.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootObject resolves the base identifier of an lvalue (x, x.f, x[i].f)
+// to its object, so an append inside the loop can be matched against a
+// sort call after it.
+func rootObject(pass *driver.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// stmtBlocks maps every statement to its enclosing statement list and
+// index, so "what follows this range statement" is answerable.
+type blockIndex map[ast.Stmt]blockPos
+
+type blockPos struct {
+	list []ast.Stmt
+	idx  int
+}
+
+func stmtBlocks(f *ast.File) blockIndex {
+	bi := blockIndex{}
+	record := func(list []ast.Stmt) {
+		for i, st := range list {
+			bi[st] = blockPos{list, i}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return bi
+}
+
+// allSorted reports whether every appended-to slice is passed to a
+// sort.* / slices.Sort* call in a statement after the range loop in its
+// enclosing block.
+func allSorted(pass *driver.Pass, blocks blockIndex, rng *ast.RangeStmt, targets []types.Object) bool {
+	pos, ok := blocks[ast.Stmt(rng)]
+	if !ok {
+		return false
+	}
+	following := pos.list[pos.idx+1:]
+	for _, target := range targets {
+		if !sortedIn(pass, following, target) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedIn(pass *driver.Pass, stmts []ast.Stmt, target types.Object) bool {
+	for _, st := range stmts {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if argRefersTo(pass, arg, target) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognises sort.{Sort,Stable,Strings,Ints,Float64s,Slice,
+// SliceStable} and slices.Sort*.
+func isSortCall(pass *driver.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgPath, ok := selectorPackage(pass, sel)
+	if !ok {
+		return false
+	}
+	switch pkgPath {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Sort", "Stable", "Strings", "Ints", "Float64s", "Slice", "SliceStable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}
+
+func argRefersTo(pass *driver.Pass, arg ast.Expr, target types.Object) bool {
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,33 @@
+// Package detrand is a fixture for the detrand analyzer: global
+// math/rand draws and wall-clock seeds are flagged, seeded streams are
+// not.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() {
+	_ = rand.Intn(10)    // want "global rand.Intn uses the shared math/rand source"
+	_ = rand.Float64()   // want "global rand.Float64 uses the shared math/rand source"
+	_ = rand.Int63n(5)   // want "global rand.Int63n uses the shared math/rand source"
+	rand.Shuffle(3, nil) // want "global rand.Shuffle uses the shared math/rand source"
+	rand.Seed(42)        // want "global rand.Seed uses the shared math/rand source"
+	f := rand.Perm       // want "global rand.Perm uses the shared math/rand source"
+	_ = f
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded stream: legal
+	return rng.Float64()
+}
+
+func clockSeeded() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want "rand.NewSource seeded from the wall clock"
+	return rand.New(src)
+}
+
+func clockSeededNested() *rand.Rand {
+	return rand.New(rand.NewSource(int64(time.Since(time.Unix(0, 0))))) // want "rand.NewSource seeded from the wall clock"
+}

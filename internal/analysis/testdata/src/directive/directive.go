@@ -1,0 +1,59 @@
+// Package directive is a fixture for the physcheddirective analyzer:
+// the //physched: annotation grammar is real syntax — unknown verbs,
+// missing reasons and misplaced annotations are findings.
+package directive
+
+import "sort"
+
+//physched:frobnicate turbo mode // want "unknown //physched: directive \"frobnicate\""
+func unknownVerb() {}
+
+func missingReason(m map[string]int) []string {
+	var keys []string
+	//physched:orderinvariant // want "//physched:orderinvariant needs a reason"
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func misplacedOrderInvariant() {
+	//physched:orderinvariant not a range statement below // want "misplaced //physched:orderinvariant"
+	x := 1
+	_ = x
+}
+
+//physched:hotpath
+func validHotpath(buf []int, x int) []int {
+	return append(buf, x)
+}
+
+func body() {
+	//physched:hotpath only valid in a func doc comment // want "misplaced //physched:hotpath"
+	x := 0
+	_ = x
+}
+
+//physched:hotpath
+func hotWithBareAllocok(buf []int) []int {
+	//physched:allocok // want "//physched:allocok needs a reason"
+	tmp := make([]int, 0)
+	_ = tmp
+	return buf
+}
+
+func validSuppressions(m map[string]int) int {
+	n := 0
+	//physched:orderinvariant counting iterations is order-free
+	for range m {
+		n++
+	}
+	return n
+}
+
+func misplacedAllocok() {
+	//physched:allocok not inside a hotpath function // want "misplaced //physched:allocok"
+	y := make([]int, 0)
+	_ = y
+}

@@ -1,0 +1,60 @@
+// Package hotalloc is a fixture for the hotalloc analyzer: allocating
+// constructs inside //physched:hotpath functions are flagged; the same
+// constructs in un-annotated functions are not.
+package hotalloc
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+// step is the fixture hot path.
+//
+//physched:hotpath
+func (r *ring) step(name string, x int) {
+	f := func() int { return x } // want "closure in hot path step allocates its environment"
+	_ = f
+	fmt.Println(name)  // want "fmt.Println in hot path step allocates"
+	s := name + "!"    // want "string concatenation in hot path step allocates"
+	_ = s
+	b := []byte(name) // want "string<->\\[\\]byte conversion in hot path step copies and allocates"
+	_ = b
+	m := make(map[int]int) // want "unsized make\\(map\\) in hot path step grows by rehashing"
+	_ = m
+	c := make(chan int) // want "make\\(chan\\) in hot path step allocates"
+	_ = c
+	z := make([]int, 0) // want "make\\(slice, 0\\) without capacity in hot path step reallocates on growth"
+	_ = z
+	p := new(int) // want "new\\(...\\) in hot path step allocates"
+	_ = p
+	q := &ring{} // want "&composite literal in hot path step likely escapes to the heap"
+	_ = q
+	l := []int{1, 2} // want "slice literal in hot path step allocates"
+	_ = l
+	sink(x) // want "argument boxed into interface parameter in hot path step"
+	sink(r) // pointer-shaped: no boxing allocation
+	sink(nil)
+}
+
+// cold has the same constructs but no annotation: no findings.
+func (r *ring) cold(name string) {
+	fmt.Println(name + "!")
+	_ = make(map[int]int)
+	_ = new(int)
+}
+
+// sized is a clean hot path: sized make, index math, no boxing.
+//
+//physched:hotpath
+func (r *ring) sized(x int) {
+	if r.buf == nil {
+		//physched:allocok one-time lazy init, amortised over the run
+		r.buf = make([]int, 0, 64)
+	}
+	r.buf = append(r.buf, x)
+	r.n++
+}

@@ -1,0 +1,88 @@
+// Package maporder is a fixture for the maporder analyzer: ranges over
+// maps with order-sensitive bodies are flagged unless sorted afterwards
+// or annotated //physched:orderinvariant.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "order-sensitive range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: legal
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSliceSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // sorted via sort.Slice: legal
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func channelSend(m map[string]int, ch chan int) {
+	for _, v := range m { // want "sends on a channel"
+		ch <- v
+	}
+}
+
+func printsOutput(m map[string]int) {
+	for k := range m { // want "writes output via fmt.Println"
+		fmt.Println(k)
+	}
+}
+
+func floatFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "accumulates floating point"
+		sum += v
+	}
+	return sum
+}
+
+func floatPerKeySlot(m map[int]float64, slots []float64) {
+	for k, v := range m { // disjoint slot per key: order-invariant
+		slots[k] += v
+	}
+}
+
+type queue struct{}
+
+func (queue) Push(int) {}
+
+func enqueues(m map[string]int, q queue) {
+	for _, v := range m { // want "enqueues events"
+		q.Push(v)
+	}
+}
+
+func annotated(m map[string]int) int {
+	n := 0
+	//physched:orderinvariant pure count, every iteration adds 1
+	for range m {
+		n++
+	}
+	return n
+}
+
+func intFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // integer addition commutes: legal
+		sum += v
+	}
+	return sum
+}

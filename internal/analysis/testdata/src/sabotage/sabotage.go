@@ -1,0 +1,22 @@
+// Package sabotage deliberately violates contracts enforced on every
+// package (hotalloc, physcheddirective) so tests can prove the
+// multichecker exits nonzero end to end. It is never built by ./...
+// wildcards (testdata is wildcard-invisible) — only explicit paths
+// reach it.
+package sabotage
+
+import "fmt"
+
+//physched:typo this directive verb does not exist
+func bad() {}
+
+// burn is an annotated hot path that allocates flagrantly.
+//
+//physched:hotpath
+func burn(xs []int) string {
+	out := ""
+	for _, x := range xs {
+		out = out + fmt.Sprint(x)
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+// Package walltime is a fixture for the walltime analyzer: wall-clock
+// reads and sleeps are flagged; suppressed wiring sites and pure
+// duration values are not.
+package walltime
+
+import "time"
+
+type store struct {
+	clock func() time.Time
+}
+
+func reads() {
+	_ = time.Now()            // want "wall-clock time.Now"
+	time.Sleep(time.Second)   // want "wall-clock time.Sleep"
+	<-time.After(time.Second) // want "wall-clock time.After"
+	_ = time.Since(time.Time{}) // want "wall-clock time.Since"
+	_ = time.NewTicker(time.Second) // want "wall-clock time.NewTicker"
+}
+
+func wire(s *store) {
+	if s.clock == nil {
+		s.clock = time.Now //physched:walltime wiring site: production reads the real clock
+	}
+}
+
+func pureValues() time.Time {
+	d := 3 * time.Hour // durations are values, not clock reads
+	return time.Unix(0, 0).Add(d)
+}

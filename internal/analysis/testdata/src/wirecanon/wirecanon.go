@@ -1,0 +1,46 @@
+// Package wirecanon is a fixture for the wirecanon analyzer: structs
+// that participate in the wire (declare json tags or are reachable from
+// one that does) need complete snake_case tags and no map fields.
+package wirecanon
+
+import "context"
+
+// Spec is a wire root: it declares json tags.
+type Spec struct {
+	Name     string         `json:"name"`
+	Load     float64        `json:"load_jobs_per_hour"`
+	BadCase  int            `json:"BadCase"` // want "json tag \"BadCase\" on Spec.BadCase is not snake_case"
+	Untagged int            // want "exported field Spec.Untagged has no json tag"
+	Labels   map[string]int `json:"labels"` // want "field Spec.Labels contains a map"
+	Nested   Inner          `json:"nested"`
+	Skipped  map[string]int `json:"-"` // excluded from the wire: map is fine
+	internal int            // unexported: invisible to encoding/json
+}
+
+// Inner declares a tag, so it is a root in its own right; partial
+// tagging inside it is the classic hazard.
+type Inner struct {
+	Value float64 `json:"value"`
+	Loose int     // want "exported field Inner.Loose has no json tag"
+}
+
+// Deep has no tags at all — it participates only because Tagged reaches
+// it through a slice-of-pointer field.
+type Tagged struct {
+	Deep []*Deep `json:"deep"`
+}
+
+type Deep struct {
+	Hidden map[int]int // want "exported field Deep.Hidden has no json tag" "field Deep.Hidden contains a map"
+}
+
+// Options is a runtime struct: no tags anywhere, not reachable from a
+// tagged struct — encoding/json never sees it, so nothing is required.
+type Options struct {
+	Workers int
+	Ctx     context.Context
+	OnDone  func()
+	Scratch map[string]int
+}
+
+var _ = Spec{internal: 0}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"physched/internal/analysis/driver"
+)
+
+// WallTime forbids reading or waiting on the wall clock in deterministic
+// packages: simulation logic runs on sim time exclusively, and a stray
+// time.Now in a policy or the event loop produces results that differ by
+// host load — exactly the class of bug the golden byte-identity files
+// catch a PR too late. Service-layer packages are not registered for this
+// analyzer (the allowlist lives in rules.go); cmd/physchedd *is*
+// registered, with its single deliberate wiring site (clock: time.Now)
+// carrying a //physched:walltime suppression so every new call site needs
+// a stated reason.
+var WallTime = &driver.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads and sleeps in deterministic packages (sim time only)",
+	Run:  runWallTime,
+}
+
+// wallClockFuncs are the package time functions that observe or wait on
+// real time. Constructors of plain durations (time.Duration arithmetic,
+// time.Unix, time.Date) stay legal: they are pure values.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallTime(pass *driver.Pass) error {
+	supp := newSuppressions(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := selectorPackage(pass, sel)
+			if !ok || pkgPath != "time" {
+				return true
+			}
+			if !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if supp.allows(sel.Pos(), "walltime") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock time.%s: this package runs on sim time or an injected clock; inject a clock at the boundary or annotate the wiring site //physched:walltime <reason>",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

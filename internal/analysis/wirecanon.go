@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"physched/internal/analysis/driver"
+)
+
+// WireCanon enforces the canonical-wire contract on internal/spec and
+// internal/opt. A struct participates in the wire when it declares a
+// `json` tag on some field, or is reachable from such a struct through
+// field types — that is the set encoding/json will walk when a spec,
+// grid, study or report is canonically encoded and content-hashed.
+// In-process runtime structs (pools, callbacks, contexts) carry no tags
+// and are skipped. For every participating struct:
+//
+//   - every exported field needs an explicit `json` tag (an implicit
+//     Go-cased name is an accidental wire commitment and breaks the
+//     snake_case convention pinned by the golden files), and the tag's
+//     name must be snake_case;
+//   - no field may be (or contain) a map: map iteration order would leak
+//     into the canonical encoding and break SHA-256 content hashing —
+//     the same hazard class PR 2 fuzz-pinned out of the encoder.
+var WireCanon = &driver.Analyzer{
+	Name: "wirecanon",
+	Doc:  "require snake_case json tags and forbid map fields on wire-participating structs",
+	Run:  runWireCanon,
+}
+
+func runWireCanon(pass *driver.Pass) error {
+	structs := map[string]*wireStruct{} // by type name, this package only
+	var order []string
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			structs[ts.Name.Name] = &wireStruct{name: ts.Name.Name, st: st}
+			order = append(order, ts.Name.Name)
+			return true
+		})
+	}
+	// Roots: structs that declare json tags themselves.
+	var queue []string
+	for _, name := range order {
+		ws := structs[name]
+		if hasJSONTag(ws.st) {
+			ws.wire = true
+			queue = append(queue, name)
+		}
+	}
+	// Closure: field types of wire structs participate too (except
+	// behind json:"-", which never reaches the encoder).
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		for _, field := range structs[name].st.Fields.List {
+			if tag, ok := jsonTagName(field); ok && tag == "-" {
+				continue
+			}
+			for _, ref := range referencedStructs(pass, field.Type, structs) {
+				if !structs[ref].wire {
+					structs[ref].wire = true
+					queue = append(queue, ref)
+				}
+			}
+		}
+	}
+	for _, name := range order {
+		if ws := structs[name]; ws.wire {
+			checkWireStruct(pass, ws.name, ws.st)
+		}
+	}
+	return nil
+}
+
+type wireStruct struct {
+	name string
+	st   *ast.StructType
+	wire bool
+}
+
+func hasJSONTag(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if _, ok := jsonTagName(field); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// referencedStructs resolves the struct types (declared in this package)
+// named inside a field type expression.
+func referencedStructs(pass *driver.Pass, typ ast.Expr, structs map[string]*wireStruct) []string {
+	var out []string
+	ast.Inspect(typ, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		tn, ok := pass.TypesInfo.Uses[id].(*types.TypeName)
+		if !ok || tn.Pkg() != pass.Pkg {
+			return true
+		}
+		if _, declared := structs[tn.Name()]; declared {
+			out = append(out, tn.Name())
+		}
+		return true
+	})
+	return out
+}
+
+func checkWireStruct(pass *driver.Pass, structName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		names := fieldNames(field)
+		exported := false
+		for _, name := range names {
+			if ast.IsExported(name) {
+				exported = true
+			}
+		}
+		if !exported {
+			continue
+		}
+		label := structName + "." + strings.Join(names, ",")
+
+		tagName, hasTag := jsonTagName(field)
+		switch {
+		case !hasTag:
+			pass.Reportf(field.Pos(),
+				"exported field %s has no json tag: wire structs must name every field explicitly (snake_case)", label)
+		case tagName == "-" || tagName == "":
+			// json:"-" excludes the field; an empty name with options
+			// (`json:",omitempty"`) keeps the Go name — reject the latter.
+			if tagName == "" {
+				pass.Reportf(field.Pos(),
+					"exported field %s has a json tag without a name: the Go field name would leak onto the wire", label)
+			}
+		case !isSnakeCase(tagName):
+			pass.Reportf(field.Pos(),
+				"json tag %q on %s is not snake_case ([a-z0-9_])", tagName, label)
+		}
+
+		if tagName == "-" {
+			continue // not on the wire; map hazard does not apply
+		}
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && tv.Type != nil && containsMap(tv.Type, 0) {
+			pass.Reportf(field.Pos(),
+				"field %s contains a map: iteration order would leak into the canonical encoding and break content hashing; use a sorted slice of pairs", label)
+		}
+	}
+}
+
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) == 0 {
+		// Embedded field: its type name is the field name.
+		expr := field.Type
+		for {
+			switch e := expr.(type) {
+			case *ast.StarExpr:
+				expr = e.X
+			case *ast.SelectorExpr:
+				return []string{e.Sel.Name}
+			case *ast.Ident:
+				return []string{e.Name}
+			default:
+				return []string{"<embedded>"}
+			}
+		}
+	}
+	names := make([]string, len(field.Names))
+	for i, n := range field.Names {
+		names[i] = n.Name
+	}
+	return names
+}
+
+func jsonTagName(field *ast.Field) (name string, ok bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw := strings.Trim(field.Tag.Value, "`")
+	tag, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return "", false
+	}
+	name, _, _ = strings.Cut(tag, ",")
+	return name, true
+}
+
+func isSnakeCase(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= '0' && r <= '9':
+		case r == '_':
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// containsMap walks a type for map components: direct maps and maps
+// behind pointers/slices/arrays. Nested named structs are not recursed:
+// exported ones in the wire packages get their own check, and foreign
+// types (time.Time, json.RawMessage) are trusted to encode canonically.
+func containsMap(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return true
+	case *types.Pointer:
+		return containsMap(u.Elem(), depth+1)
+	case *types.Slice:
+		return containsMap(u.Elem(), depth+1)
+	case *types.Array:
+		return containsMap(u.Elem(), depth+1)
+	}
+	return false
+}

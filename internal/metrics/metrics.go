@@ -92,6 +92,8 @@ func NewCollector(p model.Params, warmupJobs, measureJobs int) *Collector {
 func (c *Collector) JobArrived(*job.Job) { c.arrived++ }
 
 // JobFinished records a completed job.
+//
+//physched:hotpath
 func (c *Collector) JobFinished(j *job.Job) {
 	c.finished++
 	if j.ID < int64(c.WarmupJobs) {

@@ -50,6 +50,8 @@ func (c *calendar) init() {
 
 // insert files ev into its bucket. The event's time and seq must already
 // be set.
+//
+//physched:hotpath
 func (c *calendar) insert(ev *Event) {
 	if c.count >= 2*len(c.buckets) {
 		c.resize(2 * len(c.buckets))
@@ -66,6 +68,8 @@ func (c *calendar) insert(ev *Event) {
 // time and appends it to dst in seq order (FIFO among simultaneous
 // events). now is the engine clock, a lower bound for every pending time.
 // It returns dst unchanged when the calendar is empty.
+//
+//physched:hotpath
 func (c *calendar) extractMinBatch(now float64, dst []*Event) []*Event {
 	if c.count == 0 {
 		return dst
