@@ -1,24 +1,40 @@
 // Command physchedlint is the repo's multichecker: it runs the
 // internal/analysis suite — detrand, walltime, maporder, hotalloc,
-// wirecanon, physcheddirective — over the given package patterns and
-// exits nonzero on any finding. CI runs it over ./...; run it locally
-// the same way:
+// wirecanon, physcheddirective, lockcheck, lockguard, spawncheck — over
+// the given package patterns and exits nonzero on any finding. CI runs
+// it over ./...; run it locally the same way:
 //
 //	go run ./cmd/physchedlint ./...
 //
 // Each analyzer is scoped by analysis.Rules (determinism checks on the
-// sim-core packages, wire checks on spec/opt, annotation checks
-// everywhere); see DESIGN.md §11 for the contracts and the //physched:
-// annotation grammar.
+// sim-core packages, wire checks on spec/opt, lockguard on the
+// shared-state packages, annotation and concurrency checks everywhere);
+// see DESIGN.md §11–§12 for the contracts and the //physched:
+// annotation grammar. -analyzers=a,b bypasses the scoping and runs
+// exactly the named analyzers on every matched package.
+//
+// Output formats (-format, with -json as shorthand for -format=json):
+//
+//	text    one "file:line:col: analyzer: message" line per finding
+//	json    a JSON array of {file, line, column, analyzer, message}
+//	github  GitHub Actions ::error annotations, one per finding
+//
+// All formats list findings in the same deterministic order (file, line,
+// column, analyzer, message). Exit codes: 0 clean, 1 findings, 2 loader
+// or usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"physched/internal/analysis"
+	"physched/internal/analysis/driver"
 )
 
 func main() {
@@ -29,8 +45,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("physchedlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonFlag := fs.Bool("json", false, "shorthand for -format=json")
+	format := fs.String("format", "text", "output format: text, json, or github")
+	only := fs.String("analyzers", "", "comma-separated analyzer names to run unscoped (default: the Rules-scoped suite)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: physchedlint [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: physchedlint [-list] [-json | -format=text|json|github] [-analyzers=a,b] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -42,21 +61,106 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *jsonFlag {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "physchedlint: unknown -format %q (text, json, github)\n", *format)
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := analysis.Lint(".", patterns...)
+	var diags []driver.Diagnostic
+	var err error
+	if *only != "" {
+		names := strings.Split(*only, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		diags, err = analysis.LintWith(names, ".", patterns...)
+	} else {
+		diags, err = analysis.Lint(".", patterns...)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "physchedlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s\n", d)
+	if err := emit(stdout, *format, diags); err != nil {
+		fmt.Fprintf(stderr, "physchedlint: %v\n", err)
+		return 2
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "physchedlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable finding shape: snake_case keys,
+// stable field order, paths relative to the working directory when
+// possible so output does not depend on the checkout location.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emit(w io.Writer, format string, diags []driver.Diagnostic) error {
+	switch format {
+	case "json":
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     relPath(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(findings)
+	case "github":
+		for _, d := range diags {
+			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s: %s\n",
+				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+				d.Analyzer, githubEscape(d.Message))
+		}
+		return nil
+	default:
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s\n", d)
+		}
+		return nil
+	}
+}
+
+// relPath relativizes an absolute finding path against the working
+// directory; paths outside it (or when cwd is unknown) stay absolute.
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	rel, err := filepath.Rel(wd, p)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return p
+	}
+	return filepath.ToSlash(rel)
+}
+
+// githubEscape encodes the characters the Actions workflow-command
+// parser treats specially in the message position.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -32,10 +34,111 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit code %d, stderr: %s", code, stderr.String())
 	}
-	for _, name := range []string{"detrand", "walltime", "maporder", "hotalloc", "wirecanon", "physcheddirective"} {
+	for _, name := range []string{"detrand", "walltime", "maporder", "hotalloc", "wirecanon", "physcheddirective", "lockcheck", "lockguard", "spawncheck"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestAnalyzersFlagRunsUnscoped: -analyzers bypasses Rules scoping, so
+// lockguard (normally limited to the shared-state packages) must catch
+// the sabotageguard fixture and exit 1 through the real CLI.
+func TestAnalyzersFlagRunsUnscoped(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "lockguard", "physched/internal/analysis/testdata/src/sabotageguard"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d on sabotaged guard package, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "lockguard") || !strings.Contains(stdout.String(), "counter.n is guarded by counter.mu") {
+		t.Errorf("lockguard finding missing from output:\n%s", stdout.String())
+	}
+}
+
+// TestAnalyzersFlagRejectsUnknownName: a typo in -analyzers is a usage
+// error (exit 2), never a silently empty suite that passes everything.
+func TestAnalyzersFlagRejectsUnknownName(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "lockchekc", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d for unknown analyzer name, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr does not name the bad analyzer: %q", stderr.String())
+	}
+}
+
+// TestJSONOutput: -json emits a machine-readable array with snake_case
+// keys, still exiting 1 on findings.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "physched/internal/analysis/testdata/src/sabotage"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings for the sabotaged package")
+	}
+	sorted := sort.SliceIsSorted(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column <= b.Column
+	})
+	if !sorted {
+		t.Error("JSON findings are not in file/line/column order")
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		seen[f.Analyzer] = true
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+	for _, want := range []string{"lockcheck", "spawncheck", "hotalloc"} {
+		if !seen[want] {
+			t.Errorf("JSON output missing %s finding:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestGitHubFormat: -format=github emits workflow error annotations.
+func TestGitHubFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "github", "physched/internal/analysis/testdata/src/sabotage"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Errorf("not a github annotation: %q", line)
+		}
+	}
+	if !strings.Contains(stdout.String(), "line=") || !strings.Contains(stdout.String(), "::lockcheck:") {
+		t.Errorf("annotations missing line numbers or analyzer prefix:\n%s", stdout.String())
+	}
+}
+
+// TestBadFormatExits2: an unknown -format is a usage error.
+func TestBadFormatExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "xml", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d for unknown format, want 2\nstderr: %s", code, stderr.String())
 	}
 }
 

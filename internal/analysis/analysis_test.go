@@ -20,6 +20,9 @@ func TestFixtures(t *testing.T) {
 		{HotAlloc, "hotalloc"},
 		{WireCanon, "wirecanon"},
 		{Directive, "directive"},
+		{LockCheck, "lockcheck"},
+		{LockGuard, "lockguard"},
+		{SpawnCheck, "spawncheck"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -50,8 +53,11 @@ func TestRepoIsLintClean(t *testing.T) {
 }
 
 // TestSabotagedPackageFails proves the suite actually bites: the
-// sabotage fixture must produce findings from at least the hotalloc and
-// physcheddirective analyzers under the same Rules scoping CI uses.
+// sabotage fixture must produce findings from the hotalloc,
+// physcheddirective, lockcheck and spawncheck analyzers under the same
+// Rules scoping CI uses. (lockguard is Rules-scoped to the shared-state
+// packages; its sabotage fixture is exercised through the CLI's
+// -analyzers flag in cmd/physchedlint's tests.)
 func TestSabotagedPackageFails(t *testing.T) {
 	diags, err := Lint(".", "./testdata/src/sabotage")
 	if err != nil {
@@ -64,7 +70,7 @@ func TestSabotagedPackageFails(t *testing.T) {
 	for _, d := range diags {
 		seen[d.Analyzer] = true
 	}
-	for _, want := range []string{"hotalloc", "physcheddirective"} {
+	for _, want := range []string{"hotalloc", "physcheddirective", "lockcheck", "spawncheck"} {
 		if !seen[want] {
 			t.Errorf("no finding from %s on the sabotaged package; got %v", want, diags)
 		}
@@ -83,13 +89,20 @@ func TestRulesScoping(t *testing.T) {
 		return out
 	}
 	sim := names("physched/internal/sim")
-	for _, want := range []string{"detrand", "walltime", "maporder", "hotalloc", "physcheddirective"} {
+	for _, want := range []string{"detrand", "walltime", "maporder", "hotalloc", "physcheddirective", "lockcheck", "spawncheck"} {
 		if !sim[want] {
 			t.Errorf("internal/sim missing analyzer %s", want)
 		}
 	}
 	if sim["wirecanon"] {
 		t.Error("internal/sim should not run wirecanon")
+	}
+	if sim["lockguard"] {
+		t.Error("internal/sim is not a lockguard package: guard inference is scoped to the shared-state stores")
+	}
+	lab := names("physched/internal/lab")
+	if !lab["lockguard"] || !lab["lockcheck"] || !lab["spawncheck"] {
+		t.Error("internal/lab (the pool) must run all three concurrency analyzers")
 	}
 	spec := names("physched/internal/spec")
 	if !spec["wirecanon"] {

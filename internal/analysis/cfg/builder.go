@@ -1,0 +1,357 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// builder holds the under-construction graph. It follows the shape of
+// the x/tools/go/cfg builder: a current block that statements append to,
+// a stack of break/continue/fallthrough targets, and a per-function
+// label map serving goto, labeled break and labeled continue — forward
+// references included, since a label block is created at first mention.
+type builder struct {
+	cfg       *CFG
+	mayReturn func(*ast.CallExpr) bool
+	current   *Block
+	lblocks   map[string]*lblock
+	targets   *targets
+}
+
+// lblock records the blocks a label can transfer control to.
+type lblock struct {
+	_goto     *Block
+	_break    *Block
+	_continue *Block
+}
+
+// targets is one frame of the enclosing-construct stack: where an
+// unlabeled break, continue or fallthrough goes from here.
+type targets struct {
+	tail         *targets
+	_break       *Block
+	_continue    *Block
+	_fallthrough *Block
+}
+
+func (b *builder) newBlock(kind BlockKind, stmt ast.Stmt) *Block {
+	blk := &Block{Index: int32(len(b.cfg.Blocks)), Kind: kind, Stmt: stmt}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// edge adds from → to.
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// jump ends the current block with an unconditional transfer to target.
+func (b *builder) jump(target *Block) {
+	edge(b.current, target)
+}
+
+// labeledBlock returns the label's record, creating it — and its goto
+// target block — on first mention.
+func (b *builder) labeledBlock(name string, stmt ast.Stmt) *lblock {
+	lb := b.lblocks[name]
+	if lb == nil {
+		lb = &lblock{_goto: b.newBlock(KindLabel, stmt)}
+		b.lblocks[name] = lb
+	} else if lb._goto.Stmt == nil {
+		lb._goto.Stmt = stmt
+	}
+	return lb
+}
+
+// stmt builds the graph of one statement. label is non-nil when s is the
+// body of a labeled statement, so that `break label` / `continue label`
+// on an enclosing for/switch/select resolve.
+func (b *builder) stmt(s ast.Stmt, label *lblock) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st, nil)
+		}
+
+	case *ast.LabeledStmt:
+		lb := b.labeledBlock(s.Label.Name, s)
+		b.jump(lb._goto)
+		b.current = lb._goto
+		b.stmt(s.Stmt, lb)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.current.Kind = KindReturn
+		b.current = b.newBlock(KindUnreachable, s)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok && !b.mayReturn(call) {
+			b.current.Kind = KindPanic
+			b.current = b.newBlock(KindUnreachable, s)
+		}
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, nil)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s, s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, nil)
+		}
+		if s.Assign != nil {
+			b.add(s.Assign)
+		}
+		b.switchBody(s, s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	case *ast.EmptyStmt:
+		// no flow, no node
+
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt, DeferStmt,
+		// BadStmt: straight-line nodes. defer and go do not transfer
+		// control here; their payloads are analyzed by their consumers.
+		b.add(s)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	var block *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if lb := b.lblocks[s.Label.Name]; lb != nil {
+				block = lb._break
+			}
+		} else {
+			for t := b.targets; t != nil && block == nil; t = t.tail {
+				block = t._break
+			}
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if lb := b.lblocks[s.Label.Name]; lb != nil {
+				block = lb._continue
+			}
+		} else {
+			for t := b.targets; t != nil && block == nil; t = t.tail {
+				block = t._continue
+			}
+		}
+	case token.FALLTHROUGH:
+		for t := b.targets; t != nil && block == nil; t = t.tail {
+			block = t._fallthrough
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			block = b.labeledBlock(s.Label.Name, nil)._goto
+		}
+	}
+	b.add(s)
+	if block != nil {
+		b.jump(block)
+	}
+	b.current = b.newBlock(KindUnreachable, s)
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init, nil)
+	}
+	b.add(s.Cond)
+	cond := b.current
+	then := b.newBlock(KindIfThen, s)
+	edge(cond, then)
+	done := b.newBlock(KindIfDone, s)
+	if s.Else != nil {
+		els := b.newBlock(KindIfElse, s)
+		edge(cond, els)
+		b.current = els
+		b.stmt(s.Else, nil)
+		b.jump(done)
+	} else {
+		edge(cond, done)
+	}
+	b.current = then
+	b.stmt(s.Body, nil)
+	b.jump(done)
+	b.current = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label *lblock) {
+	//	...init...
+	//	loop: ...cond...           (for {} has no loop block: body loops to itself)
+	//	body: ...body... → post
+	//	post: ...post... → loop
+	//	done:
+	if s.Init != nil {
+		b.stmt(s.Init, nil)
+	}
+	loop := b.newBlock(KindForLoop, s)
+	b.jump(loop)
+	b.current = loop
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock(KindForBody, s)
+	done := b.newBlock(KindForDone, s)
+	edge(loop, body)
+	if s.Cond != nil {
+		edge(loop, done)
+	}
+	post := loop
+	if s.Post != nil {
+		post = b.newBlock(KindForPost, s)
+	}
+	if label != nil {
+		label._break = done
+		label._continue = post
+	}
+	b.targets = &targets{tail: b.targets, _break: done, _continue: post}
+	b.current = body
+	b.stmt(s.Body, nil)
+	b.jump(post)
+	b.targets = b.targets.tail
+	if s.Post != nil {
+		b.current = post
+		b.stmt(s.Post, nil)
+		b.jump(loop)
+	}
+	b.current = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label *lblock) {
+	// The range statement itself is the head node: it covers the key /
+	// value assignment and the per-iteration test.
+	head := b.newBlock(KindRangeLoop, s)
+	b.jump(head)
+	b.current = head
+	b.add(s)
+	body := b.newBlock(KindRangeBody, s)
+	done := b.newBlock(KindRangeDone, s)
+	edge(head, body)
+	edge(head, done)
+	if label != nil {
+		label._break = done
+		label._continue = head
+	}
+	b.targets = &targets{tail: b.targets, _break: done, _continue: head}
+	b.current = body
+	b.stmt(s.Body, nil)
+	b.jump(head)
+	b.targets = b.targets.tail
+	b.current = done
+}
+
+// switchBody builds the clauses of a switch or type switch: the head
+// (current) block branches to every case body, plus to done when there
+// is no default clause; fallthrough chains case bodies in source order.
+func (b *builder) switchBody(sw ast.Stmt, body *ast.BlockStmt, label *lblock, _ *Block) {
+	head := b.current
+	done := b.newBlock(KindSwitchDone, sw)
+	if label != nil {
+		label._break = done
+	}
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	bodies := make([]*Block, len(clauses))
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock(KindSwitchCaseBody, cc)
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		edge(head, bodies[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.current = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var ft *Block
+		if i+1 < len(bodies) {
+			ft = bodies[i+1]
+		}
+		b.targets = &targets{tail: b.targets, _break: done, _fallthrough: ft}
+		for _, st := range cc.Body {
+			b.stmt(st, nil)
+		}
+		b.targets = b.targets.tail
+		b.jump(done)
+	}
+	if !hasDefault {
+		edge(head, done)
+	}
+	b.current = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label *lblock) {
+	head := b.current
+	done := b.newBlock(KindSelectDone, s)
+	if label != nil {
+		label._break = done
+	}
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		body := b.newBlock(KindSelectCaseBody, cc)
+		edge(head, body)
+		b.current = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm, nil)
+		}
+		b.targets = &targets{tail: b.targets, _break: done}
+		for _, st := range cc.Body {
+			b.stmt(st, nil)
+		}
+		b.targets = b.targets.tail
+		b.jump(done)
+	}
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever: no case edges were added, so classify
+		// the head as a non-returning terminator — like a call that
+		// cannot return — so Exits() does not mistake it for fall-off.
+		head.Kind = KindPanic
+	}
+	_ = hasDefault // a default case needs no extra edge: its body block covers it
+	b.current = done
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

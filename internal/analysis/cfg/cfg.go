@@ -1,0 +1,287 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies, giving the physchedlint analyzers the flow
+// sensitivity the syntax-level passes lack: lockcheck walks it to prove
+// every Lock reaches an Unlock on all paths, lockguard to know which
+// locks are held at a field access, and hotalloc to find statements
+// sitting inside loops.
+//
+// The API deliberately mirrors golang.org/x/tools/go/cfg — New takes a
+// *ast.BlockStmt plus a mayReturn predicate, a CFG is a slice of Blocks,
+// a Block is nodes + successors — for the same reason internal/analysis/
+// driver mirrors go/analysis: the x/tools module cannot be pinned on
+// this repo's sealed offline toolchain (DESIGN.md §11), so the local
+// mirror keeps a future port a type-for-type swap. Known divergences
+// from upstream, chosen for the analyzers' needs and documented in
+// DESIGN.md §12:
+//
+//   - short-circuit && and || are NOT split into separate blocks: a
+//     condition is one node of its block. Lock operations never hide in
+//     condition operands in this codebase, and statement granularity
+//     keeps the graphs small;
+//   - function literals are opaque: a FuncLit is part of the node that
+//     contains it and contributes no blocks. Analyzers build a separate
+//     CFG per literal;
+//   - Block.Kind is a local enumeration (see BlockKind) with a Panic
+//     kind upstream lacks, so exit classification — return exit,
+//     fall-off-end exit, panic exit — needs no node inspection.
+//
+// Graphs are built per function, never cached across packages, and are
+// cheap: one allocation-light pass over the body.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block; Blocks appear in construction order, which is source
+// order for the common constructs, so iteration is deterministic.
+type CFG struct {
+	Blocks []*Block
+}
+
+// Block is a maximal straight-line sequence of nodes. Control enters at
+// the first node and leaves at the last; Succs are the possible
+// successors. A live block with no successors is an exit: its kind
+// distinguishes a return, a panic (a call that cannot return), and
+// falling off the end of the function.
+type Block struct {
+	Nodes []ast.Node // statements and condition expressions, in order
+	Succs []*Block
+	Index int32
+	Live  bool      // reachable from the entry block
+	Kind  BlockKind // what syntax gave rise to this block
+	Stmt  ast.Stmt  // statement that gave rise to the block, if any
+}
+
+// BlockKind classifies a block by the construct that created it.
+type BlockKind uint8
+
+const (
+	KindInvalid BlockKind = iota
+	KindBody              // function entry
+	KindIfThen
+	KindIfElse
+	KindIfDone
+	KindForLoop // loop head: condition
+	KindForBody
+	KindForPost
+	KindForDone
+	KindRangeLoop // range head
+	KindRangeBody
+	KindRangeDone
+	KindSwitchCaseBody
+	KindSwitchDone
+	KindSelectCaseBody
+	KindSelectDone
+	KindLabel       // target of a label: goto / labeled statement
+	KindReturn      // block terminated by a return statement
+	KindPanic       // block terminated by a call that cannot return
+	KindUnreachable // continuation after a jump; dead unless a label lands here
+)
+
+var kindNames = [...]string{
+	KindInvalid:        "Invalid",
+	KindBody:           "Body",
+	KindIfThen:         "IfThen",
+	KindIfElse:         "IfElse",
+	KindIfDone:         "IfDone",
+	KindForLoop:        "ForLoop",
+	KindForBody:        "ForBody",
+	KindForPost:        "ForPost",
+	KindForDone:        "ForDone",
+	KindRangeLoop:      "RangeLoop",
+	KindRangeBody:      "RangeBody",
+	KindRangeDone:      "RangeDone",
+	KindSwitchCaseBody: "SwitchCaseBody",
+	KindSwitchDone:     "SwitchDone",
+	KindSelectCaseBody: "SelectCaseBody",
+	KindSelectDone:     "SelectDone",
+	KindLabel:          "Label",
+	KindReturn:         "Return",
+	KindPanic:          "Panic",
+	KindUnreachable:    "Unreachable",
+}
+
+func (k BlockKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("BlockKind(%d)", k)
+}
+
+// New builds the control-flow graph of body. mayReturn reports whether a
+// function call can return to its caller; calls for which it returns
+// false (panic, os.Exit, ...) terminate their block with no successors.
+// A nil mayReturn treats only the panic builtin as non-returning, which
+// is resolution-free and therefore approximate: a local function or
+// variable named panic would be misclassified, so type-aware callers
+// (the physchedlint analyzers) always pass their own predicate.
+func New(body *ast.BlockStmt, mayReturn func(*ast.CallExpr) bool) *CFG {
+	if mayReturn == nil {
+		mayReturn = func(call *ast.CallExpr) bool {
+			id, ok := call.Fun.(*ast.Ident)
+			return !ok || id.Name != "panic"
+		}
+	}
+	b := &builder{
+		cfg:       &CFG{},
+		mayReturn: mayReturn,
+		lblocks:   map[string]*lblock{},
+	}
+	b.current = b.newBlock(KindBody, body)
+	b.stmt(body, nil)
+	computeLive(b.cfg)
+	return b.cfg
+}
+
+// Exits returns the live blocks control can leave the function from:
+// KindReturn blocks and the fall-off-the-end block. Panic exits are
+// excluded — callers that care about them filter on KindPanic.
+func (g *CFG) Exits() []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if !b.Live || len(b.Succs) > 0 || b.Kind == KindPanic {
+			continue
+		}
+		if b.Kind == KindUnreachable {
+			continue // continuation stub after a jump; nothing falls into it
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// InCycle reports, per block index, whether the block lies on a cycle —
+// i.e. can reach itself through successor edges. Hotalloc uses this to
+// find statements that execute repeatedly (defer in a loop); the goto
+// handling means it is true for goto-built loops too, which a syntactic
+// loop check would miss.
+func (g *CFG) InCycle() []bool {
+	// Tarjan strongly-connected components, iteratively: a block is on a
+	// cycle iff its SCC has size > 1 or it has a self edge.
+	n := len(g.Blocks)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack, scc []int
+	out := make([]bool, n)
+	next := 0
+
+	type frame struct {
+		v, succ int
+	}
+	var frames []frame
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{start, 0})
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.succ < len(g.Blocks[v].Succs) {
+				w := int(g.Blocks[v].Succs[f.succ].Index)
+				f.succ++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			if low[v] == index[v] {
+				scc = scc[:0]
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					for _, w := range scc {
+						out[w] = true
+					}
+				} else {
+					w := scc[0]
+					for _, s := range g.Blocks[w].Succs {
+						if int(s.Index) == w {
+							out[w] = true
+						}
+					}
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Format renders the graph for tests and debugging: one paragraph per
+// block with its kind, node positions and successor indices.
+func (g *CFG) Format(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, ".%d # %s", b.Index, b.Kind)
+		if !b.Live {
+			sb.WriteString(" (dead)")
+		}
+		sb.WriteByte('\n')
+		for _, n := range b.Nodes {
+			pos := "-"
+			if fset != nil {
+				p := fset.Position(n.Pos())
+				pos = fmt.Sprintf("%d:%d", p.Line, p.Column)
+			}
+			fmt.Fprintf(&sb, "\t%s %T\n", pos, n)
+		}
+		sb.WriteString("\tsuccs:")
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func computeLive(g *CFG) {
+	if len(g.Blocks) == 0 {
+		return
+	}
+	var stack []*Block
+	g.Blocks[0].Live = true
+	stack = append(stack, g.Blocks[0])
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !s.Live {
+				s.Live = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of func f and returns its CFG. src is the
+// function body without braces.
+func build(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\nfunc f() {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return New(fn.Body, nil), fset
+}
+
+// kinds returns the ordered kinds of live blocks.
+func kinds(g *CFG) []BlockKind {
+	var out []BlockKind
+	for _, b := range g.Blocks {
+		if b.Live {
+			out = append(out, b.Kind)
+		}
+	}
+	return out
+}
+
+func hasKind(g *CFG, k BlockKind, liveOnly bool) bool {
+	for _, b := range g.Blocks {
+		if b.Kind == k && (!liveOnly || b.Live) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStraightLine(t *testing.T) {
+	g, _ := build(t, "x := 1\n_ = x")
+	if len(g.Blocks) != 1 || g.Blocks[0].Kind != KindBody {
+		t.Fatalf("want single body block, got:\n%s", g.Format(nil))
+	}
+	if len(g.Blocks[0].Nodes) != 2 {
+		t.Fatalf("want 2 nodes, got %d", len(g.Blocks[0].Nodes))
+	}
+	exits := g.Exits()
+	if len(exits) != 1 || exits[0].Kind != KindBody {
+		t.Fatalf("want fall-off exit, got %v", exits)
+	}
+}
+
+func TestIfElseShape(t *testing.T) {
+	g, _ := build(t, `
+if cond() {
+	a()
+} else {
+	b()
+}
+c()`)
+	want := []BlockKind{KindBody, KindIfThen, KindIfDone, KindIfElse}
+	got := kinds(g)
+	if len(got) != len(want) {
+		t.Fatalf("live kinds %v, want %v\n%s", got, want, g.Format(nil))
+	}
+	// Entry branches to then and else; done has two preds and holds c().
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs %d, want 2", len(entry.Succs))
+	}
+	var done *Block
+	for _, b := range g.Blocks {
+		if b.Kind == KindIfDone {
+			done = b
+		}
+	}
+	if done == nil || len(done.Nodes) != 1 {
+		t.Fatalf("if-done should hold the trailing call:\n%s", g.Format(nil))
+	}
+}
+
+func TestIfWithoutElseFallsThrough(t *testing.T) {
+	g, _ := build(t, "if cond() {\n\ta()\n}\nb()")
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs %d, want 2 (then, done)", len(entry.Succs))
+	}
+	if hasKind(g, KindIfElse, false) {
+		t.Fatal("unexpected else block")
+	}
+}
+
+func TestForLoopCycleAndExits(t *testing.T) {
+	g, _ := build(t, `
+for i := 0; i < 10; i++ {
+	work(i)
+}
+after()`)
+	cyc := g.InCycle()
+	for _, b := range g.Blocks {
+		inLoop := b.Kind == KindForLoop || b.Kind == KindForBody || b.Kind == KindForPost
+		if cyc[b.Index] != inLoop {
+			t.Errorf("block %d (%s): InCycle=%v, want %v", b.Index, b.Kind, cyc[b.Index], inLoop)
+		}
+	}
+	exits := g.Exits()
+	if len(exits) != 1 || exits[0].Kind != KindForDone {
+		t.Fatalf("want single for-done exit, got %d:\n%s", len(exits), g.Format(nil))
+	}
+}
+
+func TestInfiniteForHasNoExit(t *testing.T) {
+	g, _ := build(t, "for {\n\twork()\n}")
+	if n := len(g.Exits()); n != 0 {
+		t.Fatalf("infinite loop should have no exits, got %d:\n%s", n, g.Format(nil))
+	}
+	// The done block exists but is dead.
+	for _, b := range g.Blocks {
+		if b.Kind == KindForDone && b.Live {
+			t.Fatal("for-done of an infinite loop must be dead")
+		}
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	g, _ := build(t, `
+for i := 0; i < 10; i++ {
+	if skip(i) {
+		continue
+	}
+	if stop(i) {
+		break
+	}
+	work(i)
+}`)
+	// continue targets the post block, break the done block; both live.
+	var post, done *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case KindForPost:
+			post = b
+		case KindForDone:
+			done = b
+		}
+	}
+	if post == nil || !post.Live || done == nil || !done.Live {
+		t.Fatalf("post/done missing or dead:\n%s", g.Format(nil))
+	}
+	if preds(g, post) < 2 {
+		t.Errorf("post should be reached from body fall-through and continue")
+	}
+	if preds(g, done) < 2 {
+		t.Errorf("done should be reached from loop cond and break")
+	}
+}
+
+func preds(g *CFG, target *Block) int {
+	n := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == target {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestRangeShape(t *testing.T) {
+	g, _ := build(t, "for _, v := range xs {\n\tuse(v)\n}\nafter()")
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == KindRangeLoop {
+			head = b
+		}
+	}
+	if head == nil || len(head.Succs) != 2 {
+		t.Fatalf("range head must branch to body and done:\n%s", g.Format(nil))
+	}
+	cyc := g.InCycle()
+	for _, b := range g.Blocks {
+		inLoop := b.Kind == KindRangeLoop || b.Kind == KindRangeBody
+		if cyc[b.Index] != inLoop {
+			t.Errorf("block %d (%s): InCycle=%v, want %v", b.Index, b.Kind, cyc[b.Index], inLoop)
+		}
+	}
+}
+
+func TestSwitchWithDefaultAndFallthrough(t *testing.T) {
+	g, _ := build(t, `
+switch x() {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+after()`)
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 3 {
+		t.Fatalf("switch head succs %d, want 3 (one per clause, no done edge with default)", len(entry.Succs))
+	}
+	// The fallthrough edge makes case-2's body reachable from case-1's.
+	var caseBlocks []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == KindSwitchCaseBody {
+			caseBlocks = append(caseBlocks, b)
+		}
+	}
+	if len(caseBlocks) != 3 {
+		t.Fatalf("want 3 case bodies, got %d", len(caseBlocks))
+	}
+	if preds(g, caseBlocks[1]) != 2 {
+		t.Errorf("case 2 body preds = %d, want 2 (head + fallthrough)", preds(g, caseBlocks[1]))
+	}
+}
+
+func TestSwitchWithoutDefaultEdgesToDone(t *testing.T) {
+	g, _ := build(t, "switch x() {\ncase 1:\n\ta()\n}\nafter()")
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("head succs %d, want 2 (case body + done)", len(entry.Succs))
+	}
+}
+
+func TestLabeledBreakFromSelect(t *testing.T) {
+	g, _ := build(t, `
+loop:
+	for {
+		select {
+		case <-ch1:
+			work()
+		case <-ch2:
+			break loop
+		}
+	}
+after()`)
+	// `break loop` must escape the select AND the for: the for-done block
+	// is live and reaches after().
+	var forDone *Block
+	for _, b := range g.Blocks {
+		if b.Kind == KindForDone {
+			forDone = b
+		}
+	}
+	if forDone == nil || !forDone.Live {
+		t.Fatalf("break loop did not reach the for-done block:\n%s", g.Format(nil))
+	}
+	if len(forDone.Nodes) == 0 {
+		t.Fatalf("for-done should hold after():\n%s", g.Format(nil))
+	}
+	// An unlabeled break would land on select-done, which then loops.
+	cyc := g.InCycle()
+	for _, b := range g.Blocks {
+		if b.Kind == KindSelectCaseBody && b.Live {
+			// The work() case loops; the break-loop case does not.
+			hasBreak := false
+			for _, n := range b.Nodes {
+				if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.BREAK {
+					hasBreak = true
+				}
+			}
+			if hasBreak && cyc[b.Index] {
+				t.Errorf("break-loop case body should not be on the cycle")
+			}
+			if !hasBreak && !cyc[b.Index] {
+				t.Errorf("looping case body should be on the cycle")
+			}
+		}
+	}
+}
+
+func TestGotoOutOfLoop(t *testing.T) {
+	g, _ := build(t, `
+for {
+	if done() {
+		goto out
+	}
+	work()
+}
+out:
+	cleanup()`)
+	// The label block is live (reached by the goto) and is an exit path.
+	var lbl *Block
+	for _, b := range g.Blocks {
+		if b.Kind == KindLabel {
+			lbl = b
+		}
+	}
+	if lbl == nil || !lbl.Live {
+		t.Fatalf("label block missing or dead:\n%s", g.Format(nil))
+	}
+	exits := g.Exits()
+	if len(exits) != 1 || exits[0].Kind != KindLabel {
+		t.Fatalf("want the label block as sole exit, got %d exits:\n%s", len(exits), g.Format(nil))
+	}
+}
+
+func TestGotoIntoLoopMakesCycle(t *testing.T) {
+	g, _ := build(t, `
+	goto mid
+	for {
+	mid:
+		work()
+	}`)
+	// goto-built entry into the loop: the label block lies on a cycle.
+	cyc := g.InCycle()
+	found := false
+	for _, b := range g.Blocks {
+		if b.Kind == KindLabel && b.Live {
+			found = true
+			if !cyc[b.Index] {
+				t.Errorf("label inside loop should be on a cycle:\n%s", g.Format(nil))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no live label block:\n%s", g.Format(nil))
+	}
+}
+
+func TestBackwardGotoMakesCycle(t *testing.T) {
+	g, _ := build(t, "again:\n\twork()\n\tgoto again")
+	cyc := g.InCycle()
+	anyCycle := false
+	for i := range cyc {
+		if cyc[i] {
+			anyCycle = true
+		}
+	}
+	if !anyCycle {
+		t.Fatalf("backward goto should create a cycle:\n%s", g.Format(nil))
+	}
+	if n := len(g.Exits()); n != 0 {
+		t.Fatalf("goto-loop without escape should have no exits, got %d", n)
+	}
+}
+
+func TestDeferInBranchStaysInItsBlock(t *testing.T) {
+	g, _ := build(t, `
+if cond() {
+	defer cleanup()
+	work()
+}
+after()`)
+	// The defer is a plain node of the then-block — no extra blocks, no
+	// edges; flow sensitivity over defers is the analyzers' job.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				if b.Kind != KindIfThen {
+					t.Fatalf("defer landed in %s, want IfThen:\n%s", b.Kind, g.Format(nil))
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("defer node not found:\n%s", g.Format(nil))
+}
+
+func TestPanicOnlyPath(t *testing.T) {
+	g, _ := build(t, `panic("boom")`)
+	if !hasKind(g, KindPanic, true) {
+		t.Fatalf("want a live panic block:\n%s", g.Format(nil))
+	}
+	if n := len(g.Exits()); n != 0 {
+		t.Fatalf("panic-only function should have no normal exits, got %d:\n%s", n, g.Format(nil))
+	}
+}
+
+func TestPanicInBranchLeavesOtherExit(t *testing.T) {
+	g, _ := build(t, `
+if bad() {
+	panic("boom")
+}
+ok()`)
+	exits := g.Exits()
+	if len(exits) != 1 || exits[0].Kind != KindIfDone {
+		t.Fatalf("want single fall-off exit via if-done, got %d:\n%s", len(exits), g.Format(nil))
+	}
+	if !hasKind(g, KindPanic, true) {
+		t.Fatalf("panic block missing:\n%s", g.Format(nil))
+	}
+}
+
+func TestReturnExits(t *testing.T) {
+	g, _ := build(t, `
+if cond() {
+	return
+}
+work()`)
+	exits := g.Exits()
+	if len(exits) != 2 {
+		t.Fatalf("want 2 exits (return + fall-off), got %d:\n%s", len(exits), g.Format(nil))
+	}
+	seenReturn := false
+	for _, e := range exits {
+		if e.Kind == KindReturn {
+			seenReturn = true
+		}
+	}
+	if !seenReturn {
+		t.Fatalf("no KindReturn exit:\n%s", g.Format(nil))
+	}
+}
+
+func TestCodeAfterReturnIsDead(t *testing.T) {
+	g, _ := build(t, "return\nwork()")
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "work" && b.Live {
+						t.Fatalf("work() after return must be dead:\n%s", g.Format(nil))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEmptySelectHasNoExit(t *testing.T) {
+	g, _ := build(t, "select {}\nafter()")
+	// select{} blocks forever: head has no successors, after() is dead.
+	if n := len(g.Exits()); n != 0 {
+		t.Fatalf("select{} should block all exits, got %d:\n%s", n, g.Format(nil))
+	}
+}
+
+func TestSelectWithDefaultFallsThrough(t *testing.T) {
+	g, _ := build(t, `
+select {
+case <-ch:
+	a()
+default:
+	b()
+}
+after()`)
+	exits := g.Exits()
+	if len(exits) != 1 || exits[0].Kind != KindSelectDone {
+		t.Fatalf("want select-done fall-off exit:\n%s", g.Format(nil))
+	}
+}
+
+func TestTypeSwitchShape(t *testing.T) {
+	g, _ := build(t, `
+switch v := x.(type) {
+case int:
+	useInt(v)
+case string:
+	useString(v)
+}
+after()`)
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 3 {
+		t.Fatalf("type-switch head succs %d, want 3 (2 cases + done)", len(entry.Succs))
+	}
+}
+
+func TestCustomMayReturn(t *testing.T) {
+	fatal := func(call *ast.CallExpr) bool {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "fatalf" {
+			return false
+		}
+		return true
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\nfunc f() {\n\tfatalf()\n\tafter()\n}", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	g := New(fn.Body, fatal)
+	if !hasKind(g, KindPanic, true) {
+		t.Fatalf("fatalf() should terminate its block:\n%s", g.Format(fset))
+	}
+	if n := len(g.Exits()); n != 0 {
+		t.Fatalf("nothing should fall off the end, got %d exits", n)
+	}
+}
+
+func TestFormatMentionsKindsAndSuccs(t *testing.T) {
+	g, fset := build(t, "if cond() {\n\ta()\n}")
+	out := g.Format(fset)
+	for _, needle := range []string{"# Body", "# IfThen", "# IfDone", "succs:"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Format output missing %q:\n%s", needle, out)
+		}
+	}
+}

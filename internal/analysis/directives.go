@@ -21,6 +21,10 @@ import (
 //	//physched:orderinvariant <reason>      (range stmt) map iteration deliberately unordered
 //	//physched:allocok <reason>             (stmt in hotpath func) deliberate allocation
 //	//physched:walltime <reason>            (stmt) deliberate wall-clock read at a wiring site
+//	//physched:locked <mutex> [why]         (func doc) caller holds <mutex>; seeds lockcheck
+//	//physched:lockok <reason>              (stmt) suppresses one lockcheck finding
+//	//physched:unguarded <reason>           (stmt) suppresses one lockguard finding
+//	//physched:spawnok <reason>             (go stmt) goroutine termination argued in prose
 const directivePrefix = "//physched:"
 
 // directiveSpec describes one verb: whether its free-text reason is
@@ -35,6 +39,10 @@ var directiveSpecs = map[string]directiveSpec{
 	"orderinvariant": {true, "suppresses maporder on a map range whose body is order-insensitive"},
 	"allocok":        {true, "suppresses hotalloc on one statement of a hotpath function"},
 	"walltime":       {true, "suppresses walltime on one deliberate wall-clock wiring site"},
+	"locked":         {true, "declares the mutex a caller must hold around this function (seeds and is enforced by lockcheck)"},
+	"lockok":         {true, "suppresses lockcheck on one statement"},
+	"unguarded":      {true, "suppresses lockguard on one deliberately lock-free access"},
+	"spawnok":        {true, "suppresses spawncheck on one go statement whose termination is argued in the reason"},
 }
 
 // knownVerbs returns the grammar's verbs, sorted, for diagnostics.
@@ -107,6 +115,13 @@ type suppKey struct {
 
 func newSuppressions(pass *driver.Pass) suppressions {
 	s := suppressions{fset: pass.Fset, m: map[suppKey]bool{}}
+	if pass.NoSuppress {
+		// Audit mode: pretend no suppression comments exist, so every
+		// suppressed finding resurfaces. //physched:hotpath and
+		// //physched:locked are NOT suppressions — they assert facts the
+		// analyses build on — and stay in force via their own parsers.
+		return s
+	}
 	for _, f := range pass.Files {
 		name := pass.Fset.Position(f.Pos()).Filename
 		for _, d := range parseDirectives(pass.Fset, f) {
@@ -197,6 +212,12 @@ func placementRule(verb string) string {
 		return "must sit on or directly above a statement inside a //physched:hotpath function"
 	case "walltime":
 		return "must sit on or directly above a statement inside a function body"
+	case "locked":
+		return "must be part of a function declaration's doc comment"
+	case "lockok", "unguarded":
+		return "must sit on or directly above a statement inside a function body"
+	case "spawnok":
+		return "must sit on or directly above a go statement"
 	default:
 		return "unknown placement"
 	}
@@ -209,6 +230,7 @@ type anchorIndex struct {
 	rangeLines   map[int]bool // lines where a RangeStmt starts
 	stmtLines    map[int]bool // lines where any statement starts
 	hotpathLines map[int]bool // statement lines inside hotpath funcs
+	goLines      map[int]bool // lines where a GoStmt starts
 }
 
 func directiveAnchors(pass *driver.Pass, f *ast.File, hot map[*ast.FuncDecl]bool) anchorIndex {
@@ -217,6 +239,7 @@ func directiveAnchors(pass *driver.Pass, f *ast.File, hot map[*ast.FuncDecl]bool
 		rangeLines:   map[int]bool{},
 		stmtLines:    map[int]bool{},
 		hotpathLines: map[int]bool{},
+		goLines:      map[int]bool{},
 	}
 	line := func(p token.Pos) int { return pass.Fset.Position(p).Line }
 	for _, decl := range f.Decls {
@@ -246,6 +269,9 @@ func directiveAnchors(pass *driver.Pass, f *ast.File, hot map[*ast.FuncDecl]bool
 			if _, ok := st.(*ast.RangeStmt); ok {
 				ai.rangeLines[l] = true
 			}
+			if _, ok := st.(*ast.GoStmt); ok {
+				ai.goLines[l] = true
+			}
 			return true
 		})
 	}
@@ -263,8 +289,12 @@ func (ai anchorIndex) placed(d directive) bool {
 		return at(ai.rangeLines)
 	case "allocok":
 		return at(ai.hotpathLines)
-	case "walltime":
+	case "walltime", "lockok", "unguarded":
 		return at(ai.stmtLines)
+	case "locked":
+		return ai.docLines[d.line]
+	case "spawnok":
+		return at(ai.goLines)
 	default:
 		return false
 	}

@@ -40,6 +40,13 @@ type Pass struct {
 	PkgPath   string
 	TypesInfo *types.Info
 
+	// NoSuppress asks analyzers to ignore in-source suppression comments
+	// and report everything. It exists for the suppression-staleness
+	// audit (a suppression that hides nothing in NoSuppress mode is dead
+	// weight); semantic annotations that change analysis facts — rather
+	// than hide findings — stay honored.
+	NoSuppress bool
+
 	report func(Diagnostic)
 }
 
@@ -63,22 +70,40 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// RunOption tweaks how Run configures each Pass.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	noSuppress bool
+}
+
+// NoSuppress makes every Pass report suppressed findings too — the
+// suppression-staleness audit's entry point.
+func NoSuppress() RunOption {
+	return func(o *runOptions) { o.noSuppress = true }
+}
+
 // Run applies, for every loaded package, the analyzers that the select
 // function returns for it, and returns all diagnostics sorted by file,
 // line, column, then analyzer name — a deterministic order, because lint
 // output is itself subject to this repo's byte-identity discipline.
-func Run(pkgs []*Package, selectAnalyzers func(*Package) []*Analyzer) ([]Diagnostic, error) {
+func Run(pkgs []*Package, selectAnalyzers func(*Package) []*Analyzer, opts ...RunOption) ([]Diagnostic, error) {
+	var ro runOptions
+	for _, opt := range opts {
+		opt(&ro)
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range selectAnalyzers(pkg) {
 			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				PkgPath:   pkg.PkgPath,
-				TypesInfo: pkg.Info,
-				report:    func(d Diagnostic) { out = append(out, d) },
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				PkgPath:    pkg.PkgPath,
+				TypesInfo:  pkg.Info,
+				NoSuppress: ro.noSuppress,
+				report:     func(d Diagnostic) { out = append(out, d) },
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)

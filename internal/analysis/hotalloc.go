@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 
+	"physched/internal/analysis/cfg"
 	"physched/internal/analysis/driver"
 )
 
@@ -89,6 +90,132 @@ func checkHotFunc(pass *driver.Pass, supp suppressions, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+	checkHotLoops(pass, report, fd)
+}
+
+// checkHotLoops is the CFG-powered tier: constructs that are fine once
+// but hazards when executed repeatedly. Cycle membership comes from the
+// control-flow graph, so goto-built loops count and code after an
+// unconditional return inside a loop does not.
+//
+//   - defer in a cycle: deferred calls accumulate until the function
+//     returns — each costs an allocation and none run inside the loop;
+//   - append in a cycle to a slice declared without capacity: every
+//     growth step reallocates and copies on the hot path.
+func checkHotLoops(pass *driver.Pass, report func(token.Pos, string, ...any), fd *ast.FuncDecl) {
+	g := cfg.New(fd.Body, mayReturnFunc(pass))
+	cyc := g.InCycle()
+	for _, b := range g.Blocks {
+		if !b.Live || !cyc[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				report(d.Pos(), "defer inside a loop in hot path %s: deferred calls pile up until return", fd.Name.Name)
+			}
+			// A range head node is the whole RangeStmt; its body belongs
+			// to other blocks, so inspect only the ranged expression.
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				n = rs.X
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if bi, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || bi.Name() != "append" {
+					return true
+				}
+				target, ok := call.Args[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if sliceNotPreallocated(pass, fd, target) {
+					report(call.Pos(), "append to %s in a hot path loop reallocates on growth; preallocate with make(..., 0, cap)", target.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// sliceNotPreallocated reports whether id's declaration inside fd is a
+// form with zero capacity: `var x []T`, `x := []T{}`, x := []T(nil), or
+// make with a constant-zero length and no capacity. Declarations that
+// size the slice (3-arg make, non-zero make, non-empty literals),
+// parameters, and anything unresolvable stay unflagged — the check
+// claims certainty, not coverage.
+func sliceNotPreallocated(pass *driver.Pass, fd *ast.FuncDecl, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	noPrealloc := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				li, ok := lhs.(*ast.Ident)
+				if !ok || pass.TypesInfo.Defs[li] != obj {
+					continue
+				}
+				noPrealloc = zeroCapSliceExpr(pass, n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] != obj {
+					continue
+				}
+				if len(n.Values) == 0 {
+					noPrealloc = true // var x []T
+				} else if i < len(n.Values) {
+					noPrealloc = zeroCapSliceExpr(pass, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return noPrealloc
+}
+
+// zeroCapSliceExpr reports whether e definitely yields a slice with no
+// capacity to grow into.
+func zeroCapSliceExpr(pass *driver.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		if _, ok := pass.TypesInfo.Types[e].Type.Underlying().(*types.Slice); ok {
+			return len(e.Elts) == 0
+		}
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if bi, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || bi.Name() != "make" {
+			return false
+		}
+		if len(e.Args) != 2 {
+			return false // make([]T, n, cap) preallocates; 1-arg make of a slice doesn't compile
+		}
+		if _, ok := pass.TypesInfo.Types[e.Args[0]].Type.Underlying().(*types.Slice); !ok {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[e.Args[1]]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
 }
 
 func checkHotCall(pass *driver.Pass, report func(token.Pos, string, ...any), fd *ast.FuncDecl, call *ast.CallExpr) {

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"physched/internal/analysis/driver"
+)
+
+// LockCheck proves lock/unlock balance on every path through a function:
+// a Lock must reach exactly one release (explicit or deferred) on every
+// non-panicking exit. It flags
+//
+//   - a lock still (or maybe) held at a return or at the end of the
+//     function — the missed-unlock-on-early-return bug class;
+//   - re-acquiring a lock already held (self-deadlock; recursive RLock
+//     is flagged too, since it deadlocks when a writer is queued);
+//   - releasing a lock that is not held, releasing twice, and the
+//     explicit-Unlock-with-deferred-Unlock-pending combination;
+//   - Unlock of a read-held RWMutex and RUnlock of a write-held one.
+//
+// Functions that run entirely under a caller's lock declare it with
+// //physched:locked <mutex-expr> in their doc comment: the declared lock
+// seeds the entry state (so its accesses count as guarded, and releasing
+// it is legal) and is exempt from the held-at-exit check. The same
+// declaration is enforced at intra-package call sites: calling a
+// //physched:locked function without the (receiver-substituted) lock
+// held is a finding. One-off exceptions carry //physched:lockok <reason>
+// on the finding's line.
+//
+// The analysis is intra-procedural and alias-blind (see lockflow.go):
+// locks passed through interfaces, stored in locals, or acquired by
+// callees are out of scope — by design, since the repo names every mutex
+// through a stable access path.
+var LockCheck = &driver.Analyzer{
+	Name: "lockcheck",
+	Doc:  "every Lock must reach exactly one Unlock on all paths; double lock/unlock flagged",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *driver.Pass) error {
+	supp := newSuppressions(pass)
+	contracts := lockedContracts(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			entry := lockState{}
+			for _, key := range lockedFuncKeys(fd) {
+				entry[key] = lockInfo{may: true, must: true, pos: fd.Pos()}
+			}
+			checkLockFunc(pass, supp, contracts, fd.Body, entry)
+		}
+		// Function literals get their own pass with an empty entry state:
+		// the outer flow treats them as opaque.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkLockFunc(pass, supp, contracts, fl.Body, lockState{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLockFunc(pass *driver.Pass, supp suppressions, contracts map[*types.Func]lockedContract, body *ast.BlockStmt, entry lockState) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if supp.allows(pos, "lockok") {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	line := func(p token.Pos) int { return pass.Fset.Position(p).Line }
+
+	// funcLocks gates the released-but-not-held check: a function that
+	// never acquires mu is usually a release helper running under the
+	// caller's lock, which is the //physched:locked contract's job, not a
+	// per-release finding.
+	funcLocks := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := mutexOp(pass, n); ok && (op.method == "Lock" || op.method == "RLock") {
+				funcLocks[op.key] = true
+			}
+		}
+		return true
+	})
+
+	hooks := &flowHooks{
+		acquire: func(op lockOp, before lockInfo) {
+			if !before.must {
+				return
+			}
+			switch {
+			case op.read && before.read:
+				report(op.pos, "recursive %s.RLock (read-locked at line %d) deadlocks once a writer is waiting", op.key, line(before.pos))
+			case op.read:
+				report(op.pos, "%s.RLock while already holding the write lock (line %d): deadlock", op.key, line(before.pos))
+			case before.read:
+				report(op.pos, "%s.Lock while already read-locked (line %d): deadlock", op.key, line(before.pos))
+			default:
+				report(op.pos, "%s.Lock while already locked (line %d): deadlock", op.key, line(before.pos))
+			}
+		},
+		release: func(op lockOp, before lockInfo) {
+			switch {
+			case before.must && before.defMust:
+				report(op.pos, "explicit %s.%s with a deferred release pending: the deferred Unlock fires again at return", op.key, op.method)
+			case before.must && before.read && !op.read:
+				report(op.pos, "%s.Unlock releases a read lock (RLock at line %d); use RUnlock", op.key, line(before.pos))
+			case before.must && !before.read && op.read:
+				report(op.pos, "%s.RUnlock releases a write lock (Lock at line %d); use Unlock", op.key, line(before.pos))
+			case !before.may && funcLocks[op.key]:
+				report(op.pos, "%s.%s but %s is not held on this path", op.key, op.method, op.key)
+			}
+		},
+		deferRelease: func(op lockOp, before lockInfo) {
+			if before.defMust {
+				report(op.pos, "second deferred release of %s: both fire at return, the second on an unlocked mutex", op.key)
+			}
+		},
+		node: func(n ast.Node, st lockState) {
+			checkLockedCalls(pass, report, contracts, n, st)
+		},
+		exit: func(pos token.Pos, isReturn bool, st lockState) {
+			keys := make([]string, 0, len(st))
+			for k := range st {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				info := st[k]
+				if !info.may || info.defMust {
+					continue
+				}
+				if e, ok := entry[k]; ok && e.must {
+					continue // caller-held by contract; returning locked is the point
+				}
+				where := "function end"
+				if isReturn {
+					where = "return"
+				}
+				if info.must {
+					report(pos, "%s still held at %s (locked at line %d); release it or defer the unlock", k, where, line(info.pos))
+				} else {
+					report(pos, "%s may still be held at %s (locked at line %d on some paths); release it on every path", k, where, line(info.pos))
+				}
+			}
+		},
+	}
+	runLockFlow(pass, body, entry, hooks)
+}
+
+// lockedContract is the caller-must-hold declaration of one function.
+type lockedContract struct {
+	name     string   // for diagnostics
+	recvName string   // receiver ident, "" for plain functions
+	keys     []string // declared lock exprs, e.g. ["p.mu"]
+}
+
+// lockedContracts indexes this package's //physched:locked declarations
+// by their *types.Func so call sites can be checked. Cross-package calls
+// are not checked: the contract map is per-pass by construction.
+func lockedContracts(pass *driver.Pass) map[*types.Func]lockedContract {
+	out := map[*types.Func]lockedContract{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			keys := lockedFuncKeys(fd)
+			if len(keys) == 0 {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c := lockedContract{name: fd.Name.Name, keys: keys}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				c.recvName = fd.Recv.List[0].Names[0].Name
+			}
+			out[fn] = c
+		}
+	}
+	return out
+}
+
+// lockedFuncKeys parses the //physched:locked directives out of a
+// function's doc comment: the first field of each directive's argument is
+// the lock expression, the rest is prose.
+func lockedFuncKeys(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var keys []string
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix+"locked")
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) > 0 {
+			keys = append(keys, fields[0])
+		}
+	}
+	return keys
+}
+
+// checkLockedCalls enforces //physched:locked contracts at call sites
+// inside n: the declared lock, with the callee's receiver name replaced
+// by the caller's receiver expression, must be must-held.
+func checkLockedCalls(pass *driver.Pass, report func(token.Pos, string, ...any), contracts map[*types.Func]lockedContract, n ast.Node, st lockState) {
+	if len(contracts) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, recv := calleeFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		c, ok := contracts[fn]
+		if !ok {
+			return true
+		}
+		for _, declared := range c.keys {
+			key := declared
+			if c.recvName != "" && strings.HasPrefix(declared, c.recvName+".") {
+				if recv == nil {
+					continue
+				}
+				r := exprString(recv)
+				if r == "" {
+					continue // untrackable receiver; cannot relate the locks
+				}
+				key = r + strings.TrimPrefix(declared, c.recvName)
+			}
+			if !st[key].must {
+				report(call.Pos(), "call to %s requires %s held (//physched:locked), but it is not held here", c.name, key)
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the called function and, for method calls, the
+// receiver expression.
+func calleeFunc(pass *driver.Pass, call *ast.CallExpr) (*types.Func, ast.Expr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn, nil
+	case *ast.SelectorExpr:
+		if selection := pass.TypesInfo.Selections[fun]; selection != nil {
+			fn, _ := selection.Obj().(*types.Func)
+			return fn, fun.X
+		}
+		// Package-qualified call: pkg.F(...)
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn, nil
+	}
+	return nil, nil
+}

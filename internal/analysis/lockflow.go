@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"physched/internal/analysis/cfg"
+	"physched/internal/analysis/driver"
+)
+
+// This file is the flow engine shared by lockcheck, lockguard and
+// spawncheck: a forward may/must dataflow over the internal/analysis/cfg
+// graph tracking which mutexes are held, in which mode, and whether a
+// deferred release is pending. Locks are identified by the source text of
+// their receiver expression ("p.mu", "registryMu"): purely intra-
+// procedural and alias-blind, which is exactly the granularity the
+// repo's locking style uses — a mutex is always named through the same
+// access path within one function. Locks reached through calls, stored
+// in locals, or manipulated inside function literals are invisible here;
+// function literals get their own independent analysis instead.
+
+// lockOp is one sync.Mutex / sync.RWMutex / sync.Locker method call
+// resolved to a trackable lock expression.
+type lockOp struct {
+	key    string // canonical receiver text, e.g. "p.mu"
+	method string // Lock, Unlock, RLock, RUnlock, TryLock, TryRLock
+	read   bool   // RLock / RUnlock / TryRLock
+	pos    token.Pos
+}
+
+// lockInfo is the dataflow fact for one lock key at one program point.
+// The zero value means "not held, nothing pending".
+type lockInfo struct {
+	may, must       bool      // held on some / all paths to here
+	read            bool      // the hold is a read lock on all holding paths
+	defMay, defMust bool      // a deferred release is pending on some / all paths
+	pos             token.Pos // an acquire site that may still be held
+}
+
+func (i lockInfo) zero() bool {
+	return !i.may && !i.must && !i.defMay && !i.defMust
+}
+
+// lockState maps lock key → fact. States are small (one or two keys in
+// practice), so whole-map cloning per block is cheap.
+type lockState map[string]lockInfo
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// merge joins two states at a control-flow confluence: may/defMay are
+// true if true on either path, must/defMust only if true on both, and a
+// hold counts as a read hold only if it is one on every holding path.
+func mergeStates(a, b lockState) lockState {
+	out := make(lockState, len(a))
+	for k, av := range a {
+		bv := b[k] // zero value if absent
+		out[k] = mergeInfo(av, bv)
+	}
+	for k, bv := range b {
+		if _, seen := a[k]; !seen {
+			out[k] = mergeInfo(lockInfo{}, bv)
+		}
+	}
+	for k, v := range out {
+		if v.zero() {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+func mergeInfo(a, b lockInfo) lockInfo {
+	m := lockInfo{
+		may:     a.may || b.may,
+		must:    a.must && b.must,
+		read:    (!a.may || a.read) && (!b.may || b.read),
+		defMay:  a.defMay || b.defMay,
+		defMust: a.defMust && b.defMust,
+		pos:     a.pos,
+	}
+	if !m.pos.IsValid() {
+		m.pos = b.pos
+	}
+	return m
+}
+
+func statesEqual(a, b lockState) bool {
+	count := func(s lockState) int {
+		n := 0
+		for _, v := range s {
+			if !v.zero() {
+				n++
+			}
+		}
+		return n
+	}
+	if count(a) != count(b) {
+		return false
+	}
+	for k, av := range a {
+		if av.zero() {
+			continue
+		}
+		bv, ok := b[k]
+		if !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// flowHooks are the analyzer callbacks fired during the replay pass.
+// Every hook sees the state as it was immediately BEFORE the event.
+type flowHooks struct {
+	acquire      func(op lockOp, before lockInfo)
+	release      func(op lockOp, before lockInfo)
+	deferRelease func(op lockOp, before lockInfo)
+	node         func(n ast.Node, st lockState)
+	exit         func(pos token.Pos, isReturn bool, st lockState)
+}
+
+// runLockFlow runs the lock dataflow over body: a fixpoint pass to
+// stabilise block entry states, then one replay pass over live blocks
+// firing hooks. entry seeds the function entry state (caller-held locks
+// declared via //physched:locked).
+func runLockFlow(pass *driver.Pass, body *ast.BlockStmt, entry lockState, hooks *flowHooks) {
+	g := cfg.New(body, mayReturnFunc(pass))
+	if len(g.Blocks) == 0 {
+		return
+	}
+	in := make([]lockState, len(g.Blocks))
+	if entry == nil {
+		entry = lockState{}
+	}
+	in[0] = entry.clone()
+
+	// Fixpoint: worklist over block indices. The per-key lattice is
+	// finite and mergeStates is a join, so entry states stabilise.
+	work := []int{0}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := applyBlock(pass, g.Blocks[i], in[i], nil)
+		for _, succ := range g.Blocks[i].Succs {
+			j := int(succ.Index)
+			var merged lockState
+			if in[j] == nil {
+				merged = out.clone()
+			} else {
+				merged = mergeStates(in[j], out)
+			}
+			if in[j] == nil || !statesEqual(in[j], merged) {
+				in[j] = merged
+				work = append(work, j)
+			}
+		}
+	}
+
+	if hooks == nil {
+		return
+	}
+	// Replay with hooks, once per live reached block, in index order so
+	// reports come out deterministic before the driver's final sort.
+	exits := map[*cfg.Block]bool{}
+	for _, b := range g.Exits() {
+		exits[b] = true
+	}
+	for i, b := range g.Blocks {
+		if !b.Live || in[i] == nil {
+			continue
+		}
+		out := applyBlock(pass, b, in[i], hooks)
+		if exits[b] && hooks.exit != nil {
+			pos, isReturn := body.Rbrace, false
+			if b.Kind == cfg.KindReturn {
+				for _, n := range b.Nodes {
+					if r, ok := n.(*ast.ReturnStmt); ok {
+						pos, isReturn = r.Pos(), true
+					}
+				}
+			}
+			hooks.exit(pos, isReturn, out)
+		}
+	}
+}
+
+// applyBlock clones the entry state and pushes it through the block's
+// nodes, firing hooks when non-nil.
+func applyBlock(pass *driver.Pass, b *cfg.Block, in lockState, hooks *flowHooks) lockState {
+	st := in.clone()
+	for _, n := range b.Nodes {
+		if hooks != nil && hooks.node != nil {
+			hooks.node(n, st)
+		}
+		applyNode(pass, n, st, hooks)
+	}
+	return st
+}
+
+// applyNode folds every lock operation syntactically inside n into st.
+// Function literals are opaque (analysed separately); defer of a release
+// records a pending release instead of an immediate one.
+func applyNode(pass *driver.Pass, n ast.Node, st lockState, hooks *flowHooks) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			op, ok := mutexOp(pass, m.Call)
+			if !ok {
+				return true // defer of something else: scan its arguments
+			}
+			if op.method == "Unlock" || op.method == "RUnlock" {
+				if hooks != nil && hooks.deferRelease != nil {
+					hooks.deferRelease(op, st[op.key])
+				}
+				info := st[op.key]
+				info.defMay, info.defMust = true, true
+				st[op.key] = info
+			}
+			// defer mu.Lock() is nonsense; ignore rather than model.
+			return false
+		case *ast.CallExpr:
+			if op, ok := mutexOp(pass, m); ok {
+				applyOp(st, op, hooks)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func applyOp(st lockState, op lockOp, hooks *flowHooks) {
+	info := st[op.key]
+	switch op.method {
+	case "Lock", "RLock":
+		if hooks != nil && hooks.acquire != nil {
+			hooks.acquire(op, info)
+		}
+		info.may, info.must = true, true
+		info.read = op.read
+		info.pos = op.pos
+		st[op.key] = info
+	case "Unlock", "RUnlock":
+		if hooks != nil && hooks.release != nil {
+			hooks.release(op, info)
+		}
+		info.may, info.must = false, false
+		// defMay/defMust survive: an explicit unlock does not cancel a
+		// pending deferred one — that combination IS the double-unlock bug.
+		st[op.key] = info
+	case "TryLock", "TryRLock":
+		// Conditional acquisition: modelling it needs branch-on-result
+		// splitting the CFG does not do. Ignored; documented false
+		// negative (DESIGN.md §12). The repo does not use Try*.
+	}
+}
+
+// mutexOp resolves call to a lock operation when its callee is a
+// sync.Mutex / sync.RWMutex / sync.Locker method (selection through an
+// embedded mutex included) and its receiver has a stable source-text key.
+func mutexOp(pass *driver.Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return lockOp{}, false
+	}
+	var fn *types.Func
+	if selection := pass.TypesInfo.Selections[sel]; selection != nil {
+		fn, _ = selection.Obj().(*types.Func)
+	} else if f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+		fn = f
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	key := exprString(sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	read := sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock" || sel.Sel.Name == "TryRLock"
+	return lockOp{key: key, method: sel.Sel.Name, read: read, pos: call.Pos()}, true
+}
+
+// exprString renders simple access paths (idents, field selections) to
+// their source text; anything with calls, indexing or literals inside
+// returns "" and is untrackable.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		x := exprString(e.X)
+		if x == "" {
+			return ""
+		}
+		return x + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	}
+	return ""
+}
+
+// mayReturnFunc is the cfg.New predicate: calls that never return to the
+// caller terminate their block. Resolution is type-aware so a local
+// function named panic is not misclassified.
+func mayReturnFunc(pass *driver.Pass) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "panic" {
+				if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			pkgPath, ok := selectorPackage(pass, fun)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "os":
+				if fun.Sel.Name == "Exit" {
+					return false
+				}
+			case "runtime":
+				if fun.Sel.Name == "Goexit" {
+					return false
+				}
+			case "log":
+				switch fun.Sel.Name {
+				case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+					return false
+				}
+			}
+		}
+		return true
+	}
+}

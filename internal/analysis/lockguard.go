@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"physched/internal/analysis/driver"
+)
+
+// LockGuard is a static race detector built on guard inference: it does
+// not need annotations naming which mutex guards which field, it infers
+// them from the code's own majority behaviour. For every struct with a
+// mutex field, it observes each access to the struct's other fields in
+// the struct's methods and classifies it — under a must-held lock, under
+// no lock at all, or ambiguous (held on some paths only). A field whose
+// accesses are predominantly locked (≥ 2 locked accesses under one
+// mutex, strictly more than the unlocked count) is inferred guarded, and
+// every unlocked access to it is reported. Package-level variables are
+// handled the same way against package-level mutexes.
+//
+// Known false-negative space, by design (DESIGN.md §12): accesses
+// through non-receiver paths (a *Pool reached via another struct's
+// field), accesses inside function literals (they often run under a
+// caller's lock the flow cannot see, so counting them would poison the
+// tally with false "unlocked" sites), fields of structs that have no
+// majority (2 locked vs 2 unlocked infers nothing), and aliasing through
+// pointers. The analyzer trades recall for precision: what it does
+// report is near-certainly a real race or a missing //physched:locked
+// contract.
+//
+// //physched:locked on a method counts its accesses as guarded (the
+// caller holds the lock); a deliberate unguarded access (e.g. a field
+// that is immutable after construction) carries //physched:unguarded
+// <reason> on its line.
+var LockGuard = &driver.Analyzer{
+	Name: "lockguard",
+	Doc:  "infer field→mutex guards from majority usage; flag unguarded accesses to guarded fields",
+	Run:  runLockGuard,
+}
+
+// guardStats accumulates the evidence for one field.
+type guardStats struct {
+	perLock  map[string]int // mutex field/var name → must-held access count
+	unlocked []token.Pos    // access sites with no lock may-held
+}
+
+func runLockGuard(pass *driver.Pass) error {
+	supp := newSuppressions(pass)
+
+	structs := mutexStructs(pass)
+	fieldStats := map[string]map[string]*guardStats{} // struct name → field → stats
+	for name := range structs {
+		fieldStats[name] = map[string]*guardStats{}
+	}
+
+	pkgMutexes, pkgVars := packageGuardCandidates(pass)
+	varStats := map[string]*guardStats{} // package var name → stats
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			entry := lockState{}
+			for _, key := range lockedFuncKeys(fd) {
+				entry[key] = lockInfo{may: true, must: true, pos: fd.Pos()}
+			}
+			recvName, structName := receiverStruct(pass, fd, structs)
+			hooks := &flowHooks{node: func(n ast.Node, st lockState) {
+				if structName != "" {
+					tallyFieldAccesses(pass, fd, recvName, structName, structs[structName], st, n, fieldStats[structName])
+				}
+				tallyPackageVarAccesses(pass, pkgMutexes, pkgVars, st, n, varStats)
+			}}
+			runLockFlow(pass, fd.Body, entry, hooks)
+		}
+	}
+
+	report := func(pos token.Pos, format string, args ...any) {
+		if supp.allows(pos, "unguarded") {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	for _, structName := range sortedKeys(fieldStats) {
+		for _, field := range sortedKeys(fieldStats[structName]) {
+			reportGuarded(report, structName+".", field, fieldStats[structName][field])
+		}
+	}
+	for _, name := range sortedKeys(varStats) {
+		reportGuarded(report, "", name, varStats[name])
+	}
+	return nil
+}
+
+// reportGuarded applies the majority heuristic to one field's stats and
+// reports every unlocked site if the field is inferred guarded.
+func reportGuarded(report func(token.Pos, string, ...any), qual, field string, gs *guardStats) {
+	if len(gs.unlocked) == 0 {
+		return
+	}
+	best, bestCount := "", 0
+	for _, lock := range sortedKeys(gs.perLock) {
+		if c := gs.perLock[lock]; c > bestCount {
+			best, bestCount = lock, c
+		}
+	}
+	if bestCount < 2 || bestCount <= len(gs.unlocked) {
+		return
+	}
+	for _, pos := range gs.unlocked {
+		report(pos, "%s%s is guarded by %s%s on %d of %d accesses but not here; hold the lock or declare //physched:locked",
+			qual, field, qual, best, bestCount, bestCount+len(gs.unlocked))
+	}
+}
+
+// mutexStructs finds this package's structs that own at least one named
+// mutex field: struct name → {mutex field names, data field names}.
+type structGuardInfo struct {
+	mutexFields map[string]bool
+	dataFields  map[string]bool
+}
+
+func mutexStructs(pass *driver.Pass) map[string]structGuardInfo {
+	out := map[string]structGuardInfo{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				info := structGuardInfo{mutexFields: map[string]bool{}, dataFields: map[string]bool{}}
+				for _, field := range st.Fields.List {
+					isMutex := isMutexType(pass.TypesInfo.Types[field.Type].Type)
+					for _, name := range field.Names {
+						if isMutex {
+							info.mutexFields[name.Name] = true
+						} else {
+							info.dataFields[name.Name] = true
+						}
+					}
+				}
+				if len(info.mutexFields) > 0 && len(info.dataFields) > 0 {
+					out[ts.Name.Name] = info
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverStruct resolves fd's receiver when it is a named receiver on
+// one of the candidate structs.
+func receiverStruct(pass *driver.Pass, fd *ast.FuncDecl, structs map[string]structGuardInfo) (recvName, structName string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return "", ""
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return "", ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic instantiation if any.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if _, ok := structs[id.Name]; !ok {
+		return "", ""
+	}
+	return name, id.Name
+}
+
+// tallyFieldAccesses records every recv.field access inside n with its
+// lock status. Function literals are skipped (see package doc of this
+// analyzer); mutex fields themselves are not data accesses.
+func tallyFieldAccesses(pass *driver.Pass, fd *ast.FuncDecl, recvName, structName string, info structGuardInfo, st lockState, n ast.Node, stats map[string]*guardStats) {
+	recvObj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recvObj {
+			return true
+		}
+		field := sel.Sel.Name
+		if !info.dataFields[field] {
+			return true
+		}
+		status, lock := guardStatus(st, recvName+".", info.mutexFields)
+		recordAccess(stats, field, sel.Pos(), status, lock)
+		return true
+	})
+}
+
+// tallyPackageVarAccesses does the same for package-level variables
+// against package-level mutexes.
+func tallyPackageVarAccesses(pass *driver.Pass, pkgMutexes map[string]bool, pkgVars map[types.Object]string, st lockState, n ast.Node, stats map[string]*guardStats) {
+	if len(pkgMutexes) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name, ok := pkgVars[pass.TypesInfo.Uses[id]]
+		if !ok {
+			return true
+		}
+		status, lock := guardStatus(st, "", pkgMutexes)
+		recordAccess(stats, name, id.Pos(), status, lock)
+		return true
+	})
+}
+
+type accessStatus uint8
+
+const (
+	accessLocked accessStatus = iota
+	accessUnlocked
+	accessAmbiguous
+)
+
+// guardStatus classifies the current state against a set of candidate
+// mutexes (keyed prefix+name): must-held under one → locked under it; no
+// candidate may-held → unlocked; otherwise ambiguous.
+func guardStatus(st lockState, prefix string, mutexes map[string]bool) (accessStatus, string) {
+	anyMay := false
+	for _, m := range sortedKeys(mutexes) {
+		info := st[prefix+m]
+		if info.must {
+			return accessLocked, m
+		}
+		if info.may {
+			anyMay = true
+		}
+	}
+	if anyMay {
+		return accessAmbiguous, ""
+	}
+	return accessUnlocked, ""
+}
+
+func recordAccess(stats map[string]*guardStats, field string, pos token.Pos, status accessStatus, lock string) {
+	gs := stats[field]
+	if gs == nil {
+		gs = &guardStats{perLock: map[string]int{}}
+		stats[field] = gs
+	}
+	switch status {
+	case accessLocked:
+		gs.perLock[lock]++
+	case accessUnlocked:
+		gs.unlocked = append(gs.unlocked, pos)
+	}
+}
+
+// packageGuardCandidates finds package-scope mutex variables and the
+// package-scope data variables they might guard.
+func packageGuardCandidates(pass *driver.Pass) (map[string]bool, map[types.Object]string) {
+	mutexes := map[string]bool{}
+	vars := map[types.Object]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if isMutexType(obj.Type()) {
+						mutexes[name.Name] = true
+					} else {
+						vars[obj] = name.Name
+					}
+				}
+			}
+		}
+	}
+	if len(mutexes) == 0 {
+		return nil, nil
+	}
+	return mutexes, vars
+}
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"physched/internal/analysis/driver"
+)
+
+// SpawnCheck catches goroutine leaks statically: a `go` statement whose
+// goroutine blocks — channel sends/receives, select without default,
+// taking a mutex, sync.Cond.Wait — must have a visible cancellation
+// path, one of
+//
+//   - a receive from a Done() channel (context cancellation),
+//   - a comma-ok receive (the sender signals by closing the channel),
+//   - a range over a channel (terminates when the channel closes).
+//
+// Sends on channels created buffered (make(chan T, n)) are exempt: the
+// fire-and-forget result pattern (`done := make(chan X, 1)`) cannot
+// block the goroutine forever. A goroutine that is joined or terminated
+// some other way (WaitGroup + a closed flag under a mutex, bounded work)
+// declares it with //physched:spawnok <reason> on the go statement.
+//
+// Resolution is intra-package: `go fn()` is analysed when fn is a
+// function literal or a function/method declared in the same package;
+// cross-package spawn targets are skipped (documented false negative,
+// DESIGN.md §12). Nested `go` statements are separate findings and are
+// not part of the enclosing goroutine's behaviour.
+var SpawnCheck = &driver.Analyzer{
+	Name: "spawncheck",
+	Doc:  "goroutines that block on channels or locks need a cancellation path",
+	Run:  runSpawnCheck,
+}
+
+func runSpawnCheck(pass *driver.Pass) error {
+	supp := newSuppressions(pass)
+	decls := packageFuncDecls(pass)
+	buffered := bufferedChanVars(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := spawnTargetBody(pass, gs, decls)
+			if body == nil {
+				return true
+			}
+			blocking, why := findBlocking(pass, body, buffered)
+			if !blocking {
+				return true
+			}
+			if hasCancellationPath(pass, body) {
+				return true
+			}
+			if supp.allows(gs.Pos(), "spawnok") {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine %s but has no cancellation path; select on a Done() channel, use a close-signalled channel, or annotate //physched:spawnok <reason>",
+				why)
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls maps this package's declared functions to their decls
+// so `go fn()` / `go x.m()` can be resolved to a body.
+func packageFuncDecls(pass *driver.Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// spawnTargetBody resolves the body the spawned goroutine runs.
+func spawnTargetBody(pass *driver.Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return fl.Body
+	}
+	fn, _ := calleeFunc(pass, gs.Call)
+	if fn == nil {
+		return nil
+	}
+	if fd, ok := decls[fn]; ok {
+		return fd.Body
+	}
+	return nil
+}
+
+// bufferedChanVars collects channel variables created with a capacity:
+// any object assigned make(chan T, n) anywhere in the package. A
+// non-constant capacity is trusted to be positive — callers sizing a
+// channel dynamically are sizing it to not block.
+func bufferedChanVars(pass *driver.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || b.Name() != "make" {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if _, ok := tv.Type.Underlying().(*types.Chan); !ok {
+			return
+		}
+		if cv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && cv.Value != nil && cv.Value.String() == "0" {
+			return // make(chan T, 0) is unbuffered
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			out[obj] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// findBlocking reports whether the goroutine body contains an operation
+// that can block forever, with a short description of the first one
+// found (in source order).
+func findBlocking(pass *driver.Pass, body *ast.BlockStmt, buffered map[types.Object]bool) (bool, string) {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested goroutine's ops are its own finding
+		case *ast.SendStmt:
+			if id, ok := n.Chan.(*ast.Ident); ok && buffered[pass.TypesInfo.Uses[id]] {
+				return true
+			}
+			found = "sends on an unbuffered channel"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = "receives from a channel"
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass, n.X) {
+				found = "ranges over a channel"
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if c.(*ast.CommClause).Comm == nil {
+					return true // has a default: non-blocking
+				}
+			}
+			if len(n.Body.List) > 0 {
+				found = "blocks in a select"
+			} else {
+				found = "blocks on select{}"
+			}
+		case *ast.CallExpr:
+			if op, ok := mutexOp(pass, n); ok && (op.method == "Lock" || op.method == "RLock") {
+				found = "holds " + op.key
+			} else if isCondWait(pass, n) {
+				found = "waits on a sync.Cond"
+			}
+		}
+		return true
+	})
+	return found != "", found
+}
+
+// hasCancellationPath looks for close/cancel-driven termination evidence
+// anywhere in the goroutine body (nested goroutines excluded).
+func hasCancellationPath(pass *driver.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			// <-x.Done(): context-style cancellation.
+			if n.Op == token.ARROW {
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+						found = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// v, ok := <-ch: the comma-ok form only exists to observe close.
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ue, ok := n.Rhs[0].(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass, n.X) {
+				found = true // range ends when the channel is closed
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isChanType(pass *driver.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// isCondWait reports a sync.Cond.Wait call.
+func isCondWait(pass *driver.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	// sync.Cond.Wait blocks; sync.WaitGroup.Wait is a join — joining is
+	// itself a legitimate termination strategy, so it must NOT count.
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Cond"
+}

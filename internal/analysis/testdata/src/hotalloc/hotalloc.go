@@ -58,3 +58,47 @@ func (r *ring) sized(x int) {
 	r.buf = append(r.buf, x)
 	r.n++
 }
+
+// loops is the CFG tier: constructs that are fine once but hazards when
+// the control-flow graph proves they repeat.
+//
+//physched:hotpath
+func (r *ring) loops(items []int, release func()) {
+	var out []int
+	for _, v := range items {
+		defer release()      // want "defer inside a loop in hot path loops"
+		out = append(out, v) // want "append to out in a hot path loop reallocates on growth"
+	}
+	_ = out
+
+	pre := make([]int, 0, 8)
+	for _, v := range items {
+		pre = append(pre, v) // preallocated: no finding
+	}
+	_ = pre
+}
+
+// gotoLoop proves cycle detection is graph-based, not syntax-based: a
+// loop built from goto still counts.
+//
+//physched:hotpath
+func (r *ring) gotoLoop(n int) []int {
+	acc := []int{} // want "slice literal in hot path gotoLoop allocates"
+	i := 0
+again:
+	if i < n {
+		acc = append(acc, i) // want "append to acc in a hot path loop reallocates on growth"
+		i++
+		goto again
+	}
+	return acc
+}
+
+// onceOnly: a defer and a growing append outside any cycle stay silent
+// on the loop tier.
+//
+//physched:hotpath
+func (r *ring) onceOnly(release func()) {
+	defer release()
+	r.n++
+}

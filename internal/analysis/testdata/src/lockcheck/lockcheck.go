@@ -1,0 +1,157 @@
+// Package lockcheck is the fixture for the lock/unlock path-balance
+// analyzer: every finding class it can produce has a positive case here,
+// and the idiomatic locking patterns (defer, branch-balanced unlock,
+// panic unwind, the pool's mid-loop unlock) prove the negative space.
+package lockcheck
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func leakOnEarlyReturn(b *box, bad bool) {
+	b.mu.Lock()
+	if bad {
+		return // want "b.mu still held at return"
+	}
+	b.mu.Unlock()
+}
+
+func maybeLeak(b *box, c bool) {
+	if c {
+		b.mu.Lock()
+	}
+	b.n++
+} // want "b.mu may still be held at function end"
+
+func doubleLock(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want "b.mu.Lock while already locked"
+	b.mu.Unlock()
+}
+
+func recursiveRLock(b *box) {
+	b.rw.RLock()
+	b.rw.RLock() // want "recursive b.rw.RLock"
+	b.rw.RUnlock()
+}
+
+func wrongUnlockMode(b *box) {
+	b.rw.RLock()
+	b.rw.Unlock() // want "b.rw.Unlock releases a read lock"
+}
+
+func wrongRUnlockMode(b *box) {
+	b.rw.Lock()
+	b.rw.RUnlock() // want "b.rw.RUnlock releases a write lock"
+}
+
+func unlockNotHeld(b *box, c bool) {
+	if c {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	b.mu.Unlock() // want "b.mu.Unlock but b.mu is not held on this path"
+}
+
+func explicitPlusDeferred(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mu.Unlock() // want "deferred release pending"
+}
+
+func doubleDefer(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	defer b.mu.Unlock() // want "second deferred release of b.mu"
+}
+
+// mutate runs under the caller's lock: the contract seeds the entry
+// state (so no leak is reported for returning with b.mu held) and is
+// enforced at every intra-package call site.
+//
+//physched:locked b.mu — callers serialise all box mutation
+func (b *box) mutate() {
+	b.n++
+}
+
+func callsContract(b *box) {
+	b.mutate() // want "call to mutate requires b.mu held"
+	b.mu.Lock()
+	b.mutate()
+	b.mu.Unlock()
+}
+
+func suppressedLeak(b *box, c bool) {
+	b.mu.Lock()
+	if c {
+		//physched:lockok fixture exercises the suppression path
+		return
+	}
+	b.mu.Unlock()
+}
+
+func closureCheckedIndependently() {
+	var mu sync.Mutex
+	f := func(c bool) {
+		mu.Lock()
+		if c {
+			return // want "mu still held at return"
+		}
+		mu.Unlock()
+	}
+	f(true)
+}
+
+// --- negative space: these idioms must stay finding-free ---
+
+func cleanDefer(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func cleanBranches(b *box, c bool) {
+	b.mu.Lock()
+	if c {
+		b.n = 1
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+}
+
+func cleanPanicUnwind(b *box, c bool) {
+	b.mu.Lock()
+	if c {
+		panic("unwind releases nothing; the panic path is not a leak path")
+	}
+	b.mu.Unlock()
+}
+
+func cleanWorkerLoop(b *box, work func()) {
+	b.mu.Lock()
+	for {
+		if b.n == 0 {
+			b.mu.Unlock()
+			return
+		}
+		b.n--
+		b.mu.Unlock()
+		work()
+		b.mu.Lock()
+	}
+}
+
+func cleanRWModes(b *box) int {
+	b.rw.RLock()
+	n := b.n
+	b.rw.RUnlock()
+	b.rw.Lock()
+	b.n = n + 1
+	b.rw.Unlock()
+	return n
+}

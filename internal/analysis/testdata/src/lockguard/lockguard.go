@@ -1,0 +1,90 @@
+// Package lockguard is the fixture for guard inference: field→mutex
+// guard sets are learned from majority usage, so the fixture encodes the
+// heuristic's decision boundary — two locked accesses under one mutex
+// and strictly more locked than unlocked accesses infer a guard; fewer
+// infer nothing.
+package lockguard
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	m    map[string]int
+	hits int
+}
+
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.m[k]
+}
+
+func (s *store) put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = v
+}
+
+func (s *store) racyPeek(k string) int {
+	return s.m[k] // want "store.m is guarded by store.mu"
+}
+
+// hits has exactly one locked access (in get): below the ≥2 evidence
+// threshold, so this unlocked read infers nothing and stays silent.
+func (s *store) hitCount() int {
+	return s.hits
+}
+
+// dump's accesses count as locked via the caller-holds contract.
+//
+//physched:locked s.mu — snapshot taken inside the caller's critical section
+func (s *store) dump() map[string]int {
+	return s.m
+}
+
+// --- package-level variables guarded by a package-level mutex ---
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]int{}
+)
+
+func register(k string, v int) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[k] = v
+}
+
+func unregister(k string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, k)
+}
+
+func lookup(k string) int {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[k]
+}
+
+func racyLookup(k string) int {
+	return registry[k] // want "registry is guarded by regMu"
+}
+
+// sizeHint deliberately reads without the lock; the suppression hides
+// the report (the access still counts against the majority).
+func sizeHint() int {
+	//physched:unguarded fixture: approximate size is fine lock-free
+	return len(registry)
+}
+
+// maybeLocked holds regMu on one path only: the access is ambiguous and
+// contributes to neither tally.
+func maybeLocked(k string, c bool) int {
+	if c {
+		regMu.Lock()
+		defer regMu.Unlock()
+	}
+	return registry[k]
+}

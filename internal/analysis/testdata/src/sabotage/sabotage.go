@@ -1,11 +1,14 @@
 // Package sabotage deliberately violates contracts enforced on every
-// package (hotalloc, physcheddirective) so tests can prove the
-// multichecker exits nonzero end to end. It is never built by ./...
-// wildcards (testdata is wildcard-invisible) — only explicit paths
-// reach it.
+// package (hotalloc, physcheddirective, lockcheck, spawncheck) so tests
+// can prove the multichecker exits nonzero end to end. It is never built
+// by ./... wildcards (testdata is wildcard-invisible) — only explicit
+// paths reach it.
 package sabotage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 //physched:typo this directive verb does not exist
 func bad() {}
@@ -19,4 +22,24 @@ func burn(xs []int) string {
 		out = out + fmt.Sprint(x)
 	}
 	return out
+}
+
+// leak takes a lock it forgets on the error path: lockcheck sabotage.
+func leak(mu *sync.Mutex, fail bool) error {
+	mu.Lock()
+	if fail {
+		return fmt.Errorf("left mu locked")
+	}
+	mu.Unlock()
+	return nil
+}
+
+// orphan starts a goroutine that blocks forever with no cancellation
+// path: spawncheck sabotage.
+func orphan(ch chan int) {
+	go func() {
+		for {
+			ch <- 0
+		}
+	}()
 }

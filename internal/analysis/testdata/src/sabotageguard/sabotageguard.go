@@ -1,0 +1,30 @@
+// Package sabotageguard deliberately races a majority-guarded field so
+// tests can prove lockguard produces a nonzero exit through the real
+// CLI (`physchedlint -analyzers=lockguard`). lockguard is Rules-scoped
+// to the shared-state packages, so the unscoped -analyzers path is the
+// one a sabotaged run takes.
+package sabotageguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) dec() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+}
+
+// racyRead is the sabotage: counter.n is guarded on 2 of 3 accesses.
+func (c *counter) racyRead() int {
+	return c.n
+}

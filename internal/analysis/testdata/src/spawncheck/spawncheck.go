@@ -1,0 +1,119 @@
+// Package spawncheck is the goroutine-leak fixture: goroutines that
+// block must show a cancellation path (Done() select, close-signalled
+// channel, range over a channel) or carry //physched:spawnok.
+package spawncheck
+
+import (
+	"context"
+	"sync"
+)
+
+func leakyForwarder(in, out chan int) {
+	go func() { // want "goroutine receives from a channel but has no cancellation path"
+		for {
+			v := <-in
+			out <- v
+		}
+	}()
+}
+
+func leakySelect(a, b chan int) {
+	go func() { // want "goroutine blocks in a select but has no cancellation path"
+		for {
+			select {
+			case <-a:
+			case <-b:
+			}
+		}
+	}()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func leakyLocker(g *guarded) {
+	go func() { // want "goroutine holds g.mu but has no cancellation path"
+		for {
+			g.mu.Lock()
+			g.n++
+			g.mu.Unlock()
+		}
+	}()
+}
+
+func pump(ch chan int) {
+	for {
+		ch <- 0
+	}
+}
+
+func spawnNamed(ch chan int) {
+	go pump(ch) // want "goroutine sends on an unbuffered channel"
+}
+
+func (g *guarded) loop() {
+	for {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+func spawnMethod(g *guarded) {
+	go g.loop() // want "goroutine holds g.mu"
+}
+
+func suppressedSpawn(ch chan int) {
+	//physched:spawnok fixture: the harness owns pump's lifetime
+	go pump(ch)
+}
+
+// --- negative space: cancellation-aware and non-blocking goroutines ---
+
+func cleanCtxSelect(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-in:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func cleanRange(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+func cleanCommaOk(in chan int) {
+	go func() {
+		for {
+			v, ok := <-in
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+func cleanBufferedResult() chan int {
+	done := make(chan int, 1)
+	go func() {
+		done <- 42
+	}()
+	return done
+}
+
+func cleanNonBlocking(counter *int) {
+	go func() {
+		*counter = 42 // no channel ops, no locks: nothing to leak on
+	}()
+}

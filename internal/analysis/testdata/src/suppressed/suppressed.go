@@ -1,0 +1,48 @@
+// Package suppressed is lint-clean only because of its //physched:
+// suppression directives. The suppression-audit tests run it twice:
+// once normally (expecting zero findings) and once with suppressions
+// stripped or ignored (expecting every hidden finding to reappear).
+// This pins the rot-loudly contract: deleting the code a suppression
+// excuses must resurface the directive as an error, and deleting the
+// directive must resurface the finding.
+package suppressed
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// earlyReturn leaks the lock on the conditional path; the lockok
+// directive is the only thing keeping it quiet.
+func earlyReturn(g *guarded, bail bool) {
+	g.mu.Lock()
+	if bail {
+		//physched:lockok fixture: leak hidden on purpose for the audit test
+		return
+	}
+	g.mu.Unlock()
+}
+
+// spawn starts a goroutine that blocks forever on an unbuffered send.
+func spawn(ch chan int) {
+	//physched:spawnok fixture: goroutine lifetime owned by the audit test
+	go func() {
+		for {
+			ch <- 0
+		}
+	}()
+}
+
+// hot grows a slice inside a hot-path loop.
+//
+//physched:hotpath
+func hot(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		//physched:allocok fixture: growth accepted for the audit test
+		out = append(out, x)
+	}
+	return out
+}

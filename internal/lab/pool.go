@@ -52,6 +52,7 @@ func NewPool(workers int) *Pool {
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//physched:spawnok workers exit when Close sets the closed flag and broadcasts; Close joins them via wg.Wait
 		go p.worker()
 	}
 	return p
@@ -132,7 +133,9 @@ func (p *Pool) worker() {
 }
 
 // take pops the next task, round-robin across active submissions, and
-// drops exhausted submissions from the rotation. Caller holds p.mu.
+// drops exhausted submissions from the rotation.
+//
+//physched:locked p.mu — take mutates the shared rotation state
 func (p *Pool) take() (*submission, int) {
 	for len(p.subs) > 0 {
 		if p.next >= len(p.subs) {
@@ -156,7 +159,9 @@ func (p *Pool) take() (*submission, int) {
 	return nil, 0
 }
 
-// remove takes sub out of the rotation. Caller holds p.mu.
+// remove takes sub out of the rotation.
+//
+//physched:locked p.mu — remove rewrites the shared subs slice
 func (p *Pool) remove(sub *submission) {
 	for i, s := range p.subs {
 		if s == sub {
@@ -167,7 +172,8 @@ func (p *Pool) remove(sub *submission) {
 }
 
 // finishIfDone closes sub.done when no tasks remain pending or running.
-// Caller holds p.mu.
+//
+//physched:locked p.mu — the doneClosed/inflight check must be atomic with the rotation
 func (p *Pool) finishIfDone(sub *submission) {
 	if sub.inflight == 0 && (sub.cancelled || sub.nextIdx >= sub.n) && !sub.doneClosed {
 		sub.doneClosed = true
