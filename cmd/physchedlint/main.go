@@ -130,7 +130,7 @@ func emit(w io.Writer, format string, diags []driver.Diagnostic) error {
 	case "github":
 		for _, d := range diags {
 			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s: %s\n",
-				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+				githubEscapeProp(relPath(d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
 				d.Analyzer, githubEscape(d.Message))
 		}
 		return nil
@@ -162,5 +162,15 @@ func githubEscape(s string) string {
 	s = strings.ReplaceAll(s, "%", "%25")
 	s = strings.ReplaceAll(s, "\r", "%0D")
 	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// githubEscapeProp encodes a workflow-command property value (the
+// file=... position): the message escapes plus the ':' and ','
+// delimiters, per the Actions command spec.
+func githubEscapeProp(s string) string {
+	s = githubEscape(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
 	return s
 }

@@ -134,6 +134,20 @@ func TestGitHubFormat(t *testing.T) {
 	}
 }
 
+// TestGitHubPropertyEscape: property values (the file= position) need
+// the message escapes plus the ':' and ',' delimiters encoded, or a
+// hostile path corrupts the ::error annotation.
+func TestGitHubPropertyEscape(t *testing.T) {
+	got := githubEscapeProp("dir,x:y/100%.go\n")
+	want := "dir%2Cx%3Ay/100%25.go%0A"
+	if got != want {
+		t.Errorf("githubEscapeProp = %q, want %q", got, want)
+	}
+	if msg := githubEscape("50% done: a,b"); msg != "50%25 done: a,b" {
+		t.Errorf("githubEscape = %q, want %q", msg, "50%25 done: a,b")
+	}
+}
+
 // TestBadFormatExits2: an unknown -format is a usage error.
 func TestBadFormatExits2(t *testing.T) {
 	var stdout, stderr bytes.Buffer

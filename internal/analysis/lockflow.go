@@ -196,12 +196,36 @@ func runLockFlow(pass *driver.Pass, body *ast.BlockStmt, entry lockState, hooks 
 func applyBlock(pass *driver.Pass, b *cfg.Block, in lockState, hooks *flowHooks) lockState {
 	st := in.clone()
 	for _, n := range b.Nodes {
-		if hooks != nil && hooks.node != nil {
-			hooks.node(n, st)
+		for _, part := range headParts(n) {
+			if hooks != nil && hooks.node != nil {
+				hooks.node(part, st)
+			}
+			applyNode(pass, part, st, hooks)
 		}
-		applyNode(pass, n, st, hooks)
 	}
 	return st
+}
+
+// headParts narrows a range-head node to what the head actually
+// evaluates: the ranged expression and the key/value targets. The cfg
+// builder puts the whole *ast.RangeStmt in the loop-head block, but the
+// body belongs to other blocks — inspecting the full statement here
+// would replay every lock op, contract call and field access in the
+// body a second time under the loop-entry state (the quirk hotalloc's
+// loop check also guards against).
+func headParts(n ast.Node) []ast.Node {
+	rs, ok := n.(*ast.RangeStmt)
+	if !ok {
+		return []ast.Node{n}
+	}
+	parts := []ast.Node{rs.X}
+	if rs.Key != nil {
+		parts = append(parts, rs.Key)
+	}
+	if rs.Value != nil {
+		parts = append(parts, rs.Value)
+	}
+	return parts
 }
 
 // applyNode folds every lock operation syntactically inside n into st.

@@ -146,6 +146,19 @@ func cleanWorkerLoop(b *box, work func()) {
 	}
 }
 
+// The CFG's range-head node is the whole RangeStmt; the flow must not
+// replay the body's ops under the loop-entry state. Regression: this
+// reported "call to mutate requires b.mu held" at the contract call
+// (the equivalent for-i loop was clean).
+func cleanRangeBodyLock(b *box, keys map[string]int) {
+	for k := range keys {
+		b.mu.Lock()
+		b.n += keys[k]
+		b.mutate()
+		b.mu.Unlock()
+	}
+}
+
 func cleanRWModes(b *box) int {
 	b.rw.RLock()
 	n := b.n

@@ -43,6 +43,18 @@ func (s *store) dump() map[string]int {
 	return s.m
 }
 
+// Accesses in a range body must tally once, with the body's state — not
+// a second time under the loop-entry (unlocked) state via the range-head
+// node. Regression: the duplicate unlocked tallies reported this locked
+// write and could flip majority inference elsewhere.
+func (s *store) fill(keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		s.m[k] = len(k)
+		s.mu.Unlock()
+	}
+}
+
 // --- package-level variables guarded by a package-level mutex ---
 
 var (
@@ -70,6 +82,15 @@ func lookup(k string) int {
 
 func racyLookup(k string) int {
 	return registry[k] // want "registry is guarded by regMu"
+}
+
+// Same range-head regression for the package-var tally path.
+func fillRegistry(keys []string) {
+	for _, k := range keys {
+		regMu.Lock()
+		registry[k] = len(k)
+		regMu.Unlock()
+	}
 }
 
 // sizeHint deliberately reads without the lock; the suppression hides
