@@ -5,13 +5,13 @@
 //
 // Usage:
 //
-//	go test -run XXX -bench BenchmarkRun -benchmem ./internal/lab | benchsnap
+//	go test -run '^$' -bench BenchmarkRun -benchmem ./internal/lab | benchsnap
 //
 // With -check it becomes the CI bench gate: instead of printing a
 // snapshot it compares the fresh run on stdin against a committed base
 // snapshot and exits non-zero on a regression:
 //
-//	go test -run XXX -bench BenchmarkRun -benchmem ./internal/lab |
+//	go test -run '^$' -bench BenchmarkRun -benchmem ./internal/lab |
 //	    benchsnap -check BENCH_run.json [-tol 0.15]
 //
 // ns/op may regress by at most the -tol fraction (timing is noisy);

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sort"
 	"sync"
@@ -21,6 +22,16 @@ const (
 	jobFailed    jobState = "failed"
 	jobCancelled jobState = "cancelled"
 )
+
+// validJobState reports whether s names a lifecycle state — the
+// vocabulary the ?state= listing filter accepts.
+func validJobState(s string) bool {
+	switch jobState(s) {
+	case jobRunning, jobDone, jobFailed, jobCancelled:
+		return true
+	}
+	return false
+}
 
 // job is one async execution — a grid or a study: its identity, progress
 // counters, and every NDJSON line produced so far, kept so a stream
@@ -42,6 +53,10 @@ type job struct {
 	created time.Time
 	// cancel aborts the job's execution context (DELETE /v1/jobs/{id}).
 	cancel context.CancelFunc
+	// persist journals the job's lines and terminal state to the state
+	// dir (nil without -state-dir). Called under mu, so writes are
+	// ordered exactly like the in-memory replay buffer.
+	persist *jobWriter
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -91,6 +106,9 @@ func (j *job) append(v any) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.lines = append(j.lines, b)
+	if j.persist != nil {
+		j.persist.line(b)
+	}
 	switch l := v.(type) {
 	case progressLine:
 		j.done, j.total = l.Done, l.Total
@@ -115,6 +133,9 @@ func (j *job) append(v any) error {
 		j.errMsg = l.Error
 		j.finished = j.clock()
 	}
+	if j.state != jobRunning && j.persist != nil {
+		j.persist.end(j.endRecordLocked())
+	}
 	j.cond.Broadcast()
 	return nil
 }
@@ -131,8 +152,21 @@ func (j *job) seal() {
 		}
 		j.errMsg = "execution ended without a result"
 		j.finished = j.clock()
+		if j.persist != nil {
+			j.persist.end(j.endRecordLocked())
+		}
 	}
 	j.cond.Broadcast()
+}
+
+// endRecordLocked snapshots the terminal journal record.
+//
+//physched:locked j.mu — snapshots the guarded status fields atomically with the state transition
+func (j *job) endRecordLocked() journalEnd {
+	return journalEnd{
+		Type: "end", State: string(j.state), Finished: j.finished,
+		Done: j.done, Total: j.total, CacheHits: j.cacheHits, Error: j.errMsg,
+	}
 }
 
 // requestCancel aborts the job's context. It reports false when the job
@@ -150,28 +184,11 @@ func (j *job) requestCancel() bool {
 	return running
 }
 
-// jobStatus is the GET /v1/jobs/{id} body and one row of GET /v1/jobs.
-type jobStatus struct {
-	ID   string `json:"id"`
-	Kind string `json:"kind"` // grid | study
-	// GridHash is the content hash of the submitted document — the study
-	// hash for study jobs (field name kept for wire compatibility).
-	GridHash  string     `json:"grid_hash"`
-	State     string     `json:"state"` // running | done | failed | cancelled
-	Done      int        `json:"done"`
-	Total     int        `json:"total"`
-	CacheHits int        `json:"cache_hits"`
-	Created   time.Time  `json:"created"`
-	AgeSec    float64    `json:"age_sec"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Error     string     `json:"error,omitempty"`
-}
-
 func (j *job) status() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := jobStatus{
-		ID: j.id, Kind: j.kind, GridHash: j.hash, State: string(j.state),
+		ID: j.id, Kind: j.kind, Hash: j.hash, GridHash: j.hash, State: string(j.state),
 		Done: j.done, Total: j.total, CacheHits: j.cacheHits,
 		Created: j.created, AgeSec: j.clock().Sub(j.created).Seconds(),
 		Error: j.errMsg,
@@ -183,17 +200,10 @@ func (j *job) status() jobStatus {
 	return st
 }
 
-// jobSubmitted is the 202 body of an async submission.
-type jobSubmitted struct {
-	JobID     string `json:"job_id"`
-	GridHash  string `json:"grid_hash"`
-	StatusURL string `json:"status_url"`
-	StreamURL string `json:"stream_url"`
-}
-
 func (j *job) submitted() jobSubmitted {
 	return jobSubmitted{
 		JobID:     j.id,
+		Hash:      j.hash,
 		GridHash:  j.hash,
 		StatusURL: "/v1/jobs/" + j.id,
 		StreamURL: "/v1/jobs/" + j.id + "/stream",
@@ -205,10 +215,16 @@ func (j *job) submitted() jobSubmitted {
 // never evicted (admission control bounds how many can exist at once), so
 // the held count can transiently exceed max until they finish.
 type jobManager struct {
-	mu    sync.Mutex
-	max   int
-	jobs  map[string]*job
-	order []*job // insertion order, oldest first
+	// onEvict, when non-nil, is told the id of every evicted job — the
+	// journal uses it to delete the job's state file. Set before any jobs
+	// are added (it is called under mu).
+	onEvict func(id string)
+
+	mu      sync.Mutex
+	max     int
+	jobs    map[string]*job
+	order   []*job // insertion order, oldest first
+	evicted uint64 // jobs dropped by retention, for /metrics
 }
 
 func newJobManager(max int) *jobManager {
@@ -231,6 +247,10 @@ func (m *jobManager) add(j *job) {
 			}
 			m.order = append(m.order[:i], m.order[i+1:]...)
 			delete(m.jobs, old.id)
+			m.evicted++
+			if m.onEvict != nil {
+				m.onEvict(old.id)
+			}
 			evicted = true
 			break
 		}
@@ -247,12 +267,18 @@ func (m *jobManager) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// list snapshots every retained job's status, oldest first (creation
-// order, ties broken by id so the listing is stable).
-func (m *jobManager) list() []jobStatus {
+// snapshot copies the retained jobs, oldest first.
+func (m *jobManager) snapshot() []*job {
 	m.mu.Lock()
-	jobs := append([]*job(nil), m.order...)
-	m.mu.Unlock()
+	defer m.mu.Unlock()
+	return append([]*job(nil), m.order...)
+}
+
+// list snapshots every retained job's status, oldest first (creation
+// order, ties broken by id so the listing — and its pagination — is
+// stable).
+func (m *jobManager) list() []jobStatus {
+	jobs := m.snapshot()
 	out := make([]jobStatus, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.status()
@@ -266,30 +292,91 @@ func (m *jobManager) list() []jobStatus {
 	return out
 }
 
+// counts tallies retained jobs by state plus the eviction counter, for
+// /metrics.
+func (m *jobManager) counts() (byState map[jobState]int, evicted uint64) {
+	byState = map[jobState]int{}
+	for _, j := range m.snapshot() {
+		j.mu.Lock()
+		byState[j.state]++
+		j.mu.Unlock()
+	}
+	m.mu.Lock()
+	evicted = m.evicted
+	m.mu.Unlock()
+	return byState, evicted
+}
+
 // startJob launches run in the background as a tracked, cancellable job.
 // The job runs to completion even if the submitter disconnects — that is
 // the point of async submission — and releases its admission slot when
 // execution finishes. DELETE /v1/jobs/{id} cancels it through its
-// context.
-func (s *server) startJob(kind, hash string, total int, run func(ctx context.Context, emit func(any) error)) *job {
+// context. request is the original document body, journaled so the job
+// can be restarted from the state dir after process death.
+func (s *server) startJob(kind, hash string, total int, request []byte, run func(ctx context.Context, emit func(any) error)) *job {
 	j := newJob(kind, hash, total, s.clock)
+	if s.journal != nil {
+		w, err := s.journal.create(journalMeta{
+			Type: "meta", V: journalVersion, ID: j.id, Kind: kind, Hash: hash,
+			Total: total, Created: j.created, Request: request,
+		})
+		if err == nil {
+			j.persist = w
+		}
+		// A journal that cannot be written degrades to memory-only
+		// retention; the job itself still runs.
+	}
+	s.jobs.add(j)
+	s.launch(j, run)
+	return j
+}
+
+// launch runs an added job's execution goroutine. The caller must hold
+// one admission slot (taken by admit for submissions, seized directly by
+// recovery); the goroutine releases it when execution finishes.
+func (s *server) launch(j *job, run func(ctx context.Context, emit func(any) error)) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
-	s.jobs.add(j)
+	s.jobsWG.Add(1)
 	go func() {
+		defer s.jobsWG.Done()
 		defer s.release()
 		defer cancel()
 		run(ctx, j.append)
 		j.seal()
 	}()
-	return j
 }
 
-// handleJobs lists every retained async job with its status and age.
+// handleJobs lists retained async jobs, newest-page-first-proof: stable
+// oldest-first order, filtered by ?state= and ?kind=, paginated by
+// ?page= and ?page_size=.
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Jobs []jobStatus `json:"jobs"`
-	}{s.jobs.list()})
+	q := r.URL.Query()
+	page, size, err := parsePage(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	state, kind := q.Get("state"), q.Get("kind")
+	if state != "" && !validJobState(state) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("state must be one of running, done, failed, cancelled; got %q", state))
+		return
+	}
+	if kind != "" && kind != "grid" && kind != "study" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("kind must be grid or study, got %q", kind))
+		return
+	}
+	all := s.jobs.list()
+	filtered := make([]jobStatus, 0, len(all))
+	for _, st := range all {
+		if (state == "" || st.State == state) && (kind == "" || st.Kind == kind) {
+			filtered = append(filtered, st)
+		}
+	}
+	items, info := paginate(filtered, page, size)
+	writeJSON(w, http.StatusOK, jobList{Jobs: items, PageInfo: info})
 }
 
 // handleJob serves an async job's status and progress counters.

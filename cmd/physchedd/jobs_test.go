@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"physched/client"
 	"physched/internal/lab"
 	"physched/internal/resultcache"
 )
@@ -214,14 +216,18 @@ func TestAdmissionControl429(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out map[string]string
+	var out client.ErrorEnvelope
 	json.NewDecoder(resp.Body).Decode(&out)
+	retryAfter := resp.Header.Get("Retry-After")
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("second request got %d, want 429", resp.StatusCode)
 	}
-	if out["error"] == "" {
-		t.Error("429 carried no error message")
+	if out.Error.Code != client.CodeOverCapacity || out.Error.Message == "" {
+		t.Errorf("429 envelope %+v, want code %q with a message", out, client.CodeOverCapacity)
+	}
+	if _, err := strconv.Atoi(retryAfter); err != nil {
+		t.Errorf("429 Retry-After header %q is not an integer", retryAfter)
 	}
 
 	close(gate)

@@ -12,9 +12,23 @@
 // the admission bound with 429 instead of queueing it. Long campaigns
 // submit asynchronously (?async=1) and attach to the stream later.
 //
+// With -state-dir, async jobs are journaled to disk: finished jobs stay
+// queryable (and replay byte-identically) across restarts, and jobs that
+// were running when the process died restart automatically through the
+// content cache, re-simulating only cells the dead run had not finished.
+//
+// Every listing endpoint paginates (?page=, ?page_size=; defaults 1 and
+// 20, page_size capped at 500); GET /v1/jobs also filters by ?state=
+// and ?kind=. Every error response carries the envelope
+// {"error": {"code": "...", "message": "..."}} with a stable code (see
+// physched/client). GET /metrics exposes operational counters in the
+// Prometheus text format.
+//
 // Endpoints:
 //
 //	GET  /healthz                 liveness probe
+//	GET  /metrics                 Prometheus text metrics (pool, cache,
+//	                              jobs, admission)
 //	GET  /v1/policies             registered scheduling policies
 //	GET  /v1/workloads            registered workload kinds
 //	POST /v1/specs                run one spec; JSON result (cache-aware)
@@ -26,8 +40,10 @@
 //	                              (internal/opt study spec); NDJSON
 //	                              progress terminated by the report, or
 //	                              ?async=1 for a background job
+//	GET  /v1/studies              list retained study reports (summaries)
 //	GET  /v1/studies/{hash}       finished study report by study hash
-//	GET  /v1/jobs                 list async jobs with status and age
+//	GET  /v1/jobs                 list async jobs; ?state=, ?kind=,
+//	                              ?page=, ?page_size=
 //	GET  /v1/jobs/{id}            async job status and progress counters
 //	DELETE /v1/jobs/{id}          cancel a running async job (409 when
 //	                              already finished)
@@ -38,8 +54,8 @@
 //
 // Usage:
 //
-//	physchedd [-addr :8080] [-cache-dir DIR] [-parallel N] [-max-cells N]
-//	          [-max-inflight N] [-max-jobs N]
+//	physchedd [-addr :8080] [-cache-dir DIR] [-state-dir DIR] [-parallel N]
+//	          [-max-cells N] [-max-inflight N] [-max-jobs N]
 package main
 
 import (
@@ -62,6 +78,7 @@ func main() {
 		maxCells    = flag.Int("max-cells", 10_000, "reject grids with more cells than this (0 = unlimited)")
 		maxInflight = flag.Int("max-inflight", 64, "reject new grid/spec executions with 429 past this many in flight (0 = unlimited)")
 		maxJobs     = flag.Int("max-jobs", 64, "retain at most this many async jobs (finished jobs evicted oldest-first)")
+		stateDir    = flag.String("state-dir", "", "directory for persistent async-job journals (empty = in-memory jobs only)")
 	)
 	flag.Parse()
 
@@ -70,20 +87,25 @@ func main() {
 		log.Fatal(err)
 	}
 	pool := lab.NewPool(*parallel)
+	api, err := newServer(serverConfig{
+		Cache:       cache,
+		Pool:        pool,
+		MaxCells:    *maxCells,
+		MaxInflight: *maxInflight,
+		MaxJobs:     *maxJobs,
+		StateDir:    *stateDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: newServer(serverConfig{
-			Cache:       cache,
-			Pool:        pool,
-			MaxCells:    *maxCells,
-			MaxInflight: *maxInflight,
-			MaxJobs:     *maxJobs,
-		}).routes(),
+		Addr:    *addr,
+		Handler: api.routes(),
 		// Simulations stream for as long as they run; only reads and
 		// idle connections get fixed deadlines.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("listening on %s (cache-dir %q, pool %d workers)", *addr, *cacheDir, pool.Workers())
+	log.Printf("listening on %s (cache-dir %q, state-dir %q, pool %d workers)", *addr, *cacheDir, *stateDir, pool.Workers())
 	log.Fatal(srv.ListenAndServe())
 }

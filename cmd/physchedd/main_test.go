@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"physched/client"
 	"physched/internal/lab"
 	"physched/internal/resultcache"
 )
@@ -27,9 +28,20 @@ func testServerWith(t *testing.T, cfg serverConfig) *httptest.Server {
 		cfg.Pool = lab.NewPool(0)
 	}
 	t.Cleanup(cfg.Pool.Close)
-	ts := httptest.NewServer(newServer(cfg).routes())
+	ts := httptest.NewServer(mustServer(t, cfg).routes())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// mustServer builds a server over cfg, failing the test on a config
+// error (a state dir that cannot be created, a corrupt journal load).
+func mustServer(t *testing.T, cfg serverConfig) *server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 const gridBody = `{
@@ -250,14 +262,14 @@ func TestRejectsInvalidSpecs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var out map[string]string
+		var out client.ErrorEnvelope
 		json.NewDecoder(resp.Body).Decode(&out)
 		resp.Body.Close()
 		if resp.StatusCode != tc.status {
 			t.Errorf("case %d: status %d, want %d", i, resp.StatusCode, tc.status)
 		}
-		if out["error"] == "" {
-			t.Errorf("case %d: no error message", i)
+		if out.Error.Code == "" || out.Error.Message == "" {
+			t.Errorf("case %d: incomplete error envelope: %+v", i, out)
 		}
 	}
 }
@@ -284,20 +296,27 @@ func TestRegistryEndpointsAndHealth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var out map[string][]string
+		var out map[string]json.RawMessage
 		err = json.NewDecoder(resp.Body).Decode(&out)
 		resp.Body.Close()
 		if err != nil {
 			t.Fatal(err)
 		}
+		var names []string
+		if err := json.Unmarshal(out[tc.key], &names); err != nil {
+			t.Fatalf("%s: %q is not a string list: %v", tc.path, tc.key, err)
+		}
 		found := false
-		for _, n := range out[tc.key] {
+		for _, n := range names {
 			if n == tc.want {
 				found = true
 			}
 		}
 		if !found {
-			t.Errorf("%s missing %q: %v", tc.path, tc.want, out)
+			t.Errorf("%s missing %q: %v", tc.path, tc.want, names)
+		}
+		if string(out["page"]) != "1" {
+			t.Errorf("%s missing pagination trailer: %v", tc.path, out)
 		}
 	}
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -320,7 +339,7 @@ func TestDiskBackedServiceSharesCacheAcrossRestarts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return httptest.NewServer(newServer(serverConfig{Cache: cache, MaxCells: 100}).routes())
+		return httptest.NewServer(mustServer(t, serverConfig{Cache: cache, MaxCells: 100}).routes())
 	}
 	ts1 := open()
 	_, first := postGrid(t, ts1, gridBody)

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"physched/client"
+)
+
+// getJobs fetches one page of the jobs listing.
+func getJobs(t *testing.T, ts *httptest.Server, query string) jobList {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs listing status %d", resp.StatusCode)
+	}
+	var out jobList
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestJobsListingPaginationAndFilters: the jobs listing pages stably in
+// creation order, filters by state and kind, and reports totals that a
+// client can walk without racing the server.
+func TestJobsListingPaginationAndFilters(t *testing.T) {
+	ts := testServer(t)
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		sub := postAsync(t, ts, smallGridBody(int64(300+10*i)))
+		waitDone(t, ts, sub.JobID)
+		ids = append(ids, sub.JobID)
+	}
+
+	all := getJobs(t, ts, "")
+	if len(all.Jobs) != 5 || all.TotalItems != 5 || all.TotalPages != 1 || all.Page != 1 {
+		t.Fatalf("default listing: %d jobs, page info %+v", len(all.Jobs), all.PageInfo)
+	}
+	for i, j := range all.Jobs {
+		if j.ID != ids[i] {
+			t.Fatalf("listing order diverged from creation order: %v", all.Jobs)
+		}
+	}
+
+	page2 := getJobs(t, ts, "?page=2&page_size=2")
+	if len(page2.Jobs) != 2 || page2.TotalItems != 5 || page2.TotalPages != 3 {
+		t.Fatalf("page 2: %d jobs, page info %+v", len(page2.Jobs), page2.PageInfo)
+	}
+	if page2.Jobs[0].ID != ids[2] || page2.Jobs[1].ID != ids[3] {
+		t.Errorf("page 2 holds %s,%s; want %s,%s",
+			page2.Jobs[0].ID, page2.Jobs[1].ID, ids[2], ids[3])
+	}
+
+	// Pages past the end are empty, not errors.
+	past := getJobs(t, ts, "?page=4&page_size=2")
+	if past.Jobs == nil || len(past.Jobs) != 0 {
+		t.Errorf("past-the-end page returned %v, want an empty (non-null) list", past.Jobs)
+	}
+
+	// Filters compose with pagination.
+	done := getJobs(t, ts, "?state=done&kind=grid&page_size=3")
+	if done.TotalItems != 5 || len(done.Jobs) != 3 {
+		t.Errorf("filtered listing: %d of %d jobs", len(done.Jobs), done.TotalItems)
+	}
+	if none := getJobs(t, ts, "?state=running"); none.TotalItems != 0 {
+		t.Errorf("running filter matched %d finished jobs", none.TotalItems)
+	}
+	if none := getJobs(t, ts, "?kind=study"); none.TotalItems != 0 {
+		t.Errorf("study filter matched %d grid jobs", none.TotalItems)
+	}
+}
+
+// TestRegistryListingsPaginate: the policy and workload registries use
+// the same page/page_size protocol as the jobs listing.
+func TestRegistryListingsPaginate(t *testing.T) {
+	ts := testServer(t)
+
+	var full client.PolicyList
+	resp, err := http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&full)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalItems != len(full.Policies) || full.TotalItems == 0 {
+		t.Fatalf("bad unpaginated policy listing: %+v", full)
+	}
+
+	// One-per-page walk re-assembles the full listing in order.
+	var walked []string
+	for page := 1; ; page++ {
+		var pl client.PolicyList
+		resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/policies?page=%d&page_size=1", page))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&pl)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pl.Policies) == 0 {
+			break
+		}
+		walked = append(walked, pl.Policies...)
+	}
+	if len(walked) != full.TotalItems {
+		t.Fatalf("walk collected %d policies, want %d", len(walked), full.TotalItems)
+	}
+	for i, name := range walked {
+		if name != full.Policies[i] {
+			t.Errorf("walked order diverged at %d: %q vs %q", i, name, full.Policies[i])
+		}
+	}
+}
+
+// TestStudyListing: finished studies appear as summaries in the
+// paginated GET /v1/studies listing.
+func TestStudyListing(t *testing.T) {
+	ts := testServer(t)
+	_, study := postStudy(t, ts, studyBody)
+
+	resp, err := http.Get(ts.URL + "/v1/studies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out studyList
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Studies) != 1 || out.TotalItems != 1 {
+		t.Fatalf("study listing %+v, want the one finished study", out)
+	}
+	sum := out.Studies[0]
+	if sum.Hash != study.StudyHash || sum.Algorithm != study.Report.Algorithm ||
+		sum.Budget != study.Report.Budget || sum.EvaluatedCells != study.Report.EvaluatedCells {
+		t.Errorf("summary %+v does not match report %+v", sum, study.Report)
+	}
+	if sum.BestValue == nil || *sum.BestValue != study.Report.Best.Value {
+		t.Errorf("summary best value %v, want %v", sum.BestValue, study.Report.Best.Value)
+	}
+}

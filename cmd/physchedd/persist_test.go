@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"physched/internal/lab"
+	"physched/internal/opt"
+	"physched/internal/resultcache"
+)
+
+// persistEpoch pins every job timestamp in the persistence tests.
+var persistEpoch = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// persistServer opens a service over a shared disk cache and state
+// directory on a fake clock — the restartable configuration. The caller
+// restarts by calling it again with the same directories.
+func persistServer(t *testing.T, cacheDir, stateDir string, pool *lab.Pool) (*server, *httptest.Server) {
+	t.Helper()
+	cache, err := resultcache.Open(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool == nil {
+		pool = lab.NewPool(2)
+		t.Cleanup(pool.Close)
+	}
+	s := mustServer(t, serverConfig{
+		Cache:    cache,
+		Pool:     pool,
+		MaxCells: 100,
+		StateDir: stateDir,
+		Clock:    func() time.Time { return persistEpoch },
+	})
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// rawStream reads a job's full NDJSON stream verbatim.
+func rawStream(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFinishedJobsSurviveRestart: with -state-dir, a finished async job
+// outlives the process — after a restart on the same directory it is
+// still listed, its status counters are intact, and re-attaching to its
+// stream replays the original run byte-for-byte.
+func TestFinishedJobsSurviveRestart(t *testing.T) {
+	cacheDir, stateDir := t.TempDir(), t.TempDir()
+
+	_, ts1 := persistServer(t, cacheDir, stateDir, nil)
+	sub := postAsync(t, ts1, gridBody)
+	before := waitDone(t, ts1, sub.JobID)
+	if before.State != string(jobDone) {
+		t.Fatalf("job finished in state %q", before.State)
+	}
+	beforeStream := rawStream(t, ts1, sub.JobID)
+	ts1.Close()
+
+	_, ts2 := persistServer(t, cacheDir, stateDir, nil)
+	after := getStatus(t, ts2, sub.JobID)
+	if after.State != string(jobDone) || after.Done != before.Done ||
+		after.Total != before.Total || after.CacheHits != before.CacheHits {
+		t.Errorf("restored status %+v, want %+v", after, before)
+	}
+	if after.Hash != before.Hash || after.GridHash != before.Hash {
+		t.Errorf("restored hashes %q/%q, want %q", after.Hash, after.GridHash, before.Hash)
+	}
+	if !after.Created.Equal(before.Created) {
+		t.Errorf("restored Created %v, want %v", after.Created, before.Created)
+	}
+	afterStream := rawStream(t, ts2, sub.JobID)
+	if !bytes.Equal(beforeStream, afterStream) {
+		t.Errorf("replay across restart is not byte-identical:\nbefore: %d bytes\nafter:  %d bytes",
+			len(beforeStream), len(afterStream))
+	}
+
+	// The restored job appears in the listing.
+	resp, err := http.Get(ts2.URL + "/v1/jobs?state=done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing jobList
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != sub.JobID {
+		t.Errorf("restored listing %+v, want the one restored job", listing.Jobs)
+	}
+}
+
+// TestRunningGridJobResumesAfterCrash is the restart-resume acceptance
+// test: a grid job is submitted, the process "dies" before any of its
+// cells ran, and a new server over the same state and cache directories
+// restarts it under the original job id. Cells the service had already
+// simulated (a pre-warmed subset) are replayed from the content cache —
+// exactly the uncached remainder is re-simulated — and the resumed
+// result is byte-identical to an uninterrupted run.
+func TestRunningGridJobResumesAfterCrash(t *testing.T) {
+	// Reference: the same grid run uninterrupted on an isolated server.
+	ref := testServer(t)
+	_, refResult := postGrid(t, ref, gridBody)
+
+	cacheDir, stateDir := t.TempDir(), t.TempDir()
+	pool := lab.NewPool(1)
+	t.Cleanup(pool.Close)
+	s1, ts1 := persistServer(t, cacheDir, stateDir, pool)
+
+	// Warm the cache with half the grid: the single-seed subgrid shares
+	// cell specs — and therefore content hashes — with the full grid.
+	warmBody := strings.Replace(gridBody, `"seeds": [1, 2]`, `"seeds": [1]`, 1)
+	_, warm := postGrid(t, ts1, warmBody)
+	warmed := len(warm.Cells)
+
+	// Park the pool's only worker so the full-grid job cannot progress,
+	// then crash: journals freeze with the job mid-flight.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		pool.Run(t.Context(), 1, func(int) { close(started); <-gate })
+	}()
+	<-started
+	sub := postAsync(t, ts1, gridBody)
+	s1.crash()
+	close(gate)
+	<-blockerDone
+	ts1.Close()
+
+	// Restart on the same directories: recovery resumes the job under its
+	// original id.
+	_, ts2 := persistServer(t, cacheDir, stateDir, nil)
+	st := waitDone(t, ts2, sub.JobID)
+	if st.State != string(jobDone) {
+		t.Fatalf("resumed job finished in state %q (%s)", st.State, st.Error)
+	}
+	if st.ID != sub.JobID {
+		t.Fatalf("resumed job id %q, want %q", st.ID, sub.JobID)
+	}
+
+	_, resumed := readStream(t, ts2, sub.JobID)
+	if len(resumed.Cells) != len(refResult.Cells) {
+		t.Fatalf("resumed run produced %d cells, want %d", len(resumed.Cells), len(refResult.Cells))
+	}
+	// Exactly the warmed cells replay from cache; the rest re-simulate.
+	if resumed.CacheHits != warmed {
+		t.Errorf("resumed run had %d cache hits, want %d (the pre-crash warmed cells)",
+			resumed.CacheHits, warmed)
+	}
+	a, _ := json.Marshal(refResult.Cells)
+	b, _ := json.Marshal(resumed.Cells)
+	if !bytes.Equal(a, b) {
+		t.Errorf("resumed cells diverged from the uninterrupted run:\n%s\n%s", a, b)
+	}
+	ag, _ := json.Marshal(refResult.Aggregates)
+	bg, _ := json.Marshal(resumed.Aggregates)
+	if !bytes.Equal(ag, bg) {
+		t.Errorf("resumed aggregates diverged from the uninterrupted run:\n%s\n%s", ag, bg)
+	}
+}
+
+// TestRunningStudyJobResumesAfterCrash: a study job interrupted by
+// process death restarts on the next boot and converges to the same
+// report as an uninterrupted run — byte-identical once the two
+// cache-accounting fields (simulated_cells, cache_hits), which honestly
+// depend on what the dead run had already cached, are zeroed.
+func TestRunningStudyJobResumesAfterCrash(t *testing.T) {
+	ref := testServer(t)
+	_, refStudy := postStudy(t, ref, studyBody)
+
+	cacheDir, stateDir := t.TempDir(), t.TempDir()
+	pool := lab.NewPool(1)
+	t.Cleanup(pool.Close)
+	s1, ts1 := persistServer(t, cacheDir, stateDir, pool)
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		pool.Run(t.Context(), 1, func(int) { close(started); <-gate })
+	}()
+	<-started
+	resp, err := http.Post(ts1.URL+"/v1/studies?async=1", "application/json", strings.NewReader(studyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub jobSubmitted
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.crash()
+	close(gate)
+	<-blockerDone
+	ts1.Close()
+
+	s2, ts2 := persistServer(t, cacheDir, stateDir, nil)
+	st := waitDone(t, ts2, sub.JobID)
+	if st.State != string(jobDone) {
+		t.Fatalf("resumed study finished in state %q (%s)", st.State, st.Error)
+	}
+
+	report, ok := s2.studies.get(sub.Hash)
+	if !ok {
+		t.Fatal("resumed study report not retained")
+	}
+	normalize := func(r opt.Report) []byte {
+		r.SimulatedCells, r.CacheHits = 0, 0
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := normalize(*refStudy.Report), normalize(*report); !bytes.Equal(a, b) {
+		t.Errorf("resumed report diverged from the uninterrupted run:\n%s\n%s", a, b)
+	}
+}
+
+// TestResumeRespectsChangedLimits: a journaled job whose request no
+// longer plans (the operator tightened -max-cells across the restart)
+// surfaces as a failed job, not a crashed or silently vanished one.
+func TestResumeRespectsChangedLimits(t *testing.T) {
+	cacheDir, stateDir := t.TempDir(), t.TempDir()
+	pool := lab.NewPool(1)
+	t.Cleanup(pool.Close)
+	s1, ts1 := persistServer(t, cacheDir, stateDir, pool)
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		pool.Run(t.Context(), 1, func(int) { close(started); <-gate })
+	}()
+	<-started
+	sub := postAsync(t, ts1, gridBody)
+	s1.crash()
+	close(gate)
+	<-blockerDone
+	ts1.Close()
+
+	cache, err := resultcache.Open(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustServer(t, serverConfig{
+		Cache:    cache,
+		Pool:     lab.NewPool(1),
+		MaxCells: 2, // the 8-cell grid no longer plans
+		StateDir: stateDir,
+		Clock:    func() time.Time { return persistEpoch },
+	})
+	t.Cleanup(s2.pool.Close)
+	j, ok := s2.jobs.get(sub.JobID)
+	if !ok {
+		t.Fatal("unresumable job vanished from the listing")
+	}
+	st := j.status()
+	if st.State != string(jobFailed) || st.Error == "" {
+		t.Errorf("unresumable job status %+v, want failed with an error message", st)
+	}
+}

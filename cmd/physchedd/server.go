@@ -1,20 +1,42 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
+	"physched/client"
 	"physched/internal/lab"
 	"physched/internal/resultcache"
 	"physched/internal/sched"
 	"physched/internal/spec"
 	"physched/internal/workload"
+)
+
+// The wire format lives in physched/client — the same structs the typed
+// client decodes are the structs this server encodes, so the two cannot
+// drift. The aliases keep the handler code reading naturally.
+type (
+	specResponse    = client.SpecResponse
+	progressLine    = client.ProgressLine
+	cellResult      = client.CellResult
+	aggregateResult = client.AggregateResult
+	resultLine      = client.ResultLine
+	errorLine       = client.ErrorLine
+	studyLine       = client.StudyLine
+	jobStatus       = client.JobStatus
+	jobSubmitted    = client.JobSubmitted
+	jobList         = client.JobList
+	studySummary    = client.StudySummary
+	studyList       = client.StudyList
 )
 
 // serverConfig wires the spec layer, the shared lab pool and the result
@@ -34,6 +56,13 @@ type serverConfig struct {
 	// MaxJobs bounds async-job retention (finished jobs are evicted
 	// oldest-first past the cap). 0 means defaultMaxJobs.
 	MaxJobs int
+	// StateDir, when non-empty, persists async jobs (metadata plus the
+	// replay stream) as one journal file each under this directory. On
+	// startup finished jobs are reloaded — still listable, streamable and
+	// byte-identical on replay — and jobs that were running when the
+	// process died are restarted through the content cache, re-simulating
+	// only uncached cells. Empty disables persistence.
+	StateDir string
 	// Clock supplies job-lifecycle timestamps (created/finished/age).
 	// nil wires the real clock; tests inject a fake for deterministic
 	// lifecycle assertions.
@@ -43,13 +72,18 @@ type serverConfig struct {
 const defaultMaxJobs = 64
 
 type server struct {
-	cache       resultcache.Store
+	cache       *resultcache.Counted
 	pool        *lab.Pool
 	maxCells    int
 	maxInflight int
 	clock       func() time.Time
+	started     time.Time
 	jobs        *jobManager
 	studies     *reportStore
+	journal     *jobJournal
+	// jobsWG joins every async-job goroutine; crash() (tests) and
+	// recovery correctness depend on knowing when they are gone.
+	jobsWG sync.WaitGroup
 
 	mu       sync.Mutex
 	inflight int
@@ -59,7 +93,7 @@ type server struct {
 // eviction; an evicted report is rebuilt at cache speed by re-POSTing).
 const maxStudyReports = 256
 
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.Pool == nil {
 		cfg.Pool = lab.NewPool(0)
 	}
@@ -71,25 +105,40 @@ func newServer(cfg serverConfig) *server {
 		// downstream receives the injected clock.
 		cfg.Clock = time.Now //physched:walltime service wiring site: job timestamps come from the real clock in production
 	}
-	return &server{
-		cache:       cfg.Cache,
+	s := &server{
+		cache:       resultcache.NewCounted(cfg.Cache),
 		pool:        cfg.Pool,
 		maxCells:    cfg.MaxCells,
 		maxInflight: cfg.MaxInflight,
 		clock:       cfg.Clock,
+		started:     cfg.Clock(),
 		jobs:        newJobManager(cfg.MaxJobs),
 		studies:     newReportStore(maxStudyReports),
 	}
+	if cfg.StateDir != "" {
+		j, err := newJobJournal(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.jobs.onEvict = j.remove
+	}
+	if err := s.recoverJobs(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/specs", s.handleSpec)
 	mux.HandleFunc("POST /v1/grids", s.handleGrid)
 	mux.HandleFunc("POST /v1/studies", s.handleStudies)
+	mux.HandleFunc("GET /v1/studies", s.handleStudyList)
 	mux.HandleFunc("GET /v1/studies/{hash}", s.handleStudyReport)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -119,6 +168,13 @@ func (s *server) release() {
 	s.mu.Unlock()
 }
 
+// inflightNow snapshots the admission gauge for /metrics.
+func (s *server) inflightNow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
 // writeJSON writes v as one JSON document, reporting a failed write (the
 // client is gone; there is nothing further to send it).
 func writeJSON(w http.ResponseWriter, status int, v any) error {
@@ -127,9 +183,97 @@ func writeJSON(w http.ResponseWriter, status int, v any) error {
 	return json.NewEncoder(w).Encode(v)
 }
 
-// writeError reports err as {"error": "..."}.
+// errorCode maps an HTTP status onto the stable machine-readable
+// vocabulary of client.Code*; every handler funnels its failures through
+// writeError, so the status↔code pairing is uniform across the API.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return client.CodeBadRequest
+	case http.StatusNotFound:
+		return client.CodeNotFound
+	case http.StatusConflict:
+		return client.CodeConflict
+	case http.StatusUnprocessableEntity:
+		return client.CodeInvalidSpec
+	case http.StatusTooManyRequests:
+		return client.CodeOverCapacity
+	case http.StatusServiceUnavailable:
+		return client.CodeUnavailable
+	}
+	return "error"
+}
+
+// writeError reports err in the structured envelope every error response
+// uses: {"error": {"code": "...", "message": "..."}}.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, client.ErrorEnvelope{Error: client.ErrorDetail{
+		Code:    errorCode(status),
+		Message: err.Error(),
+	}})
+}
+
+// retryAfterSeconds is the Retry-After hint sent with 429 rejections.
+// Admission rejections clear as soon as any in-flight execution
+// finishes, so a short fixed hint beats a guess derived from queue
+// depth (there is no queue — that is the point of admission control).
+const retryAfterSeconds = 1
+
+// rejectOverCapacity sends the -max-inflight admission rejection: 429
+// with a machine-readable over_capacity code and a Retry-After header,
+// so well-behaved clients can back off without parsing the message.
+func (s *server) rejectOverCapacity(w http.ResponseWriter) {
+	s.mu.Lock()
+	limit := s.maxInflight
+	s.mu.Unlock()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("server is executing %d requests, the -max-inflight limit", limit))
+}
+
+// Pagination bounds. A request without page parameters gets the first
+// defaultPageSize items, so an unbounded listing can no longer be
+// requested by accident; maxPageSize caps the deliberate form.
+const (
+	defaultPageSize = 20
+	maxPageSize     = 500
+)
+
+// parsePage reads page/page_size query parameters with defaults,
+// rejecting non-positive or oversized values.
+func parsePage(q url.Values) (page, size int, err error) {
+	page, size = 1, defaultPageSize
+	if v := q.Get("page"); v != "" {
+		page, err = strconv.Atoi(v)
+		if err != nil || page < 1 {
+			return 0, 0, fmt.Errorf("page must be a positive integer, got %q", v)
+		}
+	}
+	if v := q.Get("page_size"); v != "" {
+		size, err = strconv.Atoi(v)
+		if err != nil || size < 1 || size > maxPageSize {
+			return 0, 0, fmt.Errorf("page_size must be in [1, %d], got %q", maxPageSize, v)
+		}
+	}
+	return page, size, nil
+}
+
+// paginate slices one 1-based page out of items. Pages past the end are
+// empty, not errors — a client walking pages stops at the first empty
+// one without racing the total. The returned slice is never nil, so
+// listings marshal as [] rather than null.
+func paginate[T any](items []T, page, size int) ([]T, client.PageInfo) {
+	info := client.PageInfo{
+		Page:       page,
+		PageSize:   size,
+		TotalItems: len(items),
+		TotalPages: (len(items) + size - 1) / size,
+	}
+	out := []T{}
+	if lo := (page - 1) * size; lo < len(items) {
+		out = items[lo:min(lo+size, len(items))]
+	}
+	return out, info
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -137,18 +281,23 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"policies": sched.Names()})
+	page, size, err := parsePage(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	names, info := paginate(sched.Names(), page, size)
+	writeJSON(w, http.StatusOK, client.PolicyList{Policies: names, PageInfo: info})
 }
 
 func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"workloads": workload.Names()})
-}
-
-// specResponse is the body of a single-spec run.
-type specResponse struct {
-	Hash      string     `json:"hash"`
-	FromCache bool       `json:"from_cache"`
-	Result    lab.Result `json:"result"`
+	page, size, err := parsePage(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	names, info := paginate(workload.Names(), page, size)
+	writeJSON(w, http.StatusOK, client.WorkloadList{Workloads: names, PageInfo: info})
 }
 
 // handleSpec runs one declarative spec on the shared pool, serving and
@@ -176,8 +325,7 @@ func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admit() {
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("server is executing %d requests, the -max-inflight limit", s.maxInflight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	defer s.release()
@@ -203,49 +351,6 @@ func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	stored := res.Stored()
 	s.cache.Put(hash, stored)
 	writeJSON(w, http.StatusOK, specResponse{Hash: hash, Result: stored})
-}
-
-// progressLine is one NDJSON progress event of a grid run.
-type progressLine struct {
-	Type       string  `json:"type"` // "progress"
-	Done       int     `json:"done"`
-	Total      int     `json:"total"`
-	Label      string  `json:"label,omitempty"`
-	Load       float64 `json:"load_jobs_per_hour"`
-	Seed       int64   `json:"seed"`
-	Overloaded bool    `json:"overloaded"`
-	FromCache  bool    `json:"from_cache"`
-}
-
-// cellResult is one cell of the final grid result line.
-type cellResult struct {
-	Hash   string     `json:"hash"`
-	Label  string     `json:"label,omitempty"`
-	Result lab.Result `json:"result"`
-}
-
-// aggregateResult is one (variant, load) replica aggregate of the final
-// grid result line, present when the grid has a seed axis.
-type aggregateResult struct {
-	Hash      string        `json:"hash"`
-	Label     string        `json:"label,omitempty"`
-	Load      float64       `json:"load_jobs_per_hour"`
-	Aggregate lab.Aggregate `json:"aggregate"`
-}
-
-// resultLine terminates a grid stream.
-type resultLine struct {
-	Type       string            `json:"type"` // "result"
-	GridHash   string            `json:"grid_hash"`
-	CacheHits  int               `json:"cache_hits"`
-	Cells      []cellResult      `json:"cells"`
-	Aggregates []aggregateResult `json:"aggregates,omitempty"`
-}
-
-// errorLine reports a failure after streaming began.
-type errorLine struct {
-	Type  string `json:"type"` // "error"
-	Error string `json:"error"`
 }
 
 // gridPlan is a fully validated grid request: compiled, size-checked, and
@@ -420,19 +525,23 @@ func (s *server) resultLineFor(p *gridPlan, rs *lab.RunSet) resultLine {
 // and saved to — the content-addressed cache, so re-POSTing a grid
 // re-simulates nothing.
 func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
-	plan, status, err := s.planGrid(r.Body)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, status, err := s.planGrid(bytes.NewReader(body))
 	if err != nil {
 		writeError(w, status, err)
 		return
 	}
 	if !s.admit() {
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("server is executing %d requests, the -max-inflight limit", s.maxInflight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	if async := r.URL.Query().Get("async"); async != "" && async != "0" && async != "false" {
 		// startJob releases the admission slot when execution finishes.
-		job := s.startJob("grid", plan.hash, len(plan.cells),
+		job := s.startJob("grid", plan.hash, len(plan.cells), body,
 			func(ctx context.Context, emit func(any) error) { s.runGrid(ctx, plan, emit) })
 		w.Header().Set("Location", "/v1/jobs/"+job.id)
 		writeJSON(w, http.StatusAccepted, job.submitted())
@@ -474,8 +583,5 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no cached aggregate for this hash"))
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Hash      string        `json:"hash"`
-		Aggregate lab.Aggregate `json:"aggregate"`
-	}{hash, agg})
+	writeJSON(w, http.StatusOK, client.AggregateResponse{Hash: hash, Aggregate: agg})
 }

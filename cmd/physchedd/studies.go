@@ -1,24 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 
 	"physched/internal/opt"
 )
-
-// studyLine terminates a study stream: the full report of the finished
-// search.
-type studyLine struct {
-	Type      string      `json:"type"` // "study"
-	StudyHash string      `json:"study_hash"`
-	Report    *opt.Report `json:"report"`
-}
 
 // studyPlan is a fully validated study request: prepared once (validated,
 // normalised, hashed, space enumerated) and run as-is.
@@ -84,18 +78,22 @@ func (s *server) runStudy(ctx context.Context, p *studyPlan, emit func(any) erro
 // report; with ?async=1 it returns 202 and a job id immediately, sharing
 // the grid jobs' lifecycle endpoints (status, stream, list, cancel).
 func (s *server) handleStudies(w http.ResponseWriter, r *http.Request) {
-	plan, status, err := s.planStudy(r.Body)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, status, err := s.planStudy(bytes.NewReader(body))
 	if err != nil {
 		writeError(w, status, err)
 		return
 	}
 	if !s.admit() {
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("server is executing %d requests, the -max-inflight limit", s.maxInflight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	if async := r.URL.Query().Get("async"); async != "" && async != "0" && async != "false" {
-		job := s.startJob("study", plan.hash(), plan.prep.Study.Search.BudgetCells,
+		job := s.startJob("study", plan.hash(), plan.prep.Study.Search.BudgetCells, body,
 			func(ctx context.Context, emit func(any) error) { s.runStudy(ctx, plan, emit) })
 		w.Header().Set("Location", "/v1/jobs/"+job.id)
 		writeJSON(w, http.StatusAccepted, job.submitted())
@@ -130,14 +128,28 @@ func (s *server) handleStudyReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, studyLine{Type: "study", StudyHash: hash, Report: report})
 }
 
+// handleStudyList lists retained study reports as one-line summaries,
+// paginated like every other listing. The full report stays one GET
+// /v1/studies/{hash} away.
+func (s *server) handleStudyList(w http.ResponseWriter, r *http.Request) {
+	page, size, err := parsePage(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	summaries, info := paginate(s.studies.list(), page, size)
+	writeJSON(w, http.StatusOK, studyList{Studies: summaries, PageInfo: info})
+}
+
 // reportStore retains finished study reports by hash with bounded,
 // oldest-first eviction. Reports are small (a leaderboard, a trajectory)
 // and rebuildable at cache speed, so memory retention suffices.
 type reportStore struct {
-	mu    sync.Mutex
-	max   int
-	m     map[string]*opt.Report
-	order []string
+	mu      sync.Mutex
+	max     int
+	m       map[string]*opt.Report
+	order   []string
+	evicted uint64 // reports dropped by retention, for /metrics
 }
 
 func newReportStore(max int) *reportStore {
@@ -154,6 +166,7 @@ func (r *reportStore) put(hash string, rep *opt.Report) {
 	for len(r.order) > r.max {
 		delete(r.m, r.order[0])
 		r.order = r.order[1:]
+		r.evicted++
 	}
 }
 
@@ -162,4 +175,34 @@ func (r *reportStore) get(hash string) (*opt.Report, bool) {
 	defer r.mu.Unlock()
 	rep, ok := r.m[hash]
 	return rep, ok
+}
+
+// list summarises retained reports, sorted by hash so pagination is
+// stable regardless of completion order.
+func (r *reportStore) list() []studySummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]studySummary, 0, len(r.m))
+	for hash, rep := range r.m {
+		sum := studySummary{
+			Hash:           hash,
+			Algorithm:      rep.Algorithm,
+			Budget:         rep.Budget,
+			EvaluatedCells: rep.EvaluatedCells,
+		}
+		if rep.Best != nil {
+			v := rep.Best.Value
+			sum.BestValue = &v
+		}
+		out = append(out, sum)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Hash < out[b].Hash })
+	return out
+}
+
+// stats snapshots retention counters for /metrics.
+func (r *reportStore) stats() (held int, evicted uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m), r.evicted
 }

@@ -17,6 +17,13 @@
 //	physchedsim -spec scenario.json [-histogram] [-replicate N] ...
 //	physchedsim -study study.json [-cache-dir DIR] [-parallel N]
 //	            [-timeout D] [-progress]
+//	physchedsim -spec scenario.json -server http://localhost:8080
+//	physchedsim -study study.json -server http://localhost:8080 [-progress]
+//
+// With -server the spec or study is executed by a running physchedd
+// service through the typed physched/client package: the service's pool
+// does the work and its content-addressed cache makes repeated runs
+// free. The printed report is the same either way.
 //
 // With -study the program runs a budgeted scenario search (internal/opt)
 // instead of a single scenario: the study file names a base spec, search
@@ -63,6 +70,7 @@ func main() {
 		stated    = flag.Bool("stated-params", false, "use the paper's stated raw constants instead of the calibrated preset")
 		specPath  = flag.String("spec", "", "declarative JSON scenario spec (overrides the other scenario flags; see internal/spec)")
 		studyPath = flag.String("study", "", "budgeted scenario-search study spec (JSON; see internal/opt) — runs the search instead of a single scenario")
+		server    = flag.String("server", "", "physchedd base URL — run the -spec or -study on the service (typed client) instead of in-process")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory for -study runs (empty = in-memory only)")
 		tracePath = flag.String("trace", "", "write a JSONL execution trace to this file")
 		replicate = flag.Int("replicate", 1, "run the scenario this many times with seeds derived from the seed and report mean ± 95% CI")
@@ -76,9 +84,39 @@ func main() {
 		if *specPath != "" || *tracePath != "" || *histogram || *replicate > 1 {
 			log.Fatal("-study is incompatible with -spec, -trace, -histogram and -replicate (the study spec describes the whole search)")
 		}
+		if *server != "" {
+			if _, err := remoteStudy(*server, *studyPath, *timeout, *progress); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if _, err := runStudy(*studyPath, *cacheDir, *parallel, *timeout, *progress); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *server != "" {
+		// Remote execution runs the spec on the service's pool and cache;
+		// the flags that shape a local run do not apply.
+		if *specPath == "" {
+			log.Fatal("-server requires -spec or -study (the serializable formats the service accepts)")
+		}
+		if *tracePath != "" || *histogram || *replicate > 1 {
+			log.Fatal("-server is incompatible with -trace, -histogram and -replicate (they describe a local run)")
+		}
+		res, sp, err := remoteSpec(*server, *specPath, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc, err := sp.Scenario()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.FromCache {
+			fmt.Fprintf(os.Stderr, "served from cache (hash %s)\n", res.Hash)
+		}
+		report(res.Result, sc.Params, false)
 		return
 	}
 

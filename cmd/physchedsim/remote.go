@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"physched/client"
+	"physched/internal/opt"
+	"physched/internal/spec"
+)
+
+// remoteSpec runs a spec file on a physchedd service through the typed
+// client and returns the result plus the spec itself (the local report
+// needs the model parameters for its reference lines). The service
+// serves cached results without re-simulating, so pointing -server at a
+// long-lived daemon makes repeated CLI runs free.
+func remoteSpec(server, specPath string, timeout time.Duration) (client.SpecResponse, spec.Spec, error) {
+	sp, err := loadSpec(specPath)
+	if err != nil {
+		return client.SpecResponse{}, spec.Spec{}, err
+	}
+	body, err := os.ReadFile(specPath)
+	if err != nil {
+		return client.SpecResponse{}, spec.Spec{}, err
+	}
+	ctx, cancel := remoteContext(timeout)
+	defer cancel()
+	res, err := client.New(server).RunSpec(ctx, body)
+	if err != nil {
+		return client.SpecResponse{}, spec.Spec{}, err
+	}
+	return res, sp, nil
+}
+
+// remoteStudy runs a study spec on a physchedd service through the typed
+// client, streaming progress to stderr when asked, and prints the report
+// exactly like a local -study run.
+func remoteStudy(server, studyPath string, timeout time.Duration, progress bool) (*opt.Report, error) {
+	body, err := os.ReadFile(studyPath)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := remoteContext(timeout)
+	defer cancel()
+	var onProgress func(client.ProgressLine)
+	if progress {
+		onProgress = func(p client.ProgressLine) {
+			state := "steady"
+			if p.Overloaded {
+				state = "overloaded"
+			}
+			src := "simulated"
+			if p.FromCache {
+				src = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "progress: cell %d/%d  %-50s seed=%d  %s %s\n",
+				p.Done, p.Total, p.Label, p.Seed, state, src)
+		}
+	}
+	study, err := client.New(server).RunStudy(ctx, body, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(study.Report.Render())
+	fmt.Println()
+	fmt.Print(study.Report.TrajectoryPlot())
+	return study.Report, nil
+}
+
+// remoteContext bounds a remote call like -timeout bounds local runs.
+func remoteContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}

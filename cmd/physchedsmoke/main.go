@@ -1,0 +1,140 @@
+// Command physchedsmoke is the end-to-end smoke check CI runs against a
+// live physchedd: it waits for the service to come up, drives one async
+// grid through the typed physched/client package (submit → wait →
+// stream), and scrapes /metrics, failing on a non-200 or a missing
+// counter family. Exit status 0 means the deployed binary serves its
+// whole async path, not just /healthz.
+//
+// Usage:
+//
+//	physchedsmoke [-server http://localhost:8080] [-timeout 2m]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"physched/client"
+)
+
+// smokeGrid is a small 2×2×2 grid: large enough to exercise progress
+// streaming, aggregates and the cache, small enough for a CI minute.
+const smokeGrid = `{
+	"base": {
+		"params": {"nodes": 3, "cache_gb": 6, "mean_job_events": 1000, "dataspace_gb": 60},
+		"policy": {"name": "outoforder"},
+		"load_jobs_per_hour": 1.0,
+		"seed": 5,
+		"warmup_jobs": 10,
+		"measure_jobs": 40
+	},
+	"variants": [
+		{"label": "ooo"},
+		{"label": "farm", "policy": {"name": "farm"}}
+	],
+	"loads": [0.8, 1.1],
+	"seeds": [1, 2]
+}`
+
+// requiredFamilies must all appear in one /metrics scrape; a missing
+// family means an instrumentation layer silently fell off.
+var requiredFamilies = []string{
+	"physchedd_pool_workers",
+	"physchedd_pool_busy",
+	"physchedd_pool_utilization",
+	"physchedd_pool_tasks_total",
+	"physchedd_cells_per_second",
+	"physchedd_inflight",
+	"physchedd_cache_gets_total",
+	"physchedd_cache_puts_total",
+	"physchedd_jobs",
+	"physchedd_jobs_evicted_total",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("physchedsmoke: ")
+	var (
+		server  = flag.String("server", "http://localhost:8080", "physchedd base URL")
+		timeout = flag.Duration("timeout", 2*time.Minute, "overall deadline for the whole smoke run")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*server)
+
+	// The service may still be binding its listener when CI reaches us.
+	for {
+		if err := c.Health(ctx); err == nil {
+			break
+		} else if ctx.Err() != nil {
+			log.Fatalf("service never became healthy: %v", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	log.Printf("healthy: %s", *server)
+
+	sub, err := c.SubmitGrid(ctx, []byte(smokeGrid))
+	if err != nil {
+		log.Fatalf("async submit failed: %v", err)
+	}
+	if sub.JobID == "" || sub.Hash == "" || sub.Hash != sub.GridHash {
+		log.Fatalf("bad submission document: %+v", sub)
+	}
+	log.Printf("submitted job %s (grid %.12s…)", sub.JobID, sub.Hash)
+
+	st, err := c.WaitJob(ctx, sub.JobID, 100*time.Millisecond)
+	if err != nil {
+		log.Fatalf("waiting on job %s: %v", sub.JobID, err)
+	}
+	if st.State != "done" {
+		log.Fatalf("job %s finished in state %q: %s", sub.JobID, st.State, st.Error)
+	}
+	log.Printf("job done: %d/%d cells (%d from cache)", st.Done, st.Total, st.CacheHits)
+
+	progress := 0
+	result, _, err := c.StreamJob(ctx, sub.JobID, func(client.ProgressLine) { progress++ })
+	if err != nil {
+		log.Fatalf("replaying job stream: %v", err)
+	}
+	if result == nil || len(result.Cells) == 0 {
+		log.Fatalf("job stream replayed no result cells (progress lines: %d)", progress)
+	}
+	log.Printf("stream replayed: %d progress lines, %d cells", progress, len(result.Cells))
+
+	// The listing sees the finished job through the state filter.
+	jobs, err := c.Jobs(ctx, client.JobFilter{State: "done", Kind: "grid"})
+	if err != nil {
+		log.Fatalf("jobs listing failed: %v", err)
+	}
+	found := false
+	for _, j := range jobs.Jobs {
+		if j.ID == sub.JobID {
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("finished job %s missing from ?state=done&kind=grid listing (%d jobs)", sub.JobID, len(jobs.Jobs))
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("metrics scrape failed: %v", err)
+	}
+	var missing []string
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(metrics, "# TYPE "+fam+" ") {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		log.Fatalf("metrics scrape is missing families: %s", strings.Join(missing, ", "))
+	}
+	log.Printf("metrics: all %d required families present", len(requiredFamilies))
+	fmt.Println("smoke OK")
+}

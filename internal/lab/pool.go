@@ -29,6 +29,25 @@ type Pool struct {
 	subs   []*submission // submissions with tasks still to hand out
 	next   int           // round-robin cursor into subs
 	closed bool
+	busy   int    // workers currently inside a task
+	done   uint64 // tasks completed over the pool's lifetime
+}
+
+// PoolStats is a point-in-time snapshot of a pool's load — the counter
+// layer a service /metrics endpoint reads. Busy/Workers is the
+// utilization gauge; TasksDone is monotonic, so cells-per-second is a
+// rate over it.
+type PoolStats struct {
+	Workers   int    // worker bound
+	Busy      int    // workers currently executing a task
+	TasksDone uint64 // tasks completed since NewPool
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Workers: p.workers, Busy: p.busy, TasksDone: p.done}
 }
 
 // submission is one Run call's task set. Guarded by the pool's mutex.
@@ -124,9 +143,12 @@ func (p *Pool) worker() {
 			p.cond.Wait()
 			sub, i = p.take()
 		}
+		p.busy++
 		p.mu.Unlock()
 		sub.task(i)
 		p.mu.Lock()
+		p.busy--
+		p.done++
 		sub.inflight--
 		p.finishIfDone(sub)
 	}

@@ -1,0 +1,71 @@
+package resultcache
+
+import (
+	"sync/atomic"
+
+	"physched/internal/lab"
+)
+
+// Stats is a point-in-time snapshot of a Counted store's traffic.
+type Stats struct {
+	Hits, Misses, Puts          uint64 // result entries
+	AggHits, AggMisses, AggPuts uint64 // aggregate entries
+}
+
+// Counted wraps a Store and counts its traffic — the counter layer the
+// physchedd /metrics endpoint reads. Counters are monotonic over the
+// wrapper's lifetime; rates are the scraper's job. The wrapped store
+// still does all the work, so Counted composes with any stack Open
+// builds.
+type Counted struct {
+	inner Store
+
+	hits, misses, puts          atomic.Uint64
+	aggHits, aggMisses, aggPuts atomic.Uint64
+}
+
+// NewCounted wraps s with traffic counters.
+func NewCounted(s Store) *Counted { return &Counted{inner: s} }
+
+// Get returns the cached result for key, counting the hit or miss.
+func (c *Counted) Get(key string) (r lab.Result, ok bool) {
+	r, ok = c.inner.Get(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+// Put stores r under key, counting the write.
+func (c *Counted) Put(key string, r lab.Result) {
+	c.puts.Add(1)
+	c.inner.Put(key, r)
+}
+
+// GetAggregate returns the cached aggregate for key, counting the hit
+// or miss.
+func (c *Counted) GetAggregate(key string) (a lab.Aggregate, ok bool) {
+	a, ok = c.inner.GetAggregate(key)
+	if ok {
+		c.aggHits.Add(1)
+	} else {
+		c.aggMisses.Add(1)
+	}
+	return a, ok
+}
+
+// PutAggregate stores a under key, counting the write.
+func (c *Counted) PutAggregate(key string, a lab.Aggregate) {
+	c.aggPuts.Add(1)
+	c.inner.PutAggregate(key, a)
+}
+
+// Stats snapshots the counters.
+func (c *Counted) Stats() Stats {
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Puts: c.puts.Load(),
+		AggHits: c.aggHits.Load(), AggMisses: c.aggMisses.Load(), AggPuts: c.aggPuts.Load(),
+	}
+}
