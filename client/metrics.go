@@ -1,0 +1,229 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricSample is one sample line of a Prometheus text exposition:
+// a metric name, its label set (possibly empty) and the value.
+type MetricSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// MetricFamily groups the samples of one # TYPE declaration. For
+// histogram families the samples carry the _bucket/_sum/_count suffixes
+// in their names; HistogramAt reassembles them.
+type MetricFamily struct {
+	Name    string
+	Type    string // counter | gauge | histogram | untyped
+	Help    string
+	Samples []MetricSample
+}
+
+// ParsedMetrics indexes a parsed /metrics payload by family name.
+type ParsedMetrics struct {
+	Families map[string]*MetricFamily
+}
+
+// Histogram is one reassembled histogram series: cumulative bucket
+// counts keyed by upper bound (as written, e.g. "0.1", "+Inf"), plus
+// the running sum and total count.
+type Histogram struct {
+	Buckets map[string]float64
+	Sum     float64
+	Count   float64
+}
+
+// ParseMetrics parses a Prometheus text exposition (the Metrics method's
+// return value) into indexed families. It understands the subset the
+// service emits — # HELP/# TYPE headers and sample lines with optional
+// {label="value"} sets — and fails loudly on lines it cannot parse, so a
+// format regression is a test failure rather than a silently missing
+// series.
+func ParseMetrics(text string) (*ParsedMetrics, error) {
+	pm := &ParsedMetrics{Families: map[string]*MetricFamily{}}
+	family := func(name string) *MetricFamily {
+		f, ok := pm.Families[name]
+		if !ok {
+			f = &MetricFamily{Name: name, Type: "untyped"}
+			pm.Families[name] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			family(name).Help = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			family(name).Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("client: metrics line %d: %w", ln+1, err)
+		}
+		// Histogram suffixes index under the family (base) name.
+		base := sample.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(sample.Name, suffix)
+			if trimmed != sample.Name {
+				if f, ok := pm.Families[trimmed]; ok && f.Type == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		family(base).Samples = append(family(base).Samples, sample)
+	}
+	return pm, nil
+}
+
+// parseSampleLine splits `name{l1="v1",...} value` (label set optional).
+func parseSampleLine(line string) (MetricSample, error) {
+	s := MetricSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(line, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	} else if line[i] == '{' {
+		s.Name = line[:i]
+		end := strings.LastIndex(line, "}")
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(line[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		s.Name = line[:i]
+		rest = strings.TrimSpace(line[i+1:])
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels decodes `k1="v1",k2="v2"` (values are Go-quoted by the
+// server, so strconv.Unquote round-trips them exactly).
+func parseLabels(in string, out map[string]string) error {
+	for len(in) > 0 {
+		eq := strings.Index(in, "=")
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", in)
+		}
+		key := in[:eq]
+		rest := in[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", in)
+		}
+		// Find the closing quote, skipping escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", in)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return fmt.Errorf("bad label value %q: %w", rest[:end+1], err)
+		}
+		out[key] = val
+		in = strings.TrimPrefix(rest[end+1:], ",")
+	}
+	return nil
+}
+
+// labelsMatch reports whether got carries every key/value of want
+// (ignoring extra labels, so histogram lookups can ignore "le").
+func labelsMatch(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the sample of family name whose labels include want
+// (nil matches the first sample). ok is false when no sample matches.
+func (pm *ParsedMetrics) Value(name string, want map[string]string) (float64, bool) {
+	f, ok := pm.Families[name]
+	if !ok {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Name == name && labelsMatch(s.Labels, want) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramAt reassembles one histogram series of family name whose
+// labels include want: _bucket samples become Buckets keyed by their
+// "le" bound, _sum and _count fill the scalars. ok is false when the
+// family is absent, not a histogram, or has no matching series.
+func (pm *ParsedMetrics) HistogramAt(name string, want map[string]string) (Histogram, bool) {
+	f, ok := pm.Families[name]
+	if !ok || f.Type != "histogram" {
+		return Histogram{}, false
+	}
+	h := Histogram{Buckets: map[string]float64{}}
+	found := false
+	for _, s := range f.Samples {
+		if !labelsMatch(s.Labels, want) {
+			continue
+		}
+		switch s.Name {
+		case name + "_bucket":
+			h.Buckets[s.Labels["le"]] = s.Value
+			found = true
+		case name + "_sum":
+			h.Sum = s.Value
+			found = true
+		case name + "_count":
+			h.Count = s.Value
+			found = true
+		}
+	}
+	return h, found
+}
+
+// HistogramNames lists the histogram-typed families, sorted — the
+// assertion smoke tests make ("these families exist and are histograms").
+func (pm *ParsedMetrics) HistogramNames() []string {
+	var out []string
+	for name, f := range pm.Families {
+		if f.Type == "histogram" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+const exposition = `# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total{route="/v1/specs",status="200"} 7
+demo_requests_total{route="/v1/grids",status="422"} 1
+# HELP demo_up Whether the demo is up.
+# TYPE demo_up gauge
+demo_up 1
+# HELP demo_duration_seconds Request duration.
+# TYPE demo_duration_seconds histogram
+demo_duration_seconds_bucket{route="/v1/specs",le="0.1"} 3
+demo_duration_seconds_bucket{route="/v1/specs",le="1"} 6
+demo_duration_seconds_bucket{route="/v1/specs",le="+Inf"} 7
+demo_duration_seconds_sum{route="/v1/specs"} 2.5
+demo_duration_seconds_count{route="/v1/specs"} 7
+# a stray comment line
+demo_odd_label{msg="quote \" and backslash \\ inside"} 4
+`
+
+func TestParseMetrics(t *testing.T) {
+	pm, err := ParseMetrics(exposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := pm.Value("demo_up", nil); !ok || v != 1 {
+		t.Errorf("demo_up = %v ok=%v, want 1", v, ok)
+	}
+	if v, ok := pm.Value("demo_requests_total", map[string]string{"route": "/v1/grids", "status": "422"}); !ok || v != 1 {
+		t.Errorf("labelled counter = %v ok=%v, want 1", v, ok)
+	}
+	if _, ok := pm.Value("demo_requests_total", map[string]string{"route": "/nope"}); ok {
+		t.Error("lookup with unmatched labels succeeded")
+	}
+	if f := pm.Families["demo_requests_total"]; f.Type != "counter" || f.Help != "Requests served." {
+		t.Errorf("family metadata: %+v", f)
+	}
+
+	// Histogram suffixes index under the base family, and reassemble.
+	h, ok := pm.HistogramAt("demo_duration_seconds", map[string]string{"route": "/v1/specs"})
+	if !ok {
+		t.Fatal("histogram series not found")
+	}
+	if h.Count != 7 || h.Sum != 2.5 {
+		t.Errorf("histogram count=%v sum=%v, want 7, 2.5", h.Count, h.Sum)
+	}
+	if h.Buckets["0.1"] != 3 || h.Buckets["1"] != 6 || h.Buckets["+Inf"] != 7 {
+		t.Errorf("buckets: %v", h.Buckets)
+	}
+	if names := pm.HistogramNames(); len(names) != 1 || names[0] != "demo_duration_seconds" {
+		t.Errorf("histogram names: %v", names)
+	}
+
+	// Quoted label values unquote exactly.
+	if v, ok := pm.Value("demo_odd_label", map[string]string{"msg": `quote " and backslash \ inside`}); !ok || v != 4 {
+		t.Errorf("escaped label lookup = %v ok=%v", v, ok)
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"half_open{a=\"b\" 3\n",
+		"bad_value 12x\n",
+		"bare{a=b} 1\n",
+	} {
+		if _, err := ParseMetrics(bad); err == nil {
+			t.Errorf("ParseMetrics(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestDecodeTrace(t *testing.T) {
+	body := `{"type":"cell","index":0,"hash":"abc","load_jobs_per_hour":1,"seed":5,"events":2}
+{"t":0.5,"kind":"job_arrived","job":1,"node":0}
+{"t":1.5,"kind":"job_finished","job":1,"node":0,"events":100}
+{"type":"cell","index":1,"hash":"def","load_jobs_per_hour":1.1,"seed":5,"events":0,"dropped":9}
+`
+	cells, err := decodeTrace(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("decoded %d cells, want 2", len(cells))
+	}
+	if cells[0].Header.Hash != "abc" || len(cells[0].Events) != 2 {
+		t.Errorf("cell 0: %+v", cells[0])
+	}
+	if cells[0].Events[1].Kind != "job_finished" || cells[0].Events[1].Events != 100 {
+		t.Errorf("cell 0 event 1: %+v", cells[0].Events[1])
+	}
+	if cells[1].Header.Dropped != 9 || len(cells[1].Events) != 0 {
+		t.Errorf("cell 1: %+v", cells[1])
+	}
+
+	if _, err := decodeTrace(strings.NewReader(`{"t":1,"kind":"x","job":1,"node":0}` + "\n")); err == nil {
+		t.Error("event before any header was accepted")
+	}
+	if _, err := decodeTrace(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line was accepted")
+	}
+}

@@ -142,6 +142,28 @@ type JobStatus struct {
 	AgeSec    float64    `json:"age_sec"`
 	Finished  *time.Time `json:"finished,omitempty"`
 	Error     string     `json:"error,omitempty"`
+	// RequestID is the correlation ID of the request that submitted the
+	// job (X-Request-Id), carried on the record so async work stays
+	// greppable in the server's logs. omitempty keeps the wire format
+	// byte-compatible with pre-observability servers.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// TraceCellHeader is the per-cell header line of GET /v1/jobs/{id}/trace
+// NDJSON: each cell of a ?trace=1 grid job contributes one header line
+// ({"type":"cell",...}) followed by Events trace-event lines
+// (internal/trace.Event encoding). Dropped counts events discarded by
+// the server's -max-trace-events cap; a zero Dropped header is a
+// complete cell trace.
+type TraceCellHeader struct {
+	Type    string  `json:"type"` // "cell"
+	Index   int     `json:"index"`
+	Hash    string  `json:"hash"` // cell spec hash (GET /v1/results/{hash})
+	Label   string  `json:"label,omitempty"`
+	Load    float64 `json:"load_jobs_per_hour"`
+	Seed    int64   `json:"seed"`
+	Events  int     `json:"events"`
+	Dropped uint64  `json:"dropped,omitempty"`
 }
 
 // JobSubmitted is the 202 body of an async submission.

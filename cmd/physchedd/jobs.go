@@ -1,16 +1,20 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
+
+	"physched/client"
 )
 
 // jobState is the lifecycle of an asynchronously submitted execution.
@@ -45,6 +49,10 @@ type job struct {
 	id   string
 	kind string // "grid" | "study"
 	hash string // grid or study content hash
+	// requestID is the correlation ID of the submitting request, carried
+	// on the job record (and its journal) so log lines and status
+	// responses for async work still tie back to the original submit.
+	requestID string
 	// clock stamps created/finished and measures age. Injected (the
 	// server wires time.Now, tests wire a fake) so job lifecycle
 	// timestamps are deterministic under test and the walltime analyzer
@@ -68,6 +76,12 @@ type job struct {
 	cacheHits int
 	errMsg    string
 	finished  time.Time
+	// traceData is the rendered per-cell trace JSONL of a ?trace=1 job,
+	// attached once execution finishes (GET /v1/jobs/{id}/trace). Held
+	// in memory only — traces do not survive a restart; a resumed
+	// traced job regenerates its trace by re-running.
+	traceData []byte
+	traced    bool // submitted with ?trace=1
 }
 
 func newJob(kind, hash string, total int, clock func() time.Time) *job {
@@ -191,7 +205,7 @@ func (j *job) status() jobStatus {
 		ID: j.id, Kind: j.kind, Hash: j.hash, GridHash: j.hash, State: string(j.state),
 		Done: j.done, Total: j.total, CacheHits: j.cacheHits,
 		Created: j.created, AgeSec: j.clock().Sub(j.created).Seconds(),
-		Error: j.errMsg,
+		Error: j.errMsg, RequestID: j.requestID,
 	}
 	if j.state != jobRunning {
 		f := j.finished
@@ -307,18 +321,38 @@ func (m *jobManager) counts() (byState map[jobState]int, evicted uint64) {
 	return byState, evicted
 }
 
+// jobParams identifies a new async job: its kind and content hash, the
+// progress total, the journaled request body, and the observability
+// carry-overs (submitting request's correlation ID, trace flag).
+type jobParams struct {
+	kind      string // "grid" | "study"
+	hash      string
+	total     int
+	request   []byte
+	requestID string
+	traced    bool
+}
+
 // startJob launches run in the background as a tracked, cancellable job.
 // The job runs to completion even if the submitter disconnects — that is
 // the point of async submission — and releases its admission slot when
 // execution finishes. DELETE /v1/jobs/{id} cancels it through its
-// context. request is the original document body, journaled so the job
-// can be restarted from the state dir after process death.
-func (s *server) startJob(kind, hash string, total int, request []byte, run func(ctx context.Context, emit func(any) error)) *job {
-	j := newJob(kind, hash, total, s.clock)
+// context. p.request is the original document body, journaled so the job
+// can be restarted from the state dir after process death. run receives
+// the job itself so post-execution artefacts (the rendered trace) can
+// attach before the goroutine exits.
+func (s *server) startJob(p jobParams, run func(ctx context.Context, j *job, emit func(any) error)) *job {
+	j := newJob(p.kind, p.hash, p.total, s.clock)
+	j.requestID = p.requestID
+	j.traced = p.traced
+	if p.traced {
+		s.traceJobs.Add(1)
+	}
 	if s.journal != nil {
 		w, err := s.journal.create(journalMeta{
-			Type: "meta", V: journalVersion, ID: j.id, Kind: kind, Hash: hash,
-			Total: total, Created: j.created, Request: request,
+			Type: "meta", V: journalVersion, ID: j.id, Kind: p.kind, Hash: p.hash,
+			Total: p.total, Created: j.created, Request: p.request,
+			RequestID: p.requestID, Trace: p.traced,
 		})
 		if err == nil {
 			j.persist = w
@@ -333,18 +367,114 @@ func (s *server) startJob(kind, hash string, total int, request []byte, run func
 
 // launch runs an added job's execution goroutine. The caller must hold
 // one admission slot (taken by admit for submissions, seized directly by
-// recovery); the goroutine releases it when execution finishes.
-func (s *server) launch(j *job, run func(ctx context.Context, emit func(any) error)) {
+// recovery); the goroutine releases it when execution finishes. The
+// finished job's end-to-end latency lands in the by-kind job histogram,
+// and one structured log line records the outcome under the submitting
+// request's correlation ID.
+func (s *server) launch(j *job, run func(ctx context.Context, j *job, emit func(any) error)) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
 	s.jobsWG.Add(1)
+	//physched:spawnok exits when run returns; cancel (DELETE /v1/jobs/{id} or drain expiry) stops run between cells, and jobsWG tracks it
 	go func() {
 		defer s.jobsWG.Done()
 		defer s.release()
 		defer cancel()
-		run(ctx, j.append)
+		run(ctx, j, j.append)
 		j.seal()
+		j.mu.Lock()
+		state, errMsg := j.state, j.errMsg
+		seconds := j.finished.Sub(j.created).Seconds()
+		done, total := j.done, j.total
+		j.mu.Unlock()
+		s.jobDur.With(j.kind).Observe(seconds)
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "job finished",
+			slog.String("job_id", j.id),
+			slog.String("request_id", j.requestID),
+			slog.String("kind", j.kind),
+			slog.String("state", string(state)),
+			slog.Int("done", done),
+			slog.Int("total", total),
+			slog.Float64("dur_seconds", seconds),
+			slog.String("error", errMsg),
+		)
 	}()
+}
+
+// attachTrace renders a traced grid plan's per-cell recorders into the
+// job's trace buffer: for each cell one header line (index, hash, label,
+// load, seed, event and dropped counts) followed by the cell's events,
+// all JSONL. Called from the job goroutine after execution finishes.
+func (s *server) attachTrace(j *job, p *gridPlan) {
+	var buf bytes.Buffer
+	var events, dropped uint64
+	for i, rec := range p.recs {
+		evs := rec.Events()
+		hdr := client.TraceCellHeader{
+			Type: "cell", Index: i, Hash: p.keys[i], Label: p.cells[i].Label,
+			Load: p.cells[i].Scenario.Load, Seed: p.cells[i].Scenario.Seed,
+			Events: len(evs), Dropped: rec.Dropped(),
+		}
+		hb, err := json.Marshal(hdr)
+		if err != nil {
+			continue
+		}
+		buf.Write(append(hb, '\n'))
+		for _, e := range evs {
+			eb, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			buf.Write(append(eb, '\n'))
+		}
+		events += uint64(len(evs))
+		dropped += rec.Dropped()
+	}
+	s.traceEvents.Add(events)
+	s.traceDropped.Add(dropped)
+	data := buf.Bytes()
+	if data == nil {
+		data = []byte{} // distinguish "attached but empty" from "lost in a restart"
+	}
+	j.mu.Lock()
+	j.traceData = data
+	j.mu.Unlock()
+}
+
+// handleJobTrace serves a finished traced job's per-cell simulation
+// trace as NDJSON: cell header lines interleaved with trace events.
+// Unknown jobs 404; jobs not submitted with ?trace=1 404 with a
+// distinct message; still-running jobs 409 (the trace attaches at
+// completion).
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoJob)
+		return
+	}
+	j.mu.Lock()
+	traced, running, data := j.traced, j.state == jobRunning, j.traceData
+	j.mu.Unlock()
+	if !traced {
+		writeError(w, http.StatusNotFound,
+			errors.New("job has no trace: submit with ?trace=1 (traces are held in memory and do not survive restarts)"))
+		return
+	}
+	if running {
+		writeError(w, http.StatusConflict,
+			errors.New("job is still running; the trace attaches when it finishes"))
+		return
+	}
+	if data == nil {
+		// Traced flag restored from a journal, but the trace itself died
+		// with the previous process and the resumed run has not finished.
+		writeError(w, http.StatusNotFound,
+			errors.New("trace not available: it did not survive a restart"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }
 
 // handleJobs lists retained async jobs, newest-page-first-proof: stable

@@ -52,51 +52,100 @@
 //	GET  /v1/results/{hash}       cached run result by spec hash
 //	GET  /v1/aggregates/{hash}    cached replica aggregate by hash
 //
+// Observability: every request gets (or keeps) an X-Request-Id that is
+// echoed, logged and attached to async jobs; GET /metrics adds latency
+// histograms (HTTP by route×status, pool queue wait, cell execution,
+// job end-to-end by kind) to the counters; structured JSON logs go to
+// stderr; -debug-addr serves net/http/pprof on a separate listener so
+// profiling is never exposed on the API port. On SIGTERM/SIGINT the
+// server stops admitting executions (503), finishes in-flight requests
+// and drains async jobs for up to -drain-timeout, then cancels
+// stragglers (their journals resume them on next start) and exits with
+// a shutdown summary.
+//
 // Usage:
 //
-//	physchedd [-addr :8080] [-cache-dir DIR] [-state-dir DIR] [-parallel N]
-//	          [-max-cells N] [-max-inflight N] [-max-jobs N]
+//	physchedd [-addr :8080] [-debug-addr ADDR] [-cache-dir DIR]
+//	          [-state-dir DIR] [-parallel N] [-max-cells N]
+//	          [-max-inflight N] [-max-jobs N] [-max-trace-events N]
+//	          [-drain-timeout D] [-log-level LEVEL]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"physched/internal/lab"
+	"physched/internal/obs"
 	"physched/internal/resultcache"
 )
 
+// parseLogLevel maps the -log-level flag onto slog levels.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("log-level must be debug, info, warn or error; got %q", s)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("physchedd: ")
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		cacheDir    = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
-		parallel    = flag.Int("parallel", 0, "max concurrent simulation cells across ALL requests (0 = GOMAXPROCS)")
-		maxCells    = flag.Int("max-cells", 10_000, "reject grids with more cells than this (0 = unlimited)")
-		maxInflight = flag.Int("max-inflight", 64, "reject new grid/spec executions with 429 past this many in flight (0 = unlimited)")
-		maxJobs     = flag.Int("max-jobs", 64, "retain at most this many async jobs (finished jobs evicted oldest-first)")
-		stateDir    = flag.String("state-dir", "", "directory for persistent async-job journals (empty = in-memory jobs only)")
+		addr           = flag.String("addr", ":8080", "listen address")
+		debugAddr      = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = profiling disabled)")
+		cacheDir       = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+		parallel       = flag.Int("parallel", 0, "max concurrent simulation cells across ALL requests (0 = GOMAXPROCS)")
+		maxCells       = flag.Int("max-cells", 10_000, "reject grids with more cells than this (0 = unlimited)")
+		maxInflight    = flag.Int("max-inflight", 64, "reject new grid/spec executions with 429 past this many in flight (0 = unlimited)")
+		maxJobs        = flag.Int("max-jobs", 64, "retain at most this many async jobs (finished jobs evicted oldest-first)")
+		maxTraceEvents = flag.Int("max-trace-events", defaultMaxTraceEvents, "cap on in-memory trace events per ?trace=1 job, split across its cells")
+		stateDir       = flag.String("state-dir", "", "directory for persistent async-job journals (empty = in-memory jobs only)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work before cancelling it")
+		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "physchedd:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, obs.SystemClock, level)
+
 	cache, err := resultcache.Open(*cacheDir)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("startup failed", "error", err.Error())
+		os.Exit(1)
 	}
 	pool := lab.NewPool(*parallel)
 	api, err := newServer(serverConfig{
-		Cache:       cache,
-		Pool:        pool,
-		MaxCells:    *maxCells,
-		MaxInflight: *maxInflight,
-		MaxJobs:     *maxJobs,
-		StateDir:    *stateDir,
+		Cache:          cache,
+		Pool:           pool,
+		MaxCells:       *maxCells,
+		MaxInflight:    *maxInflight,
+		MaxJobs:        *maxJobs,
+		MaxTraceEvents: *maxTraceEvents,
+		StateDir:       *stateDir,
+		Logger:         logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("startup failed", "error", err.Error())
+		os.Exit(1)
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -106,6 +155,72 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("listening on %s (cache-dir %q, state-dir %q, pool %d workers)", *addr, *cacheDir, *stateDir, pool.Workers())
-	log.Fatal(srv.ListenAndServe())
+
+	// pprof rides its own listener and mux: the API port stays free of
+	// profiling endpoints, so exposing one is an explicit -debug-addr
+	// decision rather than a side effect of importing net/http/pprof.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		// Exits when debugSrv.Close runs during shutdown.
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err.Error())
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	// Exits when srv.Shutdown closes the listener; the error lands in errc.
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("listening",
+		"addr", *addr, "debug_addr", *debugAddr,
+		"cache_dir", *cacheDir, "state_dir", *stateDir,
+		"pool_workers", pool.Workers(), "max_inflight", *maxInflight,
+		"version", moduleVersion())
+
+	select {
+	case err := <-errc:
+		logger.Error("listener failed", "error", err.Error())
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	// Shutdown sequence: stop admitting executions (503), close the
+	// listener and wait for in-flight requests (streams included), then
+	// drain async jobs — all bounded by one -drain-timeout budget.
+	// Cancelled jobs stop between cells; with -state-dir their journals
+	// resume them on the next start, re-simulating only uncached cells.
+	logger.Info("shutdown: signal received; draining", "drain_timeout", (*drainTimeout).String())
+	api.beginDrain()
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpErr := srv.Shutdown(sdCtx)
+	drainErr := api.drain(sdCtx)
+	pool.Close()
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
+
+	byState, _ := api.jobs.counts()
+	clean := httpErr == nil && drainErr == nil
+	logger.Info("shutdown complete",
+		"clean", clean,
+		"jobs_done", byState[jobDone], "jobs_failed", byState[jobFailed],
+		"jobs_cancelled", byState[jobCancelled], "jobs_running", byState[jobRunning],
+		"pool_tasks_done", pool.Stats().TasksDone,
+		"uptime_seconds", obs.SystemClock().Sub(api.started).Seconds())
+	if !clean {
+		os.Exit(1)
+	}
 }

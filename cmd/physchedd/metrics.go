@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strings"
 )
 
@@ -69,7 +71,43 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fam("physchedd_study_reports_evicted_total", "counter", "Study reports dropped by retention.")
 	fmt.Fprintf(&b, "physchedd_study_reports_evicted_total %d\n", repEvicted)
 
+	// Latency histograms (internal/obs): fixed buckets, cumulative
+	// counts, fed from the injected clock.
+	fam("physchedd_http_request_duration_seconds", "histogram", "HTTP request duration by route and status.")
+	s.httpDur.WriteProm(&b, "physchedd_http_request_duration_seconds")
+	fam("physchedd_pool_queue_wait_seconds", "histogram", "Time simulation tasks spent queued before a pool worker picked them up.")
+	s.queueWait.WriteProm(&b, "physchedd_pool_queue_wait_seconds", "")
+	fam("physchedd_cell_duration_seconds", "histogram", "Execution time of individual simulation cells on the pool.")
+	s.cellDur.WriteProm(&b, "physchedd_cell_duration_seconds", "")
+	fam("physchedd_job_duration_seconds", "histogram", "End-to-end async job latency (submit to terminal state) by kind.")
+	s.jobDur.WriteProm(&b, "physchedd_job_duration_seconds")
+
+	fam("physchedd_trace_jobs_total", "counter", "Async jobs submitted with ?trace=1.")
+	fmt.Fprintf(&b, "physchedd_trace_jobs_total %d\n", s.traceJobs.Load())
+	fam("physchedd_trace_events_total", "counter", "Simulation trace events captured across traced jobs.")
+	fmt.Fprintf(&b, "physchedd_trace_events_total %d\n", s.traceEvents.Load())
+	fam("physchedd_trace_events_dropped_total", "counter", "Trace events discarded by the -max-trace-events cap.")
+	fmt.Fprintf(&b, "physchedd_trace_events_dropped_total %d\n", s.traceDropped.Load())
+
+	fam("physchedd_build_info", "gauge", "Build metadata; the value is always 1.")
+	fmt.Fprintf(&b, "physchedd_build_info{go_version=%q,module_version=%q} 1\n",
+		runtime.Version(), moduleVersion())
+	fam("physchedd_process_start_time_seconds", "gauge", "Unix time the process started, from the injected clock.")
+	fmt.Fprintf(&b, "physchedd_process_start_time_seconds %d\n", s.started.Unix())
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(b.String()))
+}
+
+// moduleVersion reports the main module's version from the embedded
+// build info — "(devel)" for working-tree builds, the tag for released
+// binaries. Build info can be absent in some test binaries; report
+// "unknown" rather than omitting the series.
+func moduleVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok || bi.Main.Version == "" {
+		return "unknown"
+	}
+	return bi.Main.Version
 }

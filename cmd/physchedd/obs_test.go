@@ -1,0 +1,389 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"physched/client"
+	"physched/internal/lab"
+	"physched/internal/resultcache"
+)
+
+// hexID matches the generated correlation IDs (8 random bytes, hex).
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// TestRequestIDEcho pins the correlation contract on representative
+// endpoints across methods and outcomes, error envelopes included:
+// absent IDs are generated, supplied IDs come back verbatim, and
+// injection-shaped IDs are sanitized before they reach a header or log.
+func TestRequestIDEcho(t *testing.T) {
+	ts := testServer(t)
+
+	endpoints := []struct {
+		method, path, body string
+		status             int
+	}{
+		{"GET", "/healthz", "", 200},
+		{"GET", "/metrics", "", 200},
+		{"GET", "/v1/policies", "", 200},
+		{"GET", "/v1/workloads", "", 200},
+		{"GET", "/v1/jobs", "", 200},
+		{"GET", "/v1/studies", "", 200},
+		{"POST", "/v1/specs", `{not json`, 400},
+		{"POST", "/v1/grids", `{not json`, 400},
+		{"GET", "/v1/jobs/deadbeefdeadbeef", "", 404},
+		{"GET", "/v1/jobs/deadbeefdeadbeef/trace", "", 404},
+		{"DELETE", "/v1/jobs/deadbeefdeadbeef", "", 404},
+		{"GET", "/v1/results/" + strings.Repeat("0", 64), "", 404},
+		{"GET", "/v1/policies?page=0", "", 400},
+		{"GET", "/nope", "", 404}, // unmatched route still correlates
+	}
+	for _, ep := range endpoints {
+		t.Run(ep.method+" "+ep.path, func(t *testing.T) {
+			call := func(supplied string) *http.Response {
+				var body *strings.Reader = strings.NewReader(ep.body)
+				req, err := http.NewRequest(ep.method, ts.URL+ep.path, body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if supplied != "" {
+					req.Header.Set("X-Request-Id", supplied)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { resp.Body.Close() })
+				if resp.StatusCode != ep.status {
+					t.Fatalf("status %d, want %d", resp.StatusCode, ep.status)
+				}
+				return resp
+			}
+
+			// No inbound ID: the server mints one.
+			if got := call("").Header.Get("X-Request-Id"); !hexID.MatchString(got) {
+				t.Errorf("generated ID %q is not 16 hex chars", got)
+			}
+			// Inbound ID: echoed verbatim.
+			if got := call("my-trace-42").Header.Get("X-Request-Id"); got != "my-trace-42" {
+				t.Errorf("echoed %q, want my-trace-42", got)
+			}
+			// Injection-shaped ID: quotes, backslashes and spaces dropped
+			// (CR/LF too, but Go's transport refuses to send those at all).
+			if got := call(`evil" \ id`).Header.Get("X-Request-Id"); got != "evilid" {
+				t.Errorf("sanitized to %q, want evilid", got)
+			}
+		})
+	}
+}
+
+// TestJobCarriesRequestID submits an async job under a client-supplied
+// correlation ID and checks the ID lands on the job record, its status
+// document and every listing row — the whole point of carrying it: one
+// grep connects the submit request to the job's asynchronous lifetime.
+func TestJobCarriesRequestID(t *testing.T) {
+	ts := testServer(t)
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/grids?async=1", strings.NewReader(smallGridBody(930)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "corr-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var sub jobSubmitted
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+
+	st := waitDone(t, ts, sub.JobID)
+	if st.RequestID != "corr-123" {
+		t.Errorf("job status request_id %q, want corr-123", st.RequestID)
+	}
+
+	c := client.New(ts.URL)
+	list, err := c.Jobs(context.Background(), client.JobFilter{})
+	if err != nil || len(list.Jobs) != 1 {
+		t.Fatalf("jobs list: %v (%d rows)", err, len(list.Jobs))
+	}
+	if list.Jobs[0].RequestID != "corr-123" {
+		t.Errorf("listed request_id %q, want corr-123", list.Jobs[0].RequestID)
+	}
+}
+
+// TestTraceRoundTrip drives the ?trace=1 job flow through the typed
+// client: submit, wait, fetch, and decode the per-cell NDJSON. It then
+// pins the two invariants tracing must not break — traced results are
+// byte-identical to untraced ones (trace cells bypass the cache), and
+// the error paths (trace without async, untraced job, unknown job)
+// answer with the documented statuses.
+func TestTraceRoundTrip(t *testing.T) {
+	ts := testServer(t)
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	body := []byte(smallGridBody(940))
+	sub, err := c.SubmitGridTraced(ctx, body)
+	if err != nil {
+		t.Fatalf("traced submit: %v", err)
+	}
+	st := waitDone(t, ts, sub.JobID)
+	if st.State != "done" {
+		t.Fatalf("traced job ended %q: %s", st.State, st.Error)
+	}
+
+	cells, err := c.JobTrace(ctx, sub.JobID)
+	if err != nil {
+		t.Fatalf("fetch trace: %v", err)
+	}
+	if len(cells) != st.Total {
+		t.Fatalf("trace has %d cells, job ran %d", len(cells), st.Total)
+	}
+	for i, cell := range cells {
+		if cell.Header.Index != i {
+			t.Errorf("cell %d header index %d", i, cell.Header.Index)
+		}
+		if cell.Header.Hash == "" {
+			t.Errorf("cell %d has no spec hash", i)
+		}
+		if len(cell.Events) != cell.Header.Events {
+			t.Errorf("cell %d: %d event lines, header says %d", i, len(cell.Events), cell.Header.Events)
+		}
+		if cell.Header.Events == 0 && cell.Header.Dropped == 0 {
+			t.Errorf("cell %d traced nothing", i)
+		}
+		for _, ev := range cell.Events {
+			if ev.Kind == "" {
+				t.Errorf("cell %d has an event without a kind", i)
+			}
+		}
+	}
+
+	// Byte-identity: an untraced run of the same grid, which now reads
+	// the traced job's cache writes... except traced cells never wrote
+	// the cache, so this re-simulates — and must agree byte for byte.
+	// Every traced cell's hash resolves to the same cached result.
+	result, err := c.RunGrid(ctx, body, nil)
+	if err != nil {
+		t.Fatalf("untraced re-run: %v", err)
+	}
+	if len(result.Cells) != len(cells) {
+		t.Fatalf("untraced run has %d cells, traced had %d", len(result.Cells), len(cells))
+	}
+	for i, cell := range cells {
+		if got := result.Cells[i].Hash; got != cell.Header.Hash {
+			t.Errorf("cell %d hash drifted under tracing: traced %s, untraced %s", i, cell.Header.Hash, got)
+		}
+	}
+
+	// Error paths.
+	if _, err := c.RunGrid(ctx, body, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/grids?trace=1", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trace without async: status %d, want 400", resp.StatusCode)
+	}
+
+	plain, err := c.SubmitGrid(ctx, body) // cached: finishes immediately
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, plain.JobID)
+	if _, err := c.JobTrace(ctx, plain.JobID); !isAPIError(err, 404, client.CodeNotFound) {
+		t.Errorf("trace of untraced job: %v, want 404 not_found", err)
+	}
+	if _, err := c.JobTrace(ctx, "deadbeefdeadbeef"); !isAPIError(err, 404, client.CodeNotFound) {
+		t.Errorf("trace of unknown job: %v, want 404 not_found", err)
+	}
+}
+
+// isAPIError reports whether err is an APIError with the given status
+// and code.
+func isAPIError(err error, status int, code string) bool {
+	ae, ok := err.(*client.APIError)
+	return ok && ae.Status == status && ae.Code == code
+}
+
+// TestMetricsObservability scrapes /metrics through client.ParseMetrics
+// on an injected clock and checks the observability families: the four
+// latency histograms exist and fill from real traffic, trace counters
+// track a traced job, and build info and the process start time are
+// present for fleet dashboards.
+func TestMetricsObservability(t *testing.T) {
+	epoch := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	pool := lab.NewPool(2)
+	t.Cleanup(pool.Close)
+	s := mustServer(t, serverConfig{
+		Cache:    resultcache.NewMemory(),
+		Pool:     pool,
+		MaxCells: 100,
+		Clock:    func() time.Time { return epoch },
+	})
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Generate traffic: one sync grid (pool + HTTP histograms), one
+	// traced async job (job histogram + trace counters), one 404.
+	if _, err := c.RunGrid(ctx, []byte(smallGridBody(960)), nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.SubmitGridTraced(ctx, []byte(smallGridBody(970)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, sub.JobID)
+	http.Get(ts.URL + "/v1/jobs/deadbeefdeadbeef")
+
+	raw, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := client.ParseMetrics(raw)
+	if err != nil {
+		t.Fatalf("the exposition does not parse: %v", err)
+	}
+
+	for _, name := range []string{
+		"physchedd_http_request_duration_seconds",
+		"physchedd_pool_queue_wait_seconds",
+		"physchedd_cell_duration_seconds",
+		"physchedd_job_duration_seconds",
+	} {
+		f, ok := pm.Families[name]
+		if !ok || f.Type != "histogram" {
+			t.Errorf("family %s missing or not a histogram: %+v", name, f)
+		}
+	}
+
+	// HTTP histogram: labelled by route and status, fed by the traffic
+	// above. The sync grid POST and the 404 each have a series.
+	if h, ok := pm.HistogramAt("physchedd_http_request_duration_seconds",
+		map[string]string{"route": "POST /v1/grids", "status": "200"}); !ok || h.Count < 1 {
+		t.Errorf("grid POST series: ok=%v %+v", ok, h)
+	}
+	if h, ok := pm.HistogramAt("physchedd_http_request_duration_seconds",
+		map[string]string{"route": "GET /v1/jobs/{id}", "status": "404"}); !ok || h.Count < 1 {
+		t.Errorf("404 series: ok=%v %+v", ok, h)
+	}
+
+	// Pool histograms: 16 cells ran, so waits and runs were observed.
+	if h, ok := pm.HistogramAt("physchedd_pool_queue_wait_seconds", nil); !ok || h.Count < 16 {
+		t.Errorf("queue-wait count: ok=%v %+v", ok, h)
+	}
+	if h, ok := pm.HistogramAt("physchedd_cell_duration_seconds", nil); !ok || h.Count < 16 {
+		t.Errorf("cell-duration count: ok=%v %+v", ok, h)
+	}
+	if h, ok := pm.HistogramAt("physchedd_job_duration_seconds",
+		map[string]string{"kind": "grid"}); !ok || h.Count != 1 {
+		t.Errorf("job-duration grid series: ok=%v %+v", ok, h)
+	}
+
+	if v, ok := pm.Value("physchedd_trace_jobs_total", nil); !ok || v != 1 {
+		t.Errorf("trace jobs %v ok=%v, want 1", v, ok)
+	}
+	if v, ok := pm.Value("physchedd_trace_events_total", nil); !ok || v == 0 {
+		t.Errorf("trace events %v ok=%v, want > 0", v, ok)
+	}
+	if _, ok := pm.Value("physchedd_trace_events_dropped_total", nil); !ok {
+		t.Error("trace dropped counter missing")
+	}
+
+	if f := pm.Families["physchedd_build_info"]; f == nil || len(f.Samples) != 1 {
+		t.Fatal("build info missing")
+	} else {
+		bi := f.Samples[0]
+		if bi.Value != 1 || bi.Labels["go_version"] == "" || bi.Labels["module_version"] == "" {
+			t.Errorf("build info sample: %+v", bi)
+		}
+	}
+	if v, ok := pm.Value("physchedd_process_start_time_seconds", nil); !ok || v != float64(epoch.Unix()) {
+		t.Errorf("start time %v ok=%v, want %d", v, ok, epoch.Unix())
+	}
+}
+
+// TestDrainRejectsExecutions pins the shutdown admission contract: after
+// beginDrain, execution endpoints answer 503 unavailable while read-only
+// endpoints keep working (a draining server must stay debuggable), and
+// drain waits for running jobs to finish.
+func TestDrainRejectsExecutions(t *testing.T) {
+	pool := lab.NewPool(2)
+	t.Cleanup(pool.Close)
+	s := mustServer(t, serverConfig{Cache: resultcache.NewMemory(), Pool: pool, MaxCells: 100})
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// A job submitted before the drain must complete during it.
+	sub, err := c.SubmitGrid(ctx, []byte(smallGridBody(980)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.beginDrain()
+
+	for _, ep := range []struct{ method, path, body string }{
+		{"POST", "/v1/specs", `{"policy": {"name": "farm"}, "load_jobs_per_hour": 1}`},
+		{"POST", "/v1/grids", smallGridBody(990)},
+		{"POST", "/v1/grids?async=1", smallGridBody(991)},
+		{"POST", "/v1/studies", studyBody},
+	} {
+		req, err := http.NewRequest(ep.method, ts.URL+ep.path, strings.NewReader(ep.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env client.ErrorEnvelope
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s %s while draining: status %d, want 503", ep.method, ep.path, resp.StatusCode)
+		}
+		if err != nil || env.Error.Code != client.CodeUnavailable {
+			t.Errorf("%s %s envelope: %v %+v", ep.method, ep.path, err, env)
+		}
+	}
+
+	// Read-only surface stays up.
+	if err := c.Health(ctx); err != nil {
+		t.Errorf("health while draining: %v", err)
+	}
+	if _, err := c.Metrics(ctx); err != nil {
+		t.Errorf("metrics while draining: %v", err)
+	}
+	if _, err := c.Job(ctx, sub.JobID); err != nil {
+		t.Errorf("job status while draining: %v", err)
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, err := c.Job(ctx, sub.JobID)
+	if err != nil || st.State != "done" {
+		t.Fatalf("job after drain: %v %+v", err, st)
+	}
+}

@@ -7,17 +7,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"physched/client"
 	"physched/internal/lab"
+	"physched/internal/obs"
 	"physched/internal/resultcache"
 	"physched/internal/sched"
 	"physched/internal/spec"
+	"physched/internal/trace"
 	"physched/internal/workload"
 )
 
@@ -63,30 +67,62 @@ type serverConfig struct {
 	// process died are restarted through the content cache, re-simulating
 	// only uncached cells. Empty disables persistence.
 	StateDir string
-	// Clock supplies job-lifecycle timestamps (created/finished/age).
-	// nil wires the real clock; tests inject a fake for deterministic
-	// lifecycle assertions.
+	// Clock supplies every service-layer timestamp: job lifecycle,
+	// request durations, queue waits, log records. nil wires
+	// obs.SystemClock — the module's single audited real-clock seam;
+	// tests inject a fake for deterministic lifecycle, log and
+	// histogram assertions.
 	Clock func() time.Time
+	// Logger receives structured JSON log lines (access log, job
+	// lifecycle, shutdown). nil discards — the default for in-process
+	// test servers.
+	Logger *slog.Logger
+	// MaxTraceEvents caps the total in-memory trace events per traced
+	// job (?trace=1), split evenly across the job's cells. 0 means
+	// defaultMaxTraceEvents; capped cells report dropped counts in
+	// their trace headers.
+	MaxTraceEvents int
 }
 
 const defaultMaxJobs = 64
 
+// defaultMaxTraceEvents bounds the in-memory trace buffer of one traced
+// job. At ~100 bytes an encoded event this is ~10 MB per traced job
+// worst case, bounded further by -max-jobs retention.
+const defaultMaxTraceEvents = 100_000
+
 type server struct {
-	cache       *resultcache.Counted
-	pool        *lab.Pool
-	maxCells    int
-	maxInflight int
-	clock       func() time.Time
-	started     time.Time
-	jobs        *jobManager
-	studies     *reportStore
-	journal     *jobJournal
+	cache          *resultcache.Counted
+	pool           *lab.Pool
+	maxCells       int
+	maxInflight    int
+	maxTraceEvents int
+	clock          func() time.Time
+	logger         *slog.Logger
+	started        time.Time
+	jobs           *jobManager
+	studies        *reportStore
+	journal        *jobJournal
 	// jobsWG joins every async-job goroutine; crash() (tests) and
 	// recovery correctness depend on knowing when they are gone.
 	jobsWG sync.WaitGroup
 
+	// Latency histograms, all fed from the injected clock. httpDur is
+	// labelled route×status (bounded by the route table); jobDur by job
+	// kind. queueWait and cellDur hang off the pool's timing hooks.
+	httpDur   *obs.HistogramVec
+	queueWait *obs.Histogram
+	cellDur   *obs.Histogram
+	jobDur    *obs.HistogramVec
+
+	// Trace-export counters for /metrics.
+	traceJobs    atomic.Uint64 // jobs submitted with ?trace=1
+	traceEvents  atomic.Uint64 // events captured across traced jobs
+	traceDropped atomic.Uint64 // events discarded by the per-job cap
+
 	mu       sync.Mutex
 	inflight int
+	draining bool // shutdown in progress: no new executions admitted
 }
 
 // maxStudyReports bounds in-memory study-report retention (oldest-first
@@ -101,20 +137,42 @@ func newServer(cfg serverConfig) (*server, error) {
 		cfg.MaxJobs = defaultMaxJobs
 	}
 	if cfg.Clock == nil {
-		// The one deliberate wall-clock read in this package: everything
-		// downstream receives the injected clock.
-		cfg.Clock = time.Now //physched:walltime service wiring site: job timestamps come from the real clock in production
+		// Production wall time enters through the obs seam — the single
+		// audited real-clock site in the module; everything downstream
+		// (timestamps, histograms, log records) receives this clock.
+		cfg.Clock = obs.SystemClock
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.MaxTraceEvents <= 0 {
+		cfg.MaxTraceEvents = defaultMaxTraceEvents
 	}
 	s := &server{
-		cache:       resultcache.NewCounted(cfg.Cache),
-		pool:        cfg.Pool,
-		maxCells:    cfg.MaxCells,
-		maxInflight: cfg.MaxInflight,
-		clock:       cfg.Clock,
-		started:     cfg.Clock(),
-		jobs:        newJobManager(cfg.MaxJobs),
-		studies:     newReportStore(maxStudyReports),
+		cache:          resultcache.NewCounted(cfg.Cache),
+		pool:           cfg.Pool,
+		maxCells:       cfg.MaxCells,
+		maxInflight:    cfg.MaxInflight,
+		maxTraceEvents: cfg.MaxTraceEvents,
+		clock:          cfg.Clock,
+		logger:         cfg.Logger,
+		started:        cfg.Clock(),
+		jobs:           newJobManager(cfg.MaxJobs),
+		studies:        newReportStore(maxStudyReports),
+		httpDur:        obs.NewHistogramVec([]string{"route", "status"}, obs.HTTPBuckets),
+		queueWait:      obs.NewHistogram(obs.QueueWaitBuckets),
+		cellDur:        obs.NewHistogram(obs.CellBuckets),
+		jobDur:         obs.NewHistogramVec([]string{"kind"}, obs.JobBuckets),
 	}
+	// The pool never reads a clock itself (it sits inside the determinism
+	// boundary); its timing hooks receive nanos derived from the server's
+	// injected clock, so queue-wait and cell-duration histograms are
+	// deterministic under a test fake.
+	s.pool.SetHooks(&lab.PoolHooks{
+		Now:  obs.NowNanos(s.clock),
+		Wait: func(ns int64) { s.queueWait.Observe(float64(ns) / 1e9) },
+		Run:  func(ns int64) { s.cellDur.Observe(float64(ns) / 1e9) },
+	})
 	if cfg.StateDir != "" {
 		j, err := newJobJournal(cfg.StateDir)
 		if err != nil {
@@ -144,16 +202,29 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /v1/aggregates/{hash}", s.handleAggregate)
-	return mux
+	// Every handler — including error envelopes — sits behind the
+	// request middleware: X-Request-Id in/out, one access-log line per
+	// request, and the route×status duration histogram.
+	return obs.Middleware(mux, obs.MiddlewareConfig{
+		Clock:   s.clock,
+		Logger:  s.logger,
+		Observe: func(route, status string, sec float64) { s.httpDur.With(route, status).Observe(sec) },
+		Route:   func(r *http.Request) string { _, p := mux.Handler(r); return p },
+	})
 }
 
-// admit reserves one execution slot; false means the server is at its
-// -max-inflight bound and the request must be rejected with 429.
+// admit reserves one execution slot; false means the request must be
+// rejected — the server is at its -max-inflight bound (429) or draining
+// for shutdown (503). rejectNotAdmitted tells the two apart.
 func (s *server) admit() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
 	if s.maxInflight > 0 && s.inflight >= s.maxInflight {
 		return false
 	}
@@ -219,16 +290,56 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // depth (there is no queue — that is the point of admission control).
 const retryAfterSeconds = 1
 
-// rejectOverCapacity sends the -max-inflight admission rejection: 429
+// rejectNotAdmitted explains a refused admit: 503
+// unavailable while the server drains for shutdown (terminal — clients
+// should fail over, not retry here), otherwise the -max-inflight 429
 // with a machine-readable over_capacity code and a Retry-After header,
 // so well-behaved clients can back off without parsing the message.
-func (s *server) rejectOverCapacity(w http.ResponseWriter) {
+func (s *server) rejectNotAdmitted(w http.ResponseWriter) {
 	s.mu.Lock()
-	limit := s.maxInflight
+	draining, limit := s.draining, s.maxInflight
 	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("server is draining for shutdown; no new executions admitted"))
+		return
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	writeError(w, http.StatusTooManyRequests,
 		fmt.Errorf("server is executing %d requests, the -max-inflight limit", limit))
+}
+
+// beginDrain stops admitting new executions. Requests already running —
+// synchronous streams and async jobs — continue; drain waits for the
+// async side.
+func (s *server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// drain waits for every async-job goroutine to finish, bounded by ctx:
+// on expiry the remaining jobs are cancelled through their contexts
+// (cancellation stops a run between cells; started cells complete and
+// keep their cached results) and drain waits for that to land. The
+// returned error is ctx's when the bound was hit.
+func (s *server) drain(ctx context.Context) error {
+	done := make(chan struct{})
+	// Joined via the <-done below on both branches.
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, j := range s.jobs.snapshot() {
+			j.requestCancel()
+		}
+		<-done
+		return ctx.Err()
+	}
 }
 
 // Pagination bounds. A request without page parameters gets the first
@@ -238,6 +349,13 @@ const (
 	defaultPageSize = 20
 	maxPageSize     = 500
 )
+
+// boolParam reads a query flag with the API's truthiness convention:
+// present and not "0"/"false" means on (?async=1, ?trace=1).
+func boolParam(q url.Values, name string) bool {
+	v := q.Get(name)
+	return v != "" && v != "0" && v != "false"
+}
 
 // parsePage reads page/page_size query parameters with defaults,
 // rejecting non-positive or oversized values.
@@ -325,7 +443,7 @@ func (s *server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admit() {
-		s.rejectOverCapacity(w)
+		s.rejectNotAdmitted(w)
 		return
 	}
 	defer s.release()
@@ -363,12 +481,38 @@ type gridPlan struct {
 	keys           []string // one per cell, indexed like RunSet.Results
 	aggKeys        []string // (variant*nLoads + load), nil without a seed axis
 	nLoads, nSeeds int
+	// recs holds one capped trace recorder per cell when the grid was
+	// submitted with ?trace=1; nil otherwise. Traced cells bypass the
+	// result cache in both directions (see lab.Options.Trace).
+	recs []*trace.Recorder
 }
 
 // cellIndex maps grid coordinates to the flat cell/key index. Execute
 // enumerates cells in the same coordinate order, so this is exact.
 func (p *gridPlan) cellIndex(c lab.Cell) int {
 	return (c.Variant*p.nLoads+c.LoadIdx)*p.nSeeds + c.SeedIdx
+}
+
+// enableTrace attaches one recorder per cell, splitting the per-job
+// event budget evenly across cells (at least one event each, so every
+// cell's trace proves the cell ran even when heavily capped).
+func (p *gridPlan) enableTrace(maxEvents int) {
+	per := maxEvents / len(p.cells)
+	if per < 1 {
+		per = 1
+	}
+	p.recs = make([]*trace.Recorder, len(p.cells))
+	for i := range p.recs {
+		p.recs[i] = trace.New(per, nil)
+	}
+}
+
+// traceFor is the lab.Options.Trace callback: nil for untraced plans.
+func (p *gridPlan) traceFor(c lab.Cell) *trace.Recorder {
+	if p.recs == nil {
+		return nil
+	}
+	return p.recs[p.cellIndex(c)]
 }
 
 // planGrid parses and fully validates one grid request body, returning
@@ -485,6 +629,7 @@ func (s *server) runGrid(ctx context.Context, p *gridPlan, emit func(any) error)
 			Context: ctx,
 			Cache:   s.cache,
 			Keys:    func(c lab.Cell) (string, bool) { return p.keys[p.cellIndex(c)], true },
+			Trace:   p.traceFor,
 			Progress: func(u lab.ProgressUpdate) {
 				progress(progressLine{
 					Type: "progress", Done: u.Done, Total: u.Total,
@@ -530,19 +675,36 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	async := boolParam(r.URL.Query(), "async")
+	traced := boolParam(r.URL.Query(), "trace")
+	if traced && !async {
+		writeError(w, http.StatusBadRequest,
+			errors.New("trace=1 requires async=1: traces attach to jobs and are fetched from GET /v1/jobs/{id}/trace"))
+		return
+	}
 	plan, status, err := s.planGrid(bytes.NewReader(body))
 	if err != nil {
 		writeError(w, status, err)
 		return
 	}
+	if traced {
+		plan.enableTrace(s.maxTraceEvents)
+	}
 	if !s.admit() {
-		s.rejectOverCapacity(w)
+		s.rejectNotAdmitted(w)
 		return
 	}
-	if async := r.URL.Query().Get("async"); async != "" && async != "0" && async != "false" {
+	if async {
 		// startJob releases the admission slot when execution finishes.
-		job := s.startJob("grid", plan.hash, len(plan.cells), body,
-			func(ctx context.Context, emit func(any) error) { s.runGrid(ctx, plan, emit) })
+		job := s.startJob(jobParams{
+			kind: "grid", hash: plan.hash, total: len(plan.cells),
+			request: body, requestID: obs.RequestIDFrom(r.Context()), traced: traced,
+		}, func(ctx context.Context, j *job, emit func(any) error) {
+			s.runGrid(ctx, plan, emit)
+			if traced {
+				s.attachTrace(j, plan)
+			}
+		})
 		w.Header().Set("Location", "/v1/jobs/"+job.id)
 		writeJSON(w, http.StatusAccepted, job.submitted())
 		return

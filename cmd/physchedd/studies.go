@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"physched/internal/obs"
 	"physched/internal/opt"
 )
 
@@ -89,12 +90,14 @@ func (s *server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admit() {
-		s.rejectOverCapacity(w)
+		s.rejectNotAdmitted(w)
 		return
 	}
-	if async := r.URL.Query().Get("async"); async != "" && async != "0" && async != "false" {
-		job := s.startJob("study", plan.hash(), plan.prep.Study.Search.BudgetCells, body,
-			func(ctx context.Context, emit func(any) error) { s.runStudy(ctx, plan, emit) })
+	if boolParam(r.URL.Query(), "async") {
+		job := s.startJob(jobParams{
+			kind: "study", hash: plan.hash(), total: plan.prep.Study.Search.BudgetCells,
+			request: body, requestID: obs.RequestIDFrom(r.Context()),
+		}, func(ctx context.Context, j *job, emit func(any) error) { s.runStudy(ctx, plan, emit) })
 		w.Header().Set("Location", "/v1/jobs/"+job.id)
 		writeJSON(w, http.StatusAccepted, job.submitted())
 		return

@@ -1,9 +1,11 @@
 // Command physchedsmoke is the end-to-end smoke check CI runs against a
 // live physchedd: it waits for the service to come up, drives one async
 // grid through the typed physched/client package (submit → wait →
-// stream), and scrapes /metrics, failing on a non-200 or a missing
-// counter family. Exit status 0 means the deployed binary serves its
-// whole async path, not just /healthz.
+// stream), round-trips an X-Request-Id, fetches and validates a ?trace=1
+// job's event log, and scrapes /metrics, failing on a non-200, a missing
+// counter family or an empty latency histogram. Exit status 0 means the
+// deployed binary serves its whole async path — observability included —
+// not just /healthz.
 //
 // Usage:
 //
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"strings"
 	"time"
 
@@ -53,6 +56,20 @@ var requiredFamilies = []string{
 	"physchedd_cache_puts_total",
 	"physchedd_jobs",
 	"physchedd_jobs_evicted_total",
+	"physchedd_trace_jobs_total",
+	"physchedd_build_info",
+	"physchedd_process_start_time_seconds",
+}
+
+// requiredHistograms must not only exist but have observed something by
+// the time the smoke grid has run: a present-but-empty histogram means
+// the observation plumbing (middleware, pool hooks, job seal) fell off
+// while the family registration survived.
+var requiredHistograms = []string{
+	"physchedd_http_request_duration_seconds",
+	"physchedd_pool_queue_wait_seconds",
+	"physchedd_cell_duration_seconds",
+	"physchedd_job_duration_seconds",
 }
 
 func main() {
@@ -78,6 +95,32 @@ func main() {
 		time.Sleep(200 * time.Millisecond)
 	}
 	log.Printf("healthy: %s", *server)
+
+	// Correlation: a supplied X-Request-Id must come back verbatim, and
+	// an omitted one must come back generated — either way the response
+	// alone is enough to grep the service's logs.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, *server+"/healthz", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "smoke-run")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("request-id probe failed: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "smoke-run" {
+		log.Fatalf("X-Request-Id not echoed: got %q, want smoke-run", got)
+	}
+	resp, err = http.Get(*server + "/healthz")
+	if err != nil {
+		log.Fatalf("request-id probe failed: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got == "" {
+		log.Fatal("no X-Request-Id generated for a request that omitted one")
+	}
+	log.Print("request-id round-trip OK")
 
 	sub, err := c.SubmitGrid(ctx, []byte(smokeGrid))
 	if err != nil {
@@ -122,6 +165,35 @@ func main() {
 		log.Fatalf("finished job %s missing from ?state=done&kind=grid listing (%d jobs)", sub.JobID, len(jobs.Jobs))
 	}
 
+	// Trace export: a second grid submitted with ?trace=1 serves a
+	// structurally valid per-cell event log once it finishes. The grid
+	// differs by seed so the traced cells are not trivially cached.
+	traced, err := c.SubmitGridTraced(ctx, []byte(strings.Replace(smokeGrid, `"seed": 5`, `"seed": 6`, 1)))
+	if err != nil {
+		log.Fatalf("traced submit failed: %v", err)
+	}
+	if st, err := c.WaitJob(ctx, traced.JobID, 100*time.Millisecond); err != nil || st.State != "done" {
+		log.Fatalf("traced job %s: %v (state %+v)", traced.JobID, err, st)
+	}
+	cells, err := c.JobTrace(ctx, traced.JobID)
+	if err != nil {
+		log.Fatalf("fetching trace of job %s: %v", traced.JobID, err)
+	}
+	events := 0
+	for i, cell := range cells {
+		if cell.Header.Hash == "" || cell.Header.Index != i {
+			log.Fatalf("malformed trace header %d: %+v", i, cell.Header)
+		}
+		if len(cell.Events) != cell.Header.Events {
+			log.Fatalf("trace cell %d: %d event lines, header says %d", i, len(cell.Events), cell.Header.Events)
+		}
+		events += len(cell.Events)
+	}
+	if len(cells) == 0 || events == 0 {
+		log.Fatalf("trace is empty: %d cells, %d events", len(cells), events)
+	}
+	log.Printf("trace OK: %d cells, %d events", len(cells), events)
+
 	metrics, err := c.Metrics(ctx)
 	if err != nil {
 		log.Fatalf("metrics scrape failed: %v", err)
@@ -135,6 +207,20 @@ func main() {
 	if len(missing) > 0 {
 		log.Fatalf("metrics scrape is missing families: %s", strings.Join(missing, ", "))
 	}
-	log.Printf("metrics: all %d required families present", len(requiredFamilies))
+	pm, err := client.ParseMetrics(metrics)
+	if err != nil {
+		log.Fatalf("metrics exposition does not parse: %v", err)
+	}
+	for _, name := range requiredHistograms {
+		h, ok := pm.HistogramAt(name, nil)
+		if !ok {
+			log.Fatalf("latency histogram %s missing", name)
+		}
+		if h.Count == 0 {
+			log.Fatalf("latency histogram %s observed nothing", name)
+		}
+	}
+	log.Printf("metrics: all %d required families present, %d histograms non-empty",
+		len(requiredFamilies), len(requiredHistograms))
 	fmt.Println("smoke OK")
 }

@@ -11,7 +11,10 @@ import (
 
 // HotAlloc guards the zero-alloc contract of functions annotated
 // //physched:hotpath — the event queue, arenas, metrics collector, cache
-// LRU and policy dispatch that PR 6 drove from ~38k allocs/op to 563.
+// LRU and policy dispatch that PR 6 drove from ~38k allocs/op to 563,
+// plus the observability hot paths added since (obs.Histogram.Observe
+// and the pool's hooked task dispatch), which run once per request or
+// per simulation cell and must not put allocations on those paths.
 // The bench gate (benchsnap -check) catches an allocation regression at
 // CI time from the benchmark side; this analyzer names the construct at
 // the source line so the regression never lands. Inside an annotated

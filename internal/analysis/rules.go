@@ -37,11 +37,16 @@ var detPackages = []string{
 // walltimeExtra are service-layer packages additionally registered for
 // the walltime analyzer even though they are not deterministic: their
 // wall-clock reads must be injected clocks, with the single wiring site
-// carrying a //physched:walltime suppression. This is the shrunken
-// allowlist: everything NOT listed here or in detPackages (resultcache
-// disk I/O, the remaining cmds, examples) may read the clock freely.
+// carrying a //physched:walltime suppression. Since the observability
+// layer landed, that site is obs.SystemClock — the one sanctioned
+// real-clock read the whole service stack (logging timestamps, request
+// latency, job ages, pool hook nanos) funnels through. This is the
+// shrunken allowlist: everything NOT listed here or in detPackages
+// (resultcache disk I/O, the remaining cmds, examples) may read the
+// clock freely.
 var walltimeExtra = []string{
 	"physched/cmd/physchedd",
+	"physched/internal/obs",
 }
 
 // wirePackages hold the canonical, content-hashed wire structs.
@@ -86,6 +91,7 @@ var lockguardPackages = []string{
 	"physched/internal/trace",
 	"physched/internal/sched",
 	"physched/internal/workload",
+	"physched/internal/obs",
 	"physched/cmd/physchedd",
 }
 

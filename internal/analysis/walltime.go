@@ -11,10 +11,12 @@ import (
 // time.Now in a policy or the event loop produces results that differ by
 // host load — exactly the class of bug the golden byte-identity files
 // catch a PR too late. Service-layer packages are not registered for this
-// analyzer (the allowlist lives in rules.go); cmd/physchedd *is*
-// registered, with its single deliberate wiring site (clock: time.Now)
-// carrying a //physched:walltime suppression so every new call site needs
-// a stated reason.
+// analyzer (the allowlist lives in rules.go); cmd/physchedd and
+// internal/obs *are* registered, with the single deliberate wiring site —
+// obs.SystemClock, the obs.Clock every service component (logger
+// timestamps, request latency, job ages, pool-hook nanos) is injected
+// with — carrying the repo's one //physched:walltime suppression, so
+// every new real-clock call site needs a stated reason.
 var WallTime = &driver.Analyzer{
 	Name: "walltime",
 	Doc:  "forbid wall-clock reads and sleeps in deterministic packages (sim time only)",

@@ -1,6 +1,8 @@
 package lab
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
 	"physched/internal/cluster"
@@ -17,6 +19,42 @@ func BenchmarkRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Run(s)
+	}
+}
+
+// BenchmarkPoolDispatch prices the pool's per-task dispatch loop with no
+// hooks installed — the default path every deterministic run takes. One
+// Run call fans out b.N empty tasks, so the per-op figure is pure
+// dispatch; the benchsnap gate pins it at 0 allocs/op.
+func BenchmarkPoolDispatch(b *testing.B) {
+	b.ReportAllocs()
+	pool := NewPool(1)
+	defer pool.Close()
+	b.ResetTimer()
+	if err := pool.Run(context.Background(), b.N, func(int) {}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPoolDispatchHooked is BenchmarkPoolDispatch with timing hooks
+// installed — the path a service's queue-wait/run-duration histograms
+// ride. The benchsnap gate pins the hooked path at 0 allocs/op too: the
+// observability tax on the simulation hot path is time-only, never
+// garbage.
+func BenchmarkPoolDispatchHooked(b *testing.B) {
+	b.ReportAllocs()
+	pool := NewPool(1)
+	defer pool.Close()
+	var clk atomic.Int64
+	var waitNs, runNs atomic.Int64
+	pool.SetHooks(&PoolHooks{
+		Now:  func() int64 { return clk.Add(1) },
+		Wait: func(ns int64) { waitNs.Add(ns) },
+		Run:  func(ns int64) { runNs.Add(ns) },
+	})
+	b.ResetTimer()
+	if err := pool.Run(context.Background(), b.N, func(int) {}); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"physched/internal/sched"
+	"physched/internal/trace"
 )
 
 // Variant is one line of a figure: a policy constructor plus optional
@@ -65,6 +66,15 @@ type Options struct {
 	// declarative spec (see internal/spec). Cells reporting ok == false
 	// are uncacheable and always run.
 	Keys func(Cell) (key string, ok bool)
+	// Trace, when non-nil, selects cells to record: a returned non-nil
+	// recorder is attached to the cell's scenario before it runs. Traced
+	// cells bypass the result cache entirely — no Get, so a hit cannot
+	// silently skip the simulation the trace is supposed to witness, and
+	// no Put, because sampling schedules perpetual timer events that can
+	// shift the drain point and therefore the result bytes: a traced
+	// result must never poison the content-addressed store that the
+	// byte-identity contract reads from.
+	Trace func(Cell) *trace.Recorder
 }
 
 // ResultCache is a content-addressed store of run results, keyed by the
@@ -194,9 +204,13 @@ func (g Grid) Execute(opts Options) (*RunSet, error) {
 	var mu sync.Mutex
 	completed := 0
 	task := func(i int) {
+		var rec *trace.Recorder
+		if opts.Trace != nil {
+			rec = opts.Trace(cells[i])
+		}
 		var res Result
 		fromCache := false
-		if caching && keys[i] != "" {
+		if caching && keys[i] != "" && rec == nil {
 			if hit, ok := opts.Cache.Get(keys[i]); ok {
 				res = hit
 				res.Scenario = cells[i].Scenario
@@ -205,11 +219,15 @@ func (g Grid) Execute(opts Options) (*RunSet, error) {
 			}
 		}
 		if !fromCache {
-			res = Run(cells[i].Scenario)
+			sc := cells[i].Scenario
+			if rec != nil {
+				sc.Trace = rec
+			}
+			res = Run(sc)
 			if !opts.KeepCollectors {
 				res.Collector = nil
 			}
-			if caching && keys[i] != "" {
+			if caching && keys[i] != "" && rec == nil {
 				opts.Cache.Put(keys[i], res.Stored())
 			}
 		}

@@ -29,8 +29,38 @@ type Pool struct {
 	subs   []*submission // submissions with tasks still to hand out
 	next   int           // round-robin cursor into subs
 	closed bool
-	busy   int    // workers currently inside a task
-	done   uint64 // tasks completed over the pool's lifetime
+	busy   int        // workers currently inside a task
+	done   uint64     // tasks completed over the pool's lifetime
+	hooks  *PoolHooks // nil unless SetHooks installed observation hooks
+}
+
+// PoolHooks observe per-task timing on a pool: how long each task sat
+// queued before a worker picked it up, and how long it ran. The clock is
+// injected — the pool itself never reads wall time, keeping internal/lab
+// inside the determinism boundary (the walltime analyzer enforces this;
+// a service installs hooks fed from its own audited clock seam). All
+// three fields must be set; hook calls happen outside the pool mutex on
+// the worker's hot path and must not block or allocate.
+type PoolHooks struct {
+	// Now returns the current time in nanoseconds (any fixed epoch).
+	Now func() int64
+	// Wait receives each task's queue wait: pickup time minus submit time.
+	Wait func(ns int64)
+	// Run receives each task's execution duration.
+	Run func(ns int64)
+}
+
+// SetHooks installs (or, with nil, removes) timing hooks. Tasks already
+// queued were not timestamped at submission, so their queue wait reads
+// as pickup minus the hook installation instant at worst — install hooks
+// before submitting work when exact waits matter.
+func (p *Pool) SetHooks(h *PoolHooks) {
+	if h != nil && (h.Now == nil || h.Wait == nil || h.Run == nil) {
+		panic("lab: PoolHooks requires Now, Wait and Run")
+	}
+	p.mu.Lock()
+	p.hooks = h
+	p.mu.Unlock()
 }
 
 // PoolStats is a point-in-time snapshot of a pool's load — the counter
@@ -53,9 +83,10 @@ func (p *Pool) Stats() PoolStats {
 // submission is one Run call's task set. Guarded by the pool's mutex.
 type submission struct {
 	task       func(int)
-	n          int // total tasks
-	nextIdx    int // next index to hand out
-	inflight   int // tasks currently running
+	n          int   // total tasks
+	nextIdx    int   // next index to hand out
+	inflight   int   // tasks currently running
+	enqueuedNs int64 // submit timestamp from hooks.Now; 0 when hooks were off
 	cancelled  bool
 	done       chan struct{} // closed when no tasks remain pending or running
 	doneClosed bool
@@ -101,6 +132,9 @@ func (p *Pool) Run(ctx context.Context, n int, task func(int)) error {
 		p.mu.Unlock()
 		return ErrPoolClosed
 	}
+	if p.hooks != nil {
+		sub.enqueuedNs = p.hooks.Now()
+	}
 	p.subs = append(p.subs, sub)
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -144,14 +178,31 @@ func (p *Pool) worker() {
 			sub, i = p.take()
 		}
 		p.busy++
+		hooks, enq := p.hooks, sub.enqueuedNs
 		p.mu.Unlock()
-		sub.task(i)
+		if hooks != nil && enq != 0 {
+			runHooked(sub.task, i, enq, hooks)
+		} else {
+			sub.task(i)
+		}
 		p.mu.Lock()
 		p.busy--
 		p.done++
 		sub.inflight--
 		p.finishIfDone(sub)
 	}
+}
+
+// runHooked runs one task bracketed by timing observations. It sits on
+// the worker hot path — one call per simulated cell — so it must not
+// allocate: the hook closures are shared, not built per task.
+//
+//physched:hotpath
+func runHooked(task func(int), i int, enqueuedNs int64, h *PoolHooks) {
+	start := h.Now()
+	h.Wait(start - enqueuedNs)
+	task(i)
+	h.Run(h.Now() - start)
 }
 
 // take pops the next task, round-robin across active submissions, and

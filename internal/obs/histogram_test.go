@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveAndRender(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; got != want {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+	var sb strings.Builder
+	h.WriteProm(&sb, "x_seconds", "")
+	want := `x_seconds_bucket{le="0.1"} 1
+x_seconds_bucket{le="1"} 3
+x_seconds_bucket{le="10"} 4
+x_seconds_bucket{le="+Inf"} 5
+x_seconds_sum 56.05
+x_seconds_count 5
+`
+	if sb.String() != want {
+		t.Errorf("render:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(1) // on the bound: counts into le="1" (cumulative ≤)
+	h.Observe(1.0000001)
+	var sb strings.Builder
+	h.WriteProm(&sb, "e", "")
+	if !strings.Contains(sb.String(), `e_bucket{le="1"} 1`) {
+		t.Errorf("value on the bound not in its bucket:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `e_bucket{le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket not cumulative:\n%s", sb.String())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(HTTPBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); got < 23.99 || got > 24.01 {
+		t.Fatalf("Sum = %g, want ≈24", got)
+	}
+}
+
+func TestHistogramVecSeriesAndRenderOrder(t *testing.T) {
+	v := NewHistogramVec([]string{"route", "status"}, []float64{1})
+	v.With("GET /b", "200").Observe(0.5)
+	v.With("GET /a", "200").Observe(2)
+	v.With("GET /a", "200").Observe(0.1) // same series, no new entry
+	var sb strings.Builder
+	v.WriteProm(&sb, "h")
+	out := sb.String()
+	ai := strings.Index(out, `route="GET /a"`)
+	bi := strings.Index(out, `route="GET /b"`)
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("series missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, `h_count{route="GET /a",status="200"} 2`) {
+		t.Errorf("series did not accumulate:\n%s", out)
+	}
+	if !strings.Contains(out, `h_bucket{route="GET /a",status="200",le="+Inf"} 2`) {
+		t.Errorf("bucket labels malformed:\n%s", out)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewHistogram(CellBuckets)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.25) }); n != 0 {
+		t.Fatalf("Observe allocates %v per run, want 0", n)
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

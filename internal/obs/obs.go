@@ -1,0 +1,38 @@
+// Package obs is the service-layer observability toolkit: an audited
+// wall-clock seam, structured JSON logging with injected timestamps,
+// request-ID propagation, and fixed-bucket latency histograms rendered
+// in the Prometheus text exposition format. Everything is stdlib-only
+// and allocation-free on the hot observation path.
+//
+// The simulation core runs on sim time exclusively — the walltime
+// analyzer (internal/analysis) bans real-clock reads inside the
+// determinism boundary — so every wall-clock observation a service
+// makes must flow through an injected Clock. SystemClock below is the
+// single sanctioned real-clock read in the module: cmd/physchedd wires
+// it at its boundary and passes the resulting Clock down to logging,
+// histograms and job timestamps; tests substitute a fake and get
+// deterministic log lines and metrics.
+package obs
+
+import "time"
+
+// Clock supplies the current time. Service code never calls time.Now
+// directly: it receives a Clock (SystemClock in production, a fake in
+// tests), which keeps wall time injectable and the walltime lint
+// contract auditable at one site.
+type Clock func() time.Time
+
+// SystemClock is the production Clock — the one sanctioned real-clock
+// read in the module. Every service-layer timestamp (log records,
+// request durations, queue waits, job lifecycle times) derives from
+// this seam; a second time.Now anywhere in an audited package is a
+// lint finding, not a convention violation.
+func SystemClock() time.Time {
+	return time.Now() //physched:walltime the single audited real-clock source: all service observability derives from this seam
+}
+
+// NowNanos adapts a Clock to the monotonic-nanosecond form the
+// lab.PoolHooks observation seam consumes.
+func NowNanos(c Clock) func() int64 {
+	return func() int64 { return c().UnixNano() }
+}

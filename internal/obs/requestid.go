@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// RequestIDHeader is the correlation header the service reads and
+// echoes: a client that supplies X-Request-Id sees the same value in
+// the response and in every log line the request produces; a client
+// that omits it gets a generated one back, so the response alone is
+// enough to grep the server's logs for the request's whole lifecycle.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen caps accepted client-supplied IDs; anything longer is
+// truncated rather than rejected (correlation is best-effort, not a
+// validation surface).
+const maxRequestIDLen = 64
+
+// NewRequestID returns a random 16-hex-character correlation ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // the platform RNG is gone; nothing sensible to serve
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID makes a client-supplied correlation ID safe to echo
+// and log: control characters and quotes (log-line and header injection
+// vectors) are dropped, and the result is truncated to maxRequestIDLen.
+// An ID that sanitizes to nothing reports ok == false and the caller
+// generates a fresh one.
+func SanitizeRequestID(id string) (clean string, ok bool) {
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= 0x20 || c == 0x7f || c == '"' || c == '\\' {
+			continue
+		}
+		out = append(out, c)
+	}
+	return string(out), len(out) > 0
+}
+
+// ridCtxKey scopes the context request-ID entry to this package.
+type ridCtxKey struct{}
+
+// WithRequestID stores the request's correlation ID in ctx.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridCtxKey{}, id)
+}
+
+// RequestIDFrom returns the correlation ID stored by WithRequestID, or
+// "" outside a request (job goroutines keep the ID on the job record
+// instead).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridCtxKey{}).(string)
+	return id
+}

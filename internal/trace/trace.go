@@ -53,10 +53,11 @@ type Event struct {
 // with New to record. Recorder is safe for concurrent use so parallel
 // sweeps can share sinks, though a single simulation is single-threaded.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	sink   io.Writer // optional streaming sink (JSONL)
-	limit  int
+	mu      sync.Mutex
+	events  []Event
+	sink    io.Writer // optional streaming sink (JSONL)
+	limit   int
+	dropped uint64 // events discarded once limit was reached
 }
 
 // New returns a recorder holding at most limit events in memory (0 = no
@@ -74,6 +75,8 @@ func (r *Recorder) Add(e Event) {
 	defer r.mu.Unlock()
 	if r.limit == 0 || len(r.events) < r.limit {
 		r.events = append(r.events, e)
+	} else {
+		r.dropped++
 	}
 	if r.sink != nil {
 		b, err := json.Marshal(e)
@@ -101,6 +104,18 @@ func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.events)
+}
+
+// Dropped reports the number of events discarded because the in-memory
+// limit was reached — a capped trace export can tell "complete" from
+// "truncated" without guessing from the event count.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // WriteJSONL writes all in-memory events to w as JSON Lines.
